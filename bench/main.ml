@@ -1,0 +1,602 @@
+(* Benchmark harness regenerating the paper's evaluation (Sec. 7):
+   Figure 9  — normalized economic cost of each of the 22 TPC-H queries
+               under the UA / UAPenc / UAPmix authorization scenarios;
+   Figure 10 — cumulative normalized cost across the queries;
+   summary   — the headline savings percentages (paper: UAPenc 54.2%,
+               UAPmix 71.3% vs UA);
+   ablation  — design-choice studies (udf delegation, provider price
+               spread, DP vs naive user-only assignment, scheme costs);
+   micro     — bechamel microbenchmarks of the planning primitives. *)
+
+let sf = 1.0 (* cost-model scale factor: the paper's 1 GB configuration *)
+
+type row = { q : int; name : string; costs : (Tpch.Scenarios.t * float) list }
+
+let scenario_cost scenario plan =
+  let r = Tpch.Scenarios.optimize ~sf ~scenario plan in
+  Planner.Cost.total r.Planner.Optimizer.cost
+
+let compute_rows () =
+  List.map
+    (fun (q, name, build) ->
+      let costs =
+        List.map
+          (fun sc -> (sc, scenario_cost sc (build ())))
+          Tpch.Scenarios.all
+      in
+      { q; name; costs })
+    Tpch.Tpch_queries.all
+
+let cost_of row sc = List.assoc sc row.costs
+
+let bar width fraction =
+  let n = int_of_float (fraction *. float_of_int width) in
+  String.make (max 0 (min width n)) '#'
+
+let fig9 rows =
+  print_endline
+    "=== Figure 9: normalized economic cost per query (UA = 1.00) ===";
+  print_endline
+    "  q  |     UA |  UAPenc | UAPmix  | 0        UAPenc  (#) / UAPmix (*)  1";
+  List.iter
+    (fun row ->
+      let ua = cost_of row Tpch.Scenarios.UA in
+      let enc = cost_of row Tpch.Scenarios.UAPenc /. ua in
+      let mix = cost_of row Tpch.Scenarios.UAPmix /. ua in
+      Printf.printf " %3d | 1.0000 | %7.4f | %7.4f | %-38s\n" row.q enc mix
+        (bar 38 enc ^ "\n     |        |         |         | "
+        ^ String.map (fun c -> if c = '#' then '*' else c) (bar 38 mix)))
+    rows;
+  print_newline ()
+
+let fig10 rows =
+  print_endline
+    "=== Figure 10: cumulative normalized cost (per-query UA cost = 1) ===";
+  print_endline "  q  |      UA |  UAPenc |  UAPmix";
+  let cum = ref (0.0, 0.0, 0.0) in
+  List.iter
+    (fun row ->
+      let ua = cost_of row Tpch.Scenarios.UA in
+      let a, b, c = !cum in
+      cum :=
+        ( a +. 1.0,
+          b +. (cost_of row Tpch.Scenarios.UAPenc /. ua),
+          c +. (cost_of row Tpch.Scenarios.UAPmix /. ua) );
+      let a, b, c = !cum in
+      Printf.printf " %3d | %7.3f | %7.3f | %7.3f\n" row.q a b c)
+    rows;
+  print_newline ()
+
+let summary rows =
+  let total sc =
+    List.fold_left
+      (fun acc row -> acc +. (cost_of row sc /. cost_of row Tpch.Scenarios.UA))
+      0.0 rows
+  in
+  let ua = total Tpch.Scenarios.UA in
+  let enc = total Tpch.Scenarios.UAPenc in
+  let mix = total Tpch.Scenarios.UAPmix in
+  print_endline "=== Summary: savings vs UA (paper: 54.2% / 71.3%) ===";
+  Printf.printf "  UAPenc saving: %5.1f%%\n" (100.0 *. (1.0 -. (enc /. ua)));
+  Printf.printf "  UAPmix saving: %5.1f%%\n" (100.0 *. (1.0 -. (mix /. ua)));
+  print_newline ()
+
+(* --- ablations ------------------------------------------------------ *)
+
+let ablation_udf () =
+  print_endline "=== Ablation: delegating udf computation (Sec. 7) ===";
+  print_endline
+    "A computation-heavy analytics udf (100x relational cost) over the";
+  print_endline
+    "filtered lineitem: pinned to plaintext-authorized subjects unless";
+  print_endline
+    "declared evaluable over ciphertext (the paper's udf claim: delegating";
+  print_endline "such computation to cheap providers dwarfs transfer costs).";
+  let build () =
+    let open Relalg in
+    let lineitem =
+      Plan.project
+        (Attr.Set.of_names [ "l_extendedprice"; "l_quantity"; "l_shipdate" ])
+        (Plan.base Tpch.Tpch_schema.lineitem)
+    in
+    let filtered =
+      Plan.select
+        (Predicate.conj
+           [ Predicate.Cmp_const
+               (Attr.make "l_shipdate", Predicate.Ge,
+                Value.date_of_string "1995-01-01") ])
+        lineitem
+    in
+    Plan.udf "ml_score"
+      (Attr.Set.of_names [ "l_extendedprice"; "l_quantity" ])
+      (Attr.make "l_extendedprice")
+      filtered
+  in
+  let cost ~enc_capable sc =
+    let config =
+      if enc_capable then
+        { Authz.Opreq.default with Authz.Opreq.enc_capable_udfs = [ "ml_score" ] }
+      else Authz.Opreq.default
+    in
+    let plan, base =
+      let plan', factors = Planner.Leaf_filters.fold (build ()) in
+      ( plan',
+        Planner.Leaf_filters.scale_stats
+          (Tpch.Tpch_schema.base_stats ~sf) factors )
+    in
+    let r =
+      Planner.Optimizer.plan
+        ~policy:(Tpch.Scenarios.policy sc)
+        ~subjects:Tpch.Scenarios.subjects ~config ~pricing:Tpch.Scenarios.pricing
+        ~base ~deliver_to:Tpch.Scenarios.user plan
+    in
+    Planner.Cost.total r.Planner.Optimizer.cost
+  in
+  List.iter
+    (fun sc ->
+      let pinned = cost ~enc_capable:false sc in
+      let delegable = cost ~enc_capable:true sc in
+      Printf.printf
+        "  %-7s  plaintext-only udf=$%.5f  enc-capable udf=$%.5f  saving=%.1f%%\n"
+        (Tpch.Scenarios.name sc) pinned delegable
+        (100.0 *. (1.0 -. (delegable /. pinned))))
+    Tpch.Scenarios.all;
+  print_newline ()
+
+let ablation_spread () =
+  print_endline
+    "=== Ablation: provider price spread (savings need a market) ===";
+  List.iter
+    (fun spread ->
+      let pricing =
+        Planner.Pricing.make
+          ~provider_multipliers:
+            [ ("P1", 1.0); ("P2", 1.0 -. spread); ("P3", 1.0 +. spread) ]
+          ()
+      in
+      let cost sc plan =
+        let r =
+          Planner.Optimizer.plan
+            ~policy:(Tpch.Scenarios.policy sc)
+            ~subjects:Tpch.Scenarios.subjects ~pricing
+            ~base:(Tpch.Tpch_schema.base_stats ~sf)
+            ~deliver_to:Tpch.Scenarios.user plan
+        in
+        Planner.Cost.total r.Planner.Optimizer.cost
+      in
+      let ratio =
+        List.fold_left
+          (fun acc (q, _, build) ->
+            if q > 6 then acc (* six queries keep the sweep fast *)
+            else
+              acc
+              +. (cost Tpch.Scenarios.UAPenc (build ())
+                 /. cost Tpch.Scenarios.UA (build ())))
+          0.0 Tpch.Tpch_queries.all
+        /. 6.0
+      in
+      Printf.printf "  spread ±%2.0f%%: UAPenc/UA = %.3f\n" (spread *. 100.0)
+        ratio)
+    [ 0.0; 0.1; 0.2; 0.4 ];
+  print_newline ()
+
+let ablation_assignment () =
+  print_endline "=== Ablation: DP assignment vs all-at-user baseline ===";
+  List.iter
+    (fun (q, _, build) ->
+      if q <= 8 then begin
+        let plan, base =
+          let plan', factors = Planner.Leaf_filters.fold (build ()) in
+          ( plan',
+            Planner.Leaf_filters.scale_stats
+              (Tpch.Tpch_schema.base_stats ~sf) factors )
+        in
+        let policy = Tpch.Scenarios.policy Tpch.Scenarios.UAPenc in
+        let r =
+          Planner.Optimizer.plan ~policy ~subjects:Tpch.Scenarios.subjects
+            ~pricing:Tpch.Scenarios.pricing ~base
+            ~deliver_to:Tpch.Scenarios.user plan
+        in
+        let dp = Planner.Cost.total r.Planner.Optimizer.cost in
+        let user_assignment =
+          Authz.Imap.map (fun _ -> Tpch.Scenarios.user)
+            r.Planner.Optimizer.candidates
+        in
+        let ext =
+          Authz.Extend.extend ~policy ~config:r.Planner.Optimizer.config
+            ~assignment:user_assignment ~deliver_to:Tpch.Scenarios.user plan
+        in
+        let scheme_of =
+          Authz.Plan_keys.actual_schemes ~original:plan ext
+        in
+        let cost_user =
+          Planner.Cost.of_extended ~pricing:Tpch.Scenarios.pricing
+            ~network:(Planner.Network.make ()) ~base ~scheme_of ext
+        in
+        Printf.printf "  Q%-2d  dp=$%.5f  user-only=$%.5f  gain=x%.2f\n" q dp
+          (Planner.Cost.total cost_user)
+          (Planner.Cost.total cost_user /. dp)
+      end)
+    Tpch.Tpch_queries.all;
+  print_newline ()
+
+let ablation_latency () =
+  print_endline
+    "=== Ablation: cost vs performance threshold (Sec. 7) ===";
+  print_endline
+    "Q3 under UAPenc with a shrinking latency bound: the optimizer trades";
+  print_endline "money for speed once the bound bites.";
+  let plan, base =
+    let plan', factors = Planner.Leaf_filters.fold (Tpch.Tpch_queries.query 3) in
+    ( plan',
+      Planner.Leaf_filters.scale_stats (Tpch.Tpch_schema.base_stats ~sf) factors
+    )
+  in
+  let solve max_latency =
+    Planner.Optimizer.plan
+      ~policy:(Tpch.Scenarios.policy Tpch.Scenarios.UAPenc)
+      ~subjects:Tpch.Scenarios.subjects ~pricing:Tpch.Scenarios.pricing ~base
+      ~deliver_to:Tpch.Scenarios.user ?max_latency plan
+  in
+  let free = solve None in
+  let free_latency = free.Planner.Optimizer.cost.Planner.Cost.latency in
+  Printf.printf "  unconstrained : $%.5f  latency %.1fs
+"
+    (Planner.Cost.total free.Planner.Optimizer.cost)
+    free_latency;
+  List.iter
+    (fun f ->
+      let r = solve (Some (free_latency *. f)) in
+      Printf.printf "  bound %4.1fx   : $%.5f  latency %.1fs
+" f
+        (Planner.Cost.total r.Planner.Optimizer.cost)
+        r.Planner.Optimizer.cost.Planner.Cost.latency)
+    [ 1.0; 0.8; 0.5; 0.2 ];
+  print_newline ()
+
+let ablation_config () =
+  print_endline
+    "=== Ablation: which over-ciphertext computations matter ===";
+  print_endline
+    "UAPenc savings vs UA over six representative queries, with classes of";
+  print_endline
+    "encrypted computation disabled (everything disabled = conditions must";
+  print_endline "run in plaintext, pinning work to authorized subjects):";
+  let queries = [ 3; 4; 5; 10; 12; 13 ] in
+  let savings config =
+    let total sc =
+      List.fold_left
+        (fun acc q ->
+          let plan, base =
+            let plan', factors =
+              Planner.Leaf_filters.fold (Tpch.Tpch_queries.query q)
+            in
+            ( plan',
+              Planner.Leaf_filters.scale_stats
+                (Tpch.Tpch_schema.base_stats ~sf) factors )
+          in
+          let r =
+            Planner.Optimizer.plan ~policy:(Tpch.Scenarios.policy sc)
+              ~subjects:Tpch.Scenarios.subjects ~config
+              ~pricing:Tpch.Scenarios.pricing ~base
+              ~deliver_to:Tpch.Scenarios.user plan
+          in
+          acc +. Planner.Cost.total r.Planner.Optimizer.cost)
+        0.0 queries
+    in
+    100.0 *. (1.0 -. (total Tpch.Scenarios.UAPenc /. total Tpch.Scenarios.UA))
+  in
+  let open Authz.Opreq in
+  List.iter
+    (fun (label, config) ->
+      Printf.printf "  %-28s %5.1f%%
+" label (savings config))
+    [ ("full (det+ope+phe)", default);
+      ("no homomorphic addition", { default with addition_over_cipher = false });
+      ("no order (OPE) either", { default with addition_over_cipher = false;
+                                   order_over_cipher = false });
+      ("nothing over ciphertext", strict) ];
+  print_newline ()
+
+let ablation_regulated () =
+  print_endline
+    "=== Ablation: regulated markets (Sec. 7's closing claim) ===";
+  print_endline
+    "Medical-style setting: only an expensive compliance-certified provider";
+  print_endline
+    "(2x price) may see plaintext. Granting cheap open-market providers";
+  print_endline
+    "encrypted visibility recovers most of the delegation savings:";
+  let pricing =
+    Planner.Pricing.make
+      ~provider_multipliers:[ ("P1", 2.0); ("P2", 0.8); ("P3", 1.0) ]
+      ()
+  in
+  let certified = Authz.Subject.provider "P1" in
+  let policy ~open_market_enc =
+    let user_rules =
+      List.map
+        (fun s ->
+          Authz.Authorization.rule ~rel:s.Relalg.Schema.name
+            ~plain:(List.map Relalg.Attr.name (Relalg.Schema.attr_list s))
+            (To Tpch.Scenarios.user))
+        Tpch.Tpch_schema.all
+    in
+    let certified_rules =
+      List.map
+        (fun s ->
+          Authz.Authorization.rule ~rel:s.Relalg.Schema.name
+            ~plain:(List.map Relalg.Attr.name (Relalg.Schema.attr_list s))
+            (To certified))
+        Tpch.Tpch_schema.all
+    in
+    let open_rules =
+      if not open_market_enc then []
+      else
+        List.concat_map
+          (fun s ->
+            List.map
+              (fun p ->
+                Authz.Authorization.rule ~rel:s.Relalg.Schema.name
+                  ~enc:(List.map Relalg.Attr.name (Relalg.Schema.attr_list s))
+                  (To p))
+              [ Authz.Subject.provider "P2"; Authz.Subject.provider "P3" ])
+          Tpch.Tpch_schema.all
+    in
+    Authz.Authorization.make ~schemas:Tpch.Tpch_schema.all
+      (user_rules @ certified_rules @ open_rules)
+  in
+  let total ~open_market_enc =
+    List.fold_left
+      (fun acc q ->
+        let plan, base =
+          let plan', factors =
+            Planner.Leaf_filters.fold (Tpch.Tpch_queries.query q)
+          in
+          ( plan',
+            Planner.Leaf_filters.scale_stats
+              (Tpch.Tpch_schema.base_stats ~sf) factors )
+        in
+        let r =
+          Planner.Optimizer.plan ~policy:(policy ~open_market_enc)
+            ~subjects:Tpch.Scenarios.subjects ~pricing ~base
+            ~deliver_to:Tpch.Scenarios.user plan
+        in
+        acc +. Planner.Cost.total r.Planner.Optimizer.cost)
+      0.0 [ 3; 4; 5; 10; 12; 13 ]
+  in
+  let compliant_only = total ~open_market_enc:false in
+  let with_enc = total ~open_market_enc:true in
+  Printf.printf "  certified provider only : $%.5f
+" compliant_only;
+  Printf.printf "  + open market encrypted : $%.5f  (saving %.1f%%)
+"
+    with_enc
+    (100.0 *. (1.0 -. (with_enc /. compliant_only)));
+  print_newline ()
+
+let keys_table () =
+  print_endline
+    "=== Key establishment per query (Def. 6.1), UAPenc ===";
+  print_endline "  q  | clusters | schemes";
+  List.iter
+    (fun (q, _, build) ->
+      let r = Tpch.Scenarios.optimize ~sf ~scenario:Tpch.Scenarios.UAPenc (build ()) in
+      let clusters = r.Planner.Optimizer.clusters in
+      let schemes =
+        List.sort_uniq compare
+          (List.map
+             (fun c -> Mpq_crypto.Scheme.name c.Authz.Plan_keys.scheme)
+             clusters)
+      in
+      Printf.printf " %3d | %8d | %s
+" q (List.length clusters)
+        (String.concat "," schemes))
+    Tpch.Tpch_queries.all;
+  print_newline ()
+
+let calibration () =
+  print_endline
+    "=== Scheme cost calibration: measured engine throughput ===";
+  print_endline
+    "Encrypting 20k 8-byte integers per scheme (wall-clock), the basis of";
+  print_endline "Scheme.cpu_cost_per_mb's ratios (Paillier >> OPE >> symmetric):";
+  let keyring = Mpq_crypto.Keyring.create ~seed:17L () in
+  let n = 20_000 in
+  let values = List.init n (fun i -> Relalg.Value.Int (i mod 100_000)) in
+  let time scheme =
+    let ctx = Engine.Enc_exec.of_schemes keyring [ ("x", scheme) ] in
+    let a = Relalg.Attr.make "x" in
+    let t0 = Sys.time () in
+    List.iter (fun v -> ignore (Engine.Enc_exec.encrypt_value ctx a v)) values;
+    Sys.time () -. t0
+  in
+  let det = time Mpq_crypto.Scheme.Det in
+  let rnd = time Mpq_crypto.Scheme.Rnd in
+  let ope = time Mpq_crypto.Scheme.Ope in
+  (* Paillier over a small sample, scaled up (it is three to four orders
+     of magnitude slower) *)
+  let phe10 =
+    let ctx = Engine.Enc_exec.of_schemes keyring [ ("x", Mpq_crypto.Scheme.Phe) ] in
+    let a = Relalg.Attr.make "x" in
+    let t0 = Sys.time () in
+    List.iteri
+      (fun i v ->
+        if i < n / 100 then ignore (Engine.Enc_exec.encrypt_value ctx a v))
+      values;
+    Sys.time () -. t0
+  in
+  let phe = phe10 *. 100.0 in
+  Printf.printf "  det  %8.3fs   (1.0x)
+" det;
+  Printf.printf "  rnd  %8.3fs   (%.1fx det)
+" rnd (rnd /. det);
+  Printf.printf "  ope  %8.3fs   (%.1fx det)
+" ope (ope /. det);
+  Printf.printf "  phe  %8.3fs   (%.0fx det, extrapolated from %d values)
+"
+    phe (phe /. det) (n / 100);
+  print_newline ()
+
+let exec_overhead () =
+  print_endline
+    "=== Encrypted execution overhead (engine, sf=0.002, wall-clock) ===";
+  print_endline
+    "Plaintext execution vs the UAPenc extended plan over real ciphertext";
+  print_endline "(CryptDB-style overhead measurement):";
+  let sf_exec = 0.002 in
+  let data = Tpch.Tpch_data.generate ~sf:sf_exec () in
+  let tables =
+    List.map
+      (fun s ->
+        ( s.Relalg.Schema.name,
+          Engine.Table.of_schema s (List.assoc s.Relalg.Schema.name data) ))
+      Tpch.Tpch_schema.all
+  in
+  List.iter
+    (fun q ->
+      let plan = Tpch.Tpch_queries.query q in
+      let t0 = Sys.time () in
+      let plain =
+        Engine.Exec.run
+          (Engine.Exec.context ~udfs:Tpch.Tpch_queries.udf_impls tables)
+          plan
+      in
+      let t_plain = Sys.time () -. t0 in
+      let r =
+        Tpch.Scenarios.optimize ~sf:sf_exec ~fold_leaf_filters:false
+          ~scenario:Tpch.Scenarios.UAPenc plan
+      in
+      let keyring = Mpq_crypto.Keyring.create ~seed:5L () in
+      let crypto =
+        Engine.Enc_exec.make keyring r.Planner.Optimizer.clusters
+      in
+      let t0 = Sys.time () in
+      let enc =
+        Engine.Exec.run
+          (Engine.Exec.context ~udfs:Tpch.Tpch_queries.udf_impls ~crypto
+             tables)
+          r.Planner.Optimizer.extended.Authz.Extend.plan
+      in
+      let t_enc = Sys.time () -. t0 in
+      Printf.printf
+        "  Q%-2d  plain %6.3fs  encrypted %6.3fs  (x%.1f, %d rows%s)
+" q
+        t_plain t_enc
+        (t_enc /. Float.max 1e-9 t_plain)
+        (Engine.Table.cardinality enc)
+        (if Engine.Table.equal_bag plain enc then ", results match"
+         else ", MISMATCH"))
+    [ 3; 6; 12; 13; 14 ];
+  print_newline ()
+
+(* --- microbenchmarks -------------------------------------------------- *)
+
+let micro () =
+  let open Bechamel in
+  let plan3 = Tpch.Tpch_queries.query 3 in
+  let policy = Tpch.Scenarios.policy Tpch.Scenarios.UAPenc in
+  let config = Authz.Opreq.resolve_conflicts Authz.Opreq.default plan3 in
+  let keyring = Mpq_crypto.Keyring.create () in
+  let det = Mpq_crypto.Keyring.det_key keyring "k" in
+  let ope = Mpq_crypto.Keyring.ope_key keyring "k" in
+  let tests =
+    Test.make_grouped ~name:"mpq"
+      [ Test.make ~name:"profile:q3"
+          (Staged.stage (fun () -> ignore (Authz.Profile.of_plan plan3)));
+        Test.make ~name:"candidates:q3"
+          (Staged.stage (fun () ->
+               ignore
+                 (Authz.Candidates.compute ~policy
+                    ~subjects:Tpch.Scenarios.subjects ~config plan3)));
+        Test.make ~name:"optimize:q3-UAPenc"
+          (Staged.stage (fun () ->
+               ignore
+                 (Tpch.Scenarios.optimize ~sf ~scenario:Tpch.Scenarios.UAPenc
+                    (Tpch.Tpch_queries.query 3))));
+        Test.make ~name:"crypto:det-roundtrip"
+          (Staged.stage (fun () ->
+               ignore
+                 (Mpq_crypto.Det.decrypt det
+                    (Mpq_crypto.Det.encrypt det "hello world"))));
+        Test.make ~name:"crypto:ope-encrypt"
+          (Staged.stage (fun () -> ignore (Mpq_crypto.Ope.encrypt ope 123456)));
+        (let lam =
+           Authz.Candidates.compute ~policy ~subjects:Tpch.Scenarios.subjects
+             ~config plan3
+         in
+         let assignment =
+           Authz.Imap.map
+             (fun cands -> Authz.Subject.Set.min_elt cands)
+             lam
+         in
+         Test.make ~name:"extend:q3"
+           (Staged.stage (fun () ->
+                ignore
+                  (Authz.Extend.extend ~policy ~config ~assignment plan3))));
+        Test.make ~name:"joinorder:q5"
+          (Staged.stage (fun () ->
+               ignore
+                 (Planner.Join_order.reorder
+                    ~base:(Tpch.Tpch_schema.base_stats ~sf:1.0)
+                    (Tpch.Tpch_queries.query 5))))
+      ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let raw = Benchmark.all cfg [ instance ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols instance raw in
+  print_endline "=== Microbenchmarks (bechamel OLS, ns/run) ===";
+  let rows =
+    Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) results []
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  List.iter
+    (fun (name, ols) ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> Printf.printf "  %-28s %14.0f ns\n" name est
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    rows;
+  print_newline ()
+
+let () =
+  let mode = if Array.length Sys.argv > 1 then Sys.argv.(1) else "all" in
+  match mode with
+  | "fig9" ->
+      let rows = compute_rows () in
+      fig9 rows
+  | "fig10" ->
+      let rows = compute_rows () in
+      fig10 rows
+  | "summary" ->
+      let rows = compute_rows () in
+      summary rows
+  | "ablation" ->
+      ablation_udf ();
+      ablation_spread ();
+      ablation_assignment ();
+      ablation_latency ();
+      ablation_config ();
+      ablation_regulated ()
+  | "keys" -> keys_table ()
+  | "calibration" -> calibration ()
+  | "exec" -> exec_overhead ()
+  | "micro" -> micro ()
+  | "all" | _ ->
+      let rows = compute_rows () in
+      fig9 rows;
+      fig10 rows;
+      summary rows;
+      ablation_udf ();
+      ablation_spread ();
+      ablation_assignment ();
+      ablation_latency ();
+      ablation_config ();
+      ablation_regulated ();
+      keys_table ();
+      exec_overhead ();
+      calibration ();
+      micro ()

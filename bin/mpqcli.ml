@@ -1,0 +1,304 @@
+(* mpqcli — authorization-aware multi-provider query planning from the
+   command line.
+
+     mpqcli plan       -p policy.mpq -q "select ..."   plan + profiles + Λ
+     mpqcli optimize   -p policy.mpq -q "select ..."   full planning report
+     mpqcli tpch       -n 5 -s UAPenc                   TPC-H query report
+     mpqcli scenarios                                   Fig. 9/10 summary
+     mpqcli example                                     built-in policy file
+
+   The policy file format is documented in `mpqcli example` output. *)
+
+open Cmdliner
+open Relalg
+
+let load_policy path =
+  match path with
+  | Some p -> Authz.Policy_dsl.load p
+  | None -> Authz.Policy_dsl.parse Authz.Policy_dsl.example
+
+let parse_query ?(raw = false) env q =
+  let plan =
+    Mpq_sql.Sql_plan.parse_and_plan ~catalog:env.Authz.Policy_dsl.schemas q
+  in
+  if raw then plan
+  else
+    (* classical optimization first (Sec. 1's premise): normalize, then
+       order the joins by estimated cost *)
+    Planner.Join_order.reorder
+      ~base:(fun _ -> None)
+      (Planner.Rewrite.normalize plan)
+
+let policy_arg =
+  let doc = "Policy file (schemas, subjects, authorizations). Defaults to \
+             the paper's running example." in
+  Arg.(value & opt (some file) None & info [ "p"; "policy" ] ~doc)
+
+let query_arg =
+  let doc = "SQL query (select-from-where-group by-having subset)." in
+  Arg.(required & opt (some string) None & info [ "q"; "query" ] ~doc)
+
+(* --- plan ----------------------------------------------------------- *)
+
+let plan_cmd =
+  let explain_arg =
+    Arg.(value & opt (some string) None
+         & info [ "explain" ]
+             ~doc:"Explain why the named subject is (not) a candidate for \
+                   each operation.")
+  in
+  let run policy_path query explain_subject =
+    let env = load_policy policy_path in
+    let plan = parse_query env query in
+    let profiles = Authz.Profile.annotate plan in
+    print_endline "--- plan with profiles (Def. 3.1) ---";
+    print_string
+      (Plan_printer.to_ascii
+         ~annot:(fun n ->
+           Option.map Authz.Profile.to_string
+             (Hashtbl.find_opt profiles (Plan.id n)))
+         plan);
+    print_endline "\n--- subject views ---";
+    List.iter
+      (fun s ->
+        Format.printf "  %-4s %a@." (Authz.Subject.name s)
+          Authz.Authorization.pp_view
+          (Authz.Authorization.view env.Authz.Policy_dsl.policy s))
+      env.Authz.Policy_dsl.subjects;
+    print_endline "\n--- assignment candidates (Def. 5.3) ---";
+    let config = Authz.Opreq.resolve_conflicts Authz.Opreq.default plan in
+    let lam =
+      Authz.Candidates.compute ~policy:env.Authz.Policy_dsl.policy
+        ~subjects:env.Authz.Policy_dsl.subjects ~config plan
+    in
+    Plan.iter
+      (fun n ->
+        if not (Authz.Candidates.is_source_side n) then
+          Format.printf "  %-30s Λ = %a@."
+            (Plan_printer.node_label n)
+            Authz.Subject.pp_set
+            (Authz.Candidates.candidates_of lam n))
+      plan;
+    (match explain_subject with
+    | None -> ()
+    | Some name ->
+        Printf.printf "\n--- why is %s (not) a candidate? ---\n" name;
+        Plan.iter
+          (fun n ->
+            if not (Authz.Candidates.is_source_side n) then
+              List.iter
+                (fun (s, verdict) ->
+                  if Authz.Subject.name s = name then
+                    match verdict with
+                    | None ->
+                        Format.printf "  %-30s candidate@."
+                          (Plan_printer.node_label n)
+                    | Some v ->
+                        Format.printf "  %-30s excluded: %a@."
+                          (Plan_printer.node_label n)
+                          Authz.Authorized.pp_violation v)
+                (Authz.Candidates.explain ~policy:env.Authz.Policy_dsl.policy
+                   ~subjects:env.Authz.Policy_dsl.subjects ~config plan n))
+          plan);
+    0
+  in
+  let doc = "show a query plan, its profiles and candidate sets" in
+  Cmd.v (Cmd.info "plan" ~doc)
+    Term.(const run $ policy_arg $ query_arg $ explain_arg)
+
+(* --- optimize ------------------------------------------------------- *)
+
+let optimize_cmd =
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON planning report.")
+  in
+  let run policy_path query json =
+    let env = load_policy policy_path in
+    let plan = parse_query env query in
+    let user =
+      List.find_opt
+        (fun s -> s.Authz.Subject.role = Authz.Subject.User)
+        env.Authz.Policy_dsl.subjects
+    in
+    (match
+       Planner.Optimizer.plan ~policy:env.Authz.Policy_dsl.policy
+         ~subjects:env.Authz.Policy_dsl.subjects ?deliver_to:user plan
+     with
+    | r ->
+        if json then print_endline (Planner.Report.to_string r)
+        else print_string (Planner.Optimizer.report r)
+    | exception Planner.Optimizer.No_candidate msg ->
+        Printf.printf "query rejected: %s\n" msg
+    | exception Planner.Optimizer.User_not_authorized msg ->
+        Printf.printf "query rejected: %s\n" msg);
+    0
+  in
+  let doc = "authorization-aware planning: assignment, encryption, keys, \
+             dispatch, cost" in
+  Cmd.v (Cmd.info "optimize" ~doc)
+    Term.(const run $ policy_arg $ query_arg $ json_arg)
+
+(* --- tpch ----------------------------------------------------------- *)
+
+let tpch_cmd =
+  let number =
+    Arg.(value & opt int 5 & info [ "n"; "number" ] ~doc:"TPC-H query (1-22).")
+  in
+  let scenario =
+    Arg.(
+      value
+      & opt (enum [ ("UA", Tpch.Scenarios.UA); ("UAPenc", Tpch.Scenarios.UAPenc);
+                    ("UAPmix", Tpch.Scenarios.UAPmix) ])
+          Tpch.Scenarios.UAPenc
+      & info [ "s"; "scenario" ] ~doc:"Authorization scenario.")
+  in
+  let run n scenario =
+    let r = Tpch.Scenarios.optimize ~scenario (Tpch.Tpch_queries.query n) in
+    print_string (Planner.Optimizer.report r);
+    0
+  in
+  let doc = "plan a TPC-H query under an authorization scenario (Sec. 7)" in
+  Cmd.v (Cmd.info "tpch" ~doc) Term.(const run $ number $ scenario)
+
+(* --- scenarios ------------------------------------------------------ *)
+
+let scenarios_cmd =
+  let run () =
+    Printf.printf "%-4s %10s %10s %10s\n" "q" "UA" "UAPenc" "UAPmix";
+    let totals = Hashtbl.create 3 in
+    List.iter
+      (fun (q, _, build) ->
+        let cost sc =
+          Planner.Cost.total
+            (Tpch.Scenarios.optimize ~scenario:sc (build ())).Planner.Optimizer.cost
+        in
+        let ua = cost Tpch.Scenarios.UA in
+        let row =
+          List.map
+            (fun sc ->
+              let c = cost sc /. ua in
+              let prev = Option.value ~default:0.0 (Hashtbl.find_opt totals sc) in
+              Hashtbl.replace totals sc (prev +. c);
+              c)
+            Tpch.Scenarios.all
+        in
+        match row with
+        | [ a; b; c ] -> Printf.printf "%-4d %10.3f %10.3f %10.3f\n" q a b c
+        | _ -> ())
+      Tpch.Tpch_queries.all;
+    let total sc = Hashtbl.find totals sc in
+    Printf.printf "\nsavings vs UA: UAPenc %.1f%%  UAPmix %.1f%%\n"
+      (100. *. (1. -. (total Tpch.Scenarios.UAPenc /. total Tpch.Scenarios.UA)))
+      (100. *. (1. -. (total Tpch.Scenarios.UAPmix /. total Tpch.Scenarios.UA)));
+    0
+  in
+  let doc = "normalized cost of all 22 TPC-H queries under UA/UAPenc/UAPmix" in
+  Cmd.v (Cmd.info "scenarios" ~doc) Term.(const run $ const ())
+
+(* --- run -------------------------------------------------------------- *)
+
+let demo_tables env =
+  (* built-in rows for the running-example schemas, keyed by relation *)
+  let find name =
+    List.find_opt
+      (fun s -> s.Schema.name = name)
+      env.Authz.Policy_dsl.schemas
+  in
+  match (find "Hosp", find "Ins") with
+  | Some hosp, Some ins ->
+      let s x = Value.Str x and n x = Value.Int x in
+      let v = Value.date_of_string in
+      [ ( "Hosp",
+          Engine.Table.of_schema hosp
+            [ [| s "alice"; v "1980-01-01"; s "stroke"; s "tpa" |];
+              [| s "bob"; v "1975-05-12"; s "stroke"; s "surgery" |];
+              [| s "carol"; v "1990-09-30"; s "flu"; s "rest" |];
+              [| s "dave"; v "1968-03-22"; s "stroke"; s "tpa" |] ] );
+        ( "Ins",
+          Engine.Table.of_schema ins
+            [ [| s "alice"; n 120 |]; [| s "bob"; n 300 |];
+              [| s "carol"; n 80 |]; [| s "dave"; n 150 |] ] ) ]
+  | _ -> []
+
+let run_cmd =
+  let tables_arg =
+    let doc = "Load a base relation from CSV: $(i,REL)=$(i,FILE). Repeatable.                Without any, built-in demo rows for the example policy are                used." in
+    Arg.(value & opt_all (pair ~sep:'=' string file) []
+         & info [ "t"; "table" ] ~doc)
+  in
+  let trace_arg =
+    Arg.(value & flag & info [ "trace" ] ~doc:"Print the dispatch/release trace.")
+  in
+  let run policy_path query table_specs trace =
+    let env = load_policy policy_path in
+    let plan = parse_query env query in
+    let user =
+      match
+        List.find_opt
+          (fun s -> s.Authz.Subject.role = Authz.Subject.User)
+          env.Authz.Policy_dsl.subjects
+      with
+      | Some u -> u
+      | None -> failwith "the policy declares no user"
+    in
+    let tables =
+      if table_specs = [] then demo_tables env
+      else
+        List.map
+          (fun (rel, path) ->
+            match
+              List.find_opt
+                (fun s -> s.Schema.name = rel)
+                env.Authz.Policy_dsl.schemas
+            with
+            | Some schema -> (rel, Engine.Csv.load schema path)
+            | None -> failwith ("unknown relation " ^ rel))
+          table_specs
+    in
+    match
+      Planner.Optimizer.plan ~policy:env.Authz.Policy_dsl.policy
+        ~subjects:env.Authz.Policy_dsl.subjects ~deliver_to:user plan
+    with
+    | exception Planner.Optimizer.No_candidate msg ->
+        Printf.printf "query rejected: %s
+" msg;
+        1
+    | r ->
+        let outcome =
+          Distsim.Runtime.execute ~policy:env.Authz.Policy_dsl.policy
+            ~pki:(Distsim.Pki.create ())
+            ~keyring:(Mpq_crypto.Keyring.create ())
+            ~user ~tables ~extended:r.Planner.Optimizer.extended
+            ~clusters:r.Planner.Optimizer.clusters ()
+        in
+        if trace then begin
+          print_endline "--- trace ---";
+          List.iter
+            (fun e -> Format.printf "  %a@." Distsim.Runtime.pp_event e)
+            outcome.Distsim.Runtime.trace
+        end;
+        print_string (Engine.Csv.to_string outcome.Distsim.Runtime.result);
+        0
+  in
+  let doc = "execute a query end-to-end through the distributed simulator" in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(const run $ policy_arg $ query_arg $ tables_arg $ trace_arg)
+
+(* --- example -------------------------------------------------------- *)
+
+let example_cmd =
+  let run () =
+    print_string Authz.Policy_dsl.example;
+    0
+  in
+  let doc = "print the running example's policy file" in
+  Cmd.v (Cmd.info "example" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "authorization-aware planning for multi-provider queries" in
+  let info = Cmd.info "mpqcli" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [ plan_cmd; optimize_cmd; run_cmd; tpch_cmd; scenarios_cmd;
+            example_cmd ]))

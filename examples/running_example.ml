@@ -1,0 +1,82 @@
+(* The paper's running example, shared by the example programs: hospital
+   H with Hosp(S,B,D,T), insurer I with Ins(C,P), user U, providers
+   X/Y/Z, the query of Sec. 1 and the authorizations of Fig. 1(b). *)
+
+open Relalg
+open Authz
+
+let hosp =
+  Schema.make ~name:"Hosp" ~owner:"H"
+    [ ("S", Schema.Tstring); ("B", Schema.Tdate); ("D", Schema.Tstring);
+      ("T", Schema.Tstring) ]
+
+let ins =
+  Schema.make ~name:"Ins" ~owner:"I"
+    [ ("C", Schema.Tstring); ("P", Schema.Tint) ]
+
+let u = Subject.user "U"
+let h = Subject.authority "H"
+let i = Subject.authority "I"
+let x = Subject.provider "X"
+let y = Subject.provider "Y"
+let z = Subject.provider "Z"
+let subjects = [ u; h; i; x; y; z ]
+
+let policy =
+  Authorization.make ~schemas:[ hosp; ins ]
+    [ Authorization.rule ~rel:"Hosp" ~plain:[ "S"; "B"; "D"; "T" ] (To h);
+      Authorization.rule ~rel:"Ins" ~plain:[ "C" ] ~enc:[ "P" ] (To h);
+      Authorization.rule ~rel:"Hosp" ~plain:[ "B" ] ~enc:[ "S"; "D"; "T" ]
+        (To i);
+      Authorization.rule ~rel:"Ins" ~plain:[ "C"; "P" ] (To i);
+      Authorization.rule ~rel:"Hosp" ~plain:[ "S"; "D"; "T" ] (To u);
+      Authorization.rule ~rel:"Ins" ~plain:[ "C"; "P" ] (To u);
+      Authorization.rule ~rel:"Hosp" ~plain:[ "D"; "T" ] ~enc:[ "S" ] (To x);
+      Authorization.rule ~rel:"Ins" ~enc:[ "C"; "P" ] (To x);
+      Authorization.rule ~rel:"Hosp" ~plain:[ "B"; "D"; "T" ] ~enc:[ "S" ]
+        (To y);
+      Authorization.rule ~rel:"Ins" ~plain:[ "P" ] ~enc:[ "C" ] (To y);
+      Authorization.rule ~rel:"Hosp" ~plain:[ "S"; "T" ] ~enc:[ "D" ] (To z);
+      Authorization.rule ~rel:"Ins" ~plain:[ "C" ] ~enc:[ "P" ] (To z);
+      Authorization.rule ~rel:"Hosp" ~plain:[ "D"; "T" ] Any;
+      Authorization.rule ~rel:"Ins" ~enc:[ "P" ] Any ]
+
+(* select T, avg(P) from Hosp join Ins on S=C
+   where D='stroke' group by T having avg(P)>100 *)
+let build_plan () =
+  let a = Attr.make in
+  let proj = Plan.project (Attr.Set.of_names [ "S"; "D"; "T" ]) (Plan.base hosp) in
+  let sel =
+    Plan.select
+      (Predicate.conj
+         [ Predicate.Cmp_const (a "D", Predicate.Eq, Value.Str "stroke") ])
+      proj
+  in
+  let join =
+    Plan.join
+      (Predicate.conj [ Predicate.Cmp_attr (a "S", Predicate.Eq, a "C") ])
+      sel (Plan.base ins)
+  in
+  let grp =
+    Plan.group_by (Attr.Set.of_names [ "T" ])
+      [ Aggregate.make (Aggregate.Avg (a "P")) ]
+      join
+  in
+  Plan.select
+    (Predicate.conj [ Predicate.Cmp_const (a "P", Predicate.Gt, Value.Int 100) ])
+    grp
+
+let tables () =
+  let v = Value.date_of_string in
+  let s x = Value.Str x and n x = Value.Int x in
+  [ ( "Hosp",
+      Engine.Table.of_schema hosp
+        [ [| s "alice"; v "1980-01-01"; s "stroke"; s "tpa" |];
+          [| s "bob"; v "1975-05-12"; s "stroke"; s "surgery" |];
+          [| s "carol"; v "1990-09-30"; s "flu"; s "rest" |];
+          [| s "dave"; v "1968-03-22"; s "stroke"; s "tpa" |];
+          [| s "erin"; v "1985-07-04"; s "asthma"; s "inhaler" |] ] );
+    ( "Ins",
+      Engine.Table.of_schema ins
+        [ [| s "alice"; n 120 |]; [| s "bob"; n 300 |]; [| s "carol"; n 80 |];
+          [| s "dave"; n 150 |]; [| s "frank"; n 90 |] ] ) ]

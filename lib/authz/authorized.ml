@@ -1,0 +1,46 @@
+open Relalg
+
+type violation =
+  | Plaintext_violation of Attr.Set.t
+  | Encrypted_violation of Attr.Set.t
+  | Uniformity_violation of Attr.Set.t
+
+let check (view : Authorization.view) (p : Profile.t) =
+  let plain_needed = Attr.Set.union p.Profile.vp p.Profile.ip in
+  let plain_missing = Attr.Set.diff plain_needed view.Authorization.plain in
+  if not (Attr.Set.is_empty plain_missing) then
+    Error (Plaintext_violation plain_missing)
+  else
+    let enc_needed = Attr.Set.union p.Profile.ve p.Profile.ie in
+    let granted =
+      Attr.Set.union view.Authorization.plain view.Authorization.enc
+    in
+    let enc_missing = Attr.Set.diff enc_needed granted in
+    if not (Attr.Set.is_empty enc_missing) then
+      Error (Encrypted_violation enc_missing)
+    else
+      let bad_class =
+        List.find_opt
+          (fun cls ->
+            not
+              (Attr.Set.subset cls view.Authorization.plain
+              || Attr.Set.subset cls view.Authorization.enc))
+          (Partition.sets p.Profile.eq)
+      in
+      match bad_class with
+      | Some cls -> Error (Uniformity_violation cls)
+      | None -> Ok ()
+
+let is_authorized view p = Result.is_ok (check view p)
+
+let is_authorized_assignee view ~operands ~result =
+  List.for_all (is_authorized view) operands && is_authorized view result
+
+let pp_violation fmt = function
+  | Plaintext_violation s ->
+      Format.fprintf fmt "no plaintext visibility of %s" (Attr.Set.to_string s)
+  | Encrypted_violation s ->
+      Format.fprintf fmt "no visibility of %s" (Attr.Set.to_string s)
+  | Uniformity_violation s ->
+      Format.fprintf fmt "non-uniform visibility over %s"
+        (Attr.Set.to_string s)

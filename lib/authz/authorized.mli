@@ -1,0 +1,28 @@
+(** Authorization checks on relations and assignments (Defs. 4.1, 4.2). *)
+
+open Relalg
+
+(** Why a subject fails to be authorized for a relation. *)
+type violation =
+  | Plaintext_violation of Attr.Set.t
+      (** condition 1: plaintext (visible or implicit) attributes outside
+          the subject's [P] *)
+  | Encrypted_violation of Attr.Set.t
+      (** condition 2: encrypted attributes outside [P ∪ E] *)
+  | Uniformity_violation of Attr.Set.t
+      (** condition 3: an equivalence class neither fully in [P] nor
+          fully in [E] *)
+
+val check : Authorization.view -> Profile.t -> (unit, violation) result
+(** Def. 4.1: is a subject with the given overall view authorized for a
+    relation with the given profile? Returns the first violated
+    condition. *)
+
+val is_authorized : Authorization.view -> Profile.t -> bool
+
+val is_authorized_assignee :
+  Authorization.view -> operands:Profile.t list -> result:Profile.t -> bool
+(** Def. 4.2: authorized for every operand and for the produced
+    relation. *)
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -1,0 +1,83 @@
+open Relalg
+
+type t = Subject.Set.t Imap.t
+
+let rec is_source_side plan =
+  match Plan.node plan with
+  | Plan.Base _ -> true
+  | Plan.Project (_, c) | Plan.Encrypt (_, c) -> is_source_side c
+  | _ -> false
+
+let rec owner_of_source plan =
+  match Plan.node plan with
+  | Plan.Base s -> (
+      match s.Schema.storage with
+      | Schema.At_authority -> Subject.authority s.Schema.owner
+      | Schema.Outsourced { host; _ } -> Subject.provider host)
+  | Plan.Project (_, c) | Plan.Encrypt (_, c) -> owner_of_source c
+  | _ -> invalid_arg "Candidates.owner_of_source: not a source-side node"
+
+let compute ~policy ~subjects ~config plan =
+  let table = Minview.annotate_min ~config plan in
+  let views =
+    List.map (fun s -> (s, Authorization.view policy s)) subjects
+  in
+  let profile_of id =
+    match Hashtbl.find_opt table id with
+    | Some p -> p
+    | None -> invalid_arg "Candidates.compute: missing profile"
+  in
+  List.fold_left
+    (fun acc node ->
+      if is_source_side node then acc
+      else
+        let operands =
+          List.map (fun c -> profile_of (-Plan.id c)) (Plan.children node)
+        in
+        let result = profile_of (Plan.id node) in
+        let cands =
+          List.filter_map
+            (fun (s, view) ->
+              if Authorized.is_authorized_assignee view ~operands ~result
+              then Some s
+              else None)
+            views
+        in
+        Imap.add (Plan.id node) (Subject.Set.of_list cands) acc)
+    Imap.empty (Plan.nodes plan)
+
+let candidates_of t node =
+  match Imap.find_opt (Plan.id node) t with
+  | Some s -> s
+  | None -> Subject.Set.empty
+
+let explain ~policy ~subjects ~config plan node =
+  let table = Minview.annotate_min ~config plan in
+  let operands =
+    List.map (fun c -> Hashtbl.find table (-Plan.id c)) (Plan.children node)
+  in
+  let result = Hashtbl.find table (Plan.id node) in
+  List.map
+    (fun s ->
+      let view = Authorization.view policy s in
+      let verdict =
+        List.fold_left
+          (fun acc p ->
+            match acc with
+            | Some _ -> acc
+            | None -> (
+                match Authorized.check view p with
+                | Ok () -> None
+                | Error v -> Some v))
+          None (operands @ [ result ])
+      in
+      (s, verdict))
+    subjects
+
+let valid_assignment t assignment =
+  Imap.for_all
+    (fun id cands ->
+      match Imap.find_opt id assignment with
+      | Some s -> Subject.Set.mem s cands
+      | None -> false)
+    t

@@ -1,0 +1,48 @@
+(** Assignment candidates (Def. 5.3, Fig. 6).
+
+    A subject is a candidate for a node iff it is an authorized assignee
+    over the node's minimum required views — i.e. it could execute the
+    node if encryption were injected (Thm. 5.2 proves candidacy is both
+    sound and complete in that sense). Computed with a post-order visit
+    as in Sec. 6, step 1. *)
+
+open Relalg
+
+type t = Subject.Set.t Imap.t
+(** Node id → candidate set, for every assignable node. *)
+
+val is_source_side : Plan.t -> bool
+(** Leaves stay with their data authority: a node is source-side when it
+    is a base relation or a projection/encryption chain directly over
+    one (the paper draws pushed-down projections inside leaf boxes).
+    Source-side nodes get no candidate set. *)
+
+val owner_of_source : Plan.t -> Subject.t
+(** The authority owning the base relation under a source-side node. *)
+
+val compute :
+  policy:Authorization.t ->
+  subjects:Subject.t list ->
+  config:Opreq.config ->
+  Plan.t ->
+  t
+(** Candidate sets for every assignable (non-source-side) node. *)
+
+val candidates_of : t -> Plan.t -> Subject.Set.t
+(** Lookup; empty set when the node is not assignable. *)
+
+val explain :
+  policy:Authorization.t ->
+  subjects:Subject.t list ->
+  config:Opreq.config ->
+  Plan.t ->
+  Plan.t ->
+  (Subject.t * Authorized.violation option) list
+(** [explain ~policy ~subjects ~config plan node]: for each subject, why
+    it is not a candidate for [node] ([None] = it is one). The violation
+    reported is the first failing condition of Def. 4.1 against the
+    node's minimum-required-view operands or result. *)
+
+val valid_assignment : t -> Subject.t Imap.t -> bool
+(** Does the assignment pick every node's subject from its candidates
+    and cover all assignable nodes? *)

@@ -1,0 +1,159 @@
+open Relalg
+
+type request = {
+  name : string;
+  subject : Subject.t;
+  root_id : int;
+  expression : string;
+  key_clusters : string list;
+  calls : string list;
+}
+
+let executor_of (ext : Extend.t) n =
+  match Imap.find_opt (Plan.id n) ext.Extend.assignment with
+  | Some s -> s
+  | None -> invalid_arg "Dispatch: node without executor"
+
+(* A node roots a fragment when its executor differs from its parent's
+   (the plan root always does). *)
+let fragment_roots (ext : Extend.t) =
+  let roots = ref [ (Plan.id ext.Extend.plan, executor_of ext ext.Extend.plan) ] in
+  Plan.iter
+    (fun n ->
+      let s = executor_of ext n in
+      List.iter
+        (fun c ->
+          let cs = executor_of ext c in
+          if not (Subject.equal s cs) then
+            roots := (Plan.id c, cs) :: !roots)
+        (Plan.children n))
+    ext.Extend.plan;
+  List.rev !roots
+
+let requests (ext : Extend.t) clusters =
+  let roots = fragment_roots ext in
+  let is_root n = List.mem_assoc (Plan.id n) roots in
+  (* Disambiguate names when one subject owns several fragments. *)
+  let name_of =
+    let counts = Hashtbl.create 8 in
+    List.iter
+      (fun (_, s) ->
+        let k = Subject.name s in
+        Hashtbl.replace counts k (1 + Option.value ~default:0 (Hashtbl.find_opt counts k)))
+      roots;
+    let seen = Hashtbl.create 8 in
+    let table = Hashtbl.create 8 in
+    List.iter
+      (fun (id, s) ->
+        let k = Subject.name s in
+        let name =
+          if Hashtbl.find counts k = 1 then "req_" ^ k
+          else begin
+            let i = 1 + Option.value ~default:0 (Hashtbl.find_opt seen k) in
+            Hashtbl.replace seen k i;
+            Printf.sprintf "req_%s_%d" k i
+          end
+        in
+        Hashtbl.replace table id name)
+      roots;
+    fun id -> Hashtbl.find table id
+  in
+  (* Render a fragment: descend until hitting a foreign fragment root. *)
+  let rec render n ~top calls =
+    if (not top) && is_root n then begin
+      calls := name_of (Plan.id n) :: !calls;
+      Printf.sprintf "⟦%s⟧" (name_of (Plan.id n))
+    end
+    else
+      let sub c = render c ~top:false calls in
+      match Plan.node n with
+      | Plan.Base s -> s.Schema.name
+      | Plan.Project (a, c) ->
+          Printf.sprintf "π[%s](%s)" (Attr.Set.to_string a) (sub c)
+      | Plan.Select (p, c) ->
+          Printf.sprintf "σ[%s](%s)" (Predicate.to_string p) (sub c)
+      | Plan.Product (l, r) -> Printf.sprintf "(%s × %s)" (sub l) (sub r)
+      | Plan.Join (p, l, r) ->
+          Printf.sprintf "(%s ⋈[%s] %s)" (sub l) (Predicate.to_string p)
+            (sub r)
+      | Plan.Group_by (k, ag, c) ->
+          Printf.sprintf "γ[%s%s](%s)" (Attr.Set.to_string k)
+            (String.concat ""
+               (List.map (Format.asprintf ";%a" Aggregate.pp) ag))
+            (sub c)
+      | Plan.Udf (name, i, o, c) ->
+          Printf.sprintf "µ[%s:%s→%s](%s)" name (Attr.Set.to_string i)
+            (Attr.name o) (sub c)
+      | Plan.Order_by (keys, c) ->
+          Printf.sprintf "τ[%s](%s)"
+            (String.concat ","
+               (List.map
+                  (fun (a, d) ->
+                    Attr.name a
+                    ^ match d with Plan.Asc -> "" | Plan.Desc -> " desc")
+                  keys))
+            (sub c)
+      | Plan.Limit (n, c) -> Printf.sprintf "limit[%d](%s)" n (sub c)
+      | Plan.Encrypt (a, c) ->
+          Printf.sprintf "encrypt[%s](%s)" (Attr.Set.to_string a) (sub c)
+      | Plan.Decrypt (a, c) ->
+          Printf.sprintf "decrypt[%s](%s)" (Attr.Set.to_string a) (sub c)
+  in
+  (* Key clusters a fragment's executor needs: clusters held by the
+     subject whose enc/dec nodes lie inside this fragment. *)
+  let rec fragment_nodes n ~top acc =
+    if (not top) && is_root n then acc
+    else
+      List.fold_left
+        (fun acc c -> fragment_nodes c ~top:false acc)
+        (n :: acc) (Plan.children n)
+  in
+  let find_node id =
+    match Plan.find ext.Extend.plan id with
+    | Some n -> n
+    | None -> assert false
+  in
+  let mk (id, subject) =
+    let node = find_node id in
+    let calls = ref [] in
+    let expression = render node ~top:true calls in
+    let nodes = fragment_nodes node ~top:true [] in
+    let key_clusters =
+      List.filter_map
+        (fun (c : Plan_keys.cluster) ->
+          let touches n =
+            match Plan.node n with
+            | Plan.Encrypt (a, _) | Plan.Decrypt (a, _) ->
+                not (Attr.Set.is_empty (Attr.Set.inter a c.Plan_keys.attrs))
+            | _ -> false
+          in
+          if
+            Subject.Set.mem subject c.Plan_keys.holders
+            && List.exists touches nodes
+          then Some c.Plan_keys.id
+          else None)
+        clusters
+    in
+    { name = name_of id;
+      subject;
+      root_id = id;
+      expression;
+      key_clusters;
+      calls = List.rev !calls }
+  in
+  (* Dependency order: post-order of fragment roots. *)
+  let order =
+    List.filter_map
+      (fun n ->
+        if is_root n then Some (Plan.id n, List.assoc (Plan.id n) roots)
+        else None)
+      (Plan.nodes ext.Extend.plan)
+  in
+  List.map mk order
+
+let pp_request fmt r =
+  Format.fprintf fmt "%s @%s: %s%s" r.name (Subject.name r.subject)
+    r.expression
+    (match r.key_clusters with
+    | [] -> ""
+    | ks -> Printf.sprintf "  keys:{%s}" (String.concat "," ks))

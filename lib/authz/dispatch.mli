@@ -1,0 +1,29 @@
+(** Sub-query dispatch (Sec. 6, Fig. 8).
+
+    The extended plan is partitioned into maximal single-executor
+    fragments. Each fragment becomes a request carrying: the algebra
+    expression to evaluate (with [⟦req_...⟧] references to the fragments
+    it pulls data from), and the identifiers of the key clusters the
+    executor needs for its encryption/decryption operations. Sealing
+    requests into signed/encrypted envelopes is the transport's job
+    (see [distsim]). *)
+
+
+type request = {
+  name : string;  (** e.g. ["req_X"]; disambiguated when a subject
+                      executes several disconnected fragments *)
+  subject : Subject.t;
+  root_id : int;  (** extended-plan node id of the fragment's root *)
+  expression : string;  (** algebra text of the fragment *)
+  key_clusters : string list;  (** cluster ids whose keys to include *)
+  calls : string list;  (** names of the requests it pulls from *)
+}
+
+val requests : Extend.t -> Plan_keys.cluster list -> request list
+(** Fragments in dependency order (callees before callers); the last
+    request is the top fragment, to be invoked by the user. *)
+
+val fragment_roots : Extend.t -> (int * Subject.t) list
+(** Roots of the single-executor fragments with their executors. *)
+
+val pp_request : Format.formatter -> request -> unit

@@ -1,0 +1,2 @@
+(** Maps keyed by plan-node ids. *)
+include Map.Make (Int)

@@ -1,0 +1,29 @@
+open Relalg
+
+let of_profile ~ap (p : Profile.t) =
+  let to_encrypt = Attr.Set.diff p.Profile.vp ap in
+  let after_enc = Profile.encrypt to_encrypt p in
+  let to_decrypt = Attr.Set.inter ap after_enc.Profile.ve in
+  Profile.decrypt to_decrypt after_enc
+
+let annotate_min ~config plan =
+  let table = Hashtbl.create 32 in
+  let rec go node =
+    let children = Plan.children node in
+    let child_profiles = List.map go children in
+    let ap = Opreq.plaintext_attrs config node in
+    let operand_views =
+      List.map2
+        (fun child p ->
+          let visible_ap = Attr.Set.inter ap (Profile.visible p) in
+          let v = of_profile ~ap:visible_ap p in
+          Hashtbl.replace table (-Plan.id child) v;
+          v)
+        children child_profiles
+    in
+    let result = Profile.of_node (Plan.node node) operand_views in
+    Hashtbl.replace table (Plan.id node) result;
+    result
+  in
+  ignore (go plan);
+  table

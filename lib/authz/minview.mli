@@ -1,0 +1,20 @@
+(** Minimum required views (Def. 5.2).
+
+    The minimum required view over an operand for the execution of an
+    operation is the operand with every visible attribute encrypted,
+    except those the operation must read in plaintext ([Ap]):
+    [decrypt(Ap, encrypt(R_vp \ Ap, R))]. Candidates are exactly the
+    subjects authorized for these views (Def. 5.3, Thm. 5.2). *)
+
+open Relalg
+
+val of_profile : ap:Attr.Set.t -> Profile.t -> Profile.t
+(** Profile of the minimum required view over an operand with the given
+    profile. Plaintext attributes outside [ap] get encrypted; encrypted
+    attributes inside [ap] get decrypted. *)
+
+val annotate_min : config:Opreq.config -> Plan.t -> (int, Profile.t) Hashtbl.t
+(** Node id → profile of the node's output {e assuming every operand is
+    its minimum required view} (the profiles shown attached to nodes in
+    Fig. 6). The table also contains, under the negated id [-(child id)],
+    the min-view profile of each operand (the dotted boxes of Fig. 6). *)

@@ -1,0 +1,58 @@
+(** Operation requirements: which attributes an operator needs in
+    plaintext (the per-node set [Ap] of Sec. 5).
+
+    "For operations that are not supported by cryptographic techniques
+    (not existing or not available to the application), we assume the
+    optimizer to specify the need for maintaining data in plaintext."
+    The configuration says which computation classes the deployment can
+    run over ciphertext (equality via deterministic encryption, order via
+    OPE, addition via Paillier); whatever falls outside lands in [Ap].
+    [forced_plaintext] carries per-node overrides — both user-specified
+    ones and those added by scheme-conflict resolution. *)
+
+open Relalg
+
+type config = {
+  equality_over_cipher : bool;
+  order_over_cipher : bool;
+  addition_over_cipher : bool;
+  enc_capable_udfs : string list;
+      (** udf names evaluable over encrypted inputs *)
+  forced_plaintext : Attr.Set.t Imap.t;  (** extra [Ap] per node id *)
+}
+
+val default : config
+(** Everything the paper's tool supports: equality (det), order (OPE),
+    addition (Paillier); udfs need plaintext. *)
+
+val strict : config
+(** No computation over ciphertext at all (every operator needs its
+    operands in plaintext) — useful as a baseline. *)
+
+val force_plaintext : config -> int -> Attr.Set.t -> config
+(** Add a per-node plaintext requirement. *)
+
+val plaintext_attrs : config -> Plan.t -> Attr.Set.t
+(** [Ap] for the given node: attributes of its operands it must read in
+    plaintext. Empty for leaves, projections, products, crypto ops. *)
+
+val capability_demands : Plan.t -> (Attr.t * Mpq_crypto.Scheme.capability) list
+(** Computation classes each attribute is subjected to at this node
+    (independent of the config): used for scheme selection and conflict
+    resolution. *)
+
+val resolve_conflicts : config -> Plan.t -> config
+(** Iteratively extend [forced_plaintext] until, for every attribute, the
+    set of capabilities demanded at nodes where it would be processed
+    encrypted is satisfiable by a single scheme (a ciphertext cannot be
+    simultaneously, say, additively homomorphic and order-preserving).
+    On conflict the node closest to the root loses and gets the
+    attribute in plaintext — late decryption never poisons profiles below
+    it, while early plaintext would leave an implicit plaintext trace on
+    everything above (Sec. 5's max-visibility pitfall). *)
+
+val scheme_of_attr :
+  config -> Plan.t -> Attr.t -> Mpq_crypto.Scheme.t
+(** The paper's rule (Sec. 6): strongest scheme supporting every
+    operation executed over the attribute's ciphertext ([Rnd] when no
+    such operation exists). Call after {!resolve_conflicts}. *)

@@ -1,0 +1,50 @@
+open Relalg
+
+(* Classes are kept disjoint, each with >= 2 members, sorted canonically
+   for deterministic printing/equality. Plans touch tens of attributes, so
+   a list of sets beats a union-find in clarity at no real cost. *)
+type t = Attr.Set.t list
+
+let empty = []
+let is_empty t = t = []
+
+let canonical sets =
+  List.sort
+    (fun a b -> Attr.Set.compare a b)
+    (List.filter (fun s -> Attr.Set.cardinal s >= 2) sets)
+
+let union_set t a =
+  if Attr.Set.cardinal a < 2 then t
+  else
+    let intersecting, rest =
+      List.partition (fun s -> not (Attr.Set.is_empty (Attr.Set.inter s a))) t
+    in
+    let merged = List.fold_left Attr.Set.union a intersecting in
+    canonical (merged :: rest)
+
+let union_pair t a b = union_set t (Attr.Set.of_list [ a; b ])
+let merge t u = List.fold_left union_set t u
+let sets t = t
+
+let find t a =
+  match List.find_opt (fun s -> Attr.Set.mem a s) t with
+  | Some s -> s
+  | None -> Attr.Set.singleton a
+
+let same_class t a b = Attr.Set.mem b (find t a)
+let attrs t = List.fold_left Attr.Set.union Attr.Set.empty t
+
+let equal t u =
+  List.length t = List.length u && List.for_all2 Attr.Set.equal t u
+
+let refines t u =
+  List.for_all
+    (fun s ->
+      List.exists (fun s' -> Attr.Set.subset s s') u
+      || Attr.Set.cardinal s <= 1)
+    t
+
+let to_string t =
+  String.concat " " (List.map Attr.Set.to_string t)
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,46 @@
+(** Disjoint sets of equivalent attributes (the [R≃] profile component).
+
+    Def. 3.1 represents the closure of the equivalence relation induced
+    by comparisons in a relation's computation as a family of disjoint
+    attribute sets. [union_set p A] implements the paper's [R≃ ∪ A]
+    notation: insert [A], merging every existing set intersecting it. *)
+
+open Relalg
+
+type t
+
+val empty : t
+
+val is_empty : t -> bool
+
+val union_set : t -> Attr.Set.t -> t
+(** [union_set p a] adds the equivalence class [a], merging intersecting
+    classes. Singleton or empty [a] leaves [p] unchanged (an attribute is
+    trivially equivalent to itself). *)
+
+val union_pair : t -> Attr.t -> Attr.t -> t
+
+val merge : t -> t -> t
+(** [merge p q] is the paper's [R≃_l ∪ R≃_r]: insert all classes of [q]
+    into [p]. *)
+
+val sets : t -> Attr.Set.t list
+(** The equivalence classes, each with at least two members, in a
+    canonical order. *)
+
+val find : t -> Attr.t -> Attr.Set.t
+(** The class of an attribute; a singleton when unconstrained. *)
+
+val same_class : t -> Attr.t -> Attr.t -> bool
+
+val attrs : t -> Attr.Set.t
+(** Union of all classes. *)
+
+val equal : t -> t -> bool
+
+val refines : t -> t -> bool
+(** [refines p q]: every class of [p] is contained in some class of [q]
+    (Thm. 3.1(ii): classes only grow going up the plan). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

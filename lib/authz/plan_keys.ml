@@ -1,0 +1,124 @@
+open Relalg
+module Scheme = Mpq_crypto.Scheme
+
+type cluster = {
+  id : string;
+  attrs : Attr.Set.t;
+  scheme : Scheme.t;
+  holders : Subject.Set.t;
+}
+
+let crypto_attrs plan =
+  Plan.fold
+    (fun acc n ->
+      match Plan.node n with
+      | Plan.Encrypt (attrs, _) | Plan.Decrypt (attrs, _) ->
+          Attr.Set.union acc attrs
+      | Plan.Base s ->
+          (* outsourced relations are encrypted at rest: their keys are
+             part of the query's key establishment too *)
+          Attr.Set.union acc (Schema.stored_encrypted s)
+      | _ -> acc)
+    Attr.Set.empty plan
+
+(* Capability demands evaluated on the extended plan: an operator demands
+   a capability over an attribute only when the attribute is visible
+   encrypted in its operand there. *)
+let actual_demands (ext : Extend.t) =
+  let profile_of n = Hashtbl.find ext.Extend.profiles (Plan.id n) in
+  List.concat_map
+    (fun n ->
+      let operand_ve =
+        List.fold_left
+          (fun acc c -> Attr.Set.union acc (profile_of c).Profile.ve)
+          Attr.Set.empty (Plan.children n)
+      in
+      List.filter_map
+        (fun (a, cap) ->
+          if Attr.Set.mem a operand_ve then Some (a, cap) else None)
+        (Opreq.capability_demands n))
+    (Plan.nodes ext.Extend.plan)
+
+let actual_schemes ~original (ext : Extend.t) =
+  let root_eq = (Profile.of_plan_logical original).Profile.eq in
+  let demands = actual_demands ext in
+  fun a ->
+    let cls = Partition.find root_eq a in
+    let caps =
+      List.filter_map
+        (fun (b, cap) -> if Attr.Set.mem b cls then Some cap else None)
+        demands
+      |> List.sort_uniq Stdlib.compare
+    in
+    match Scheme.strongest_supporting caps with
+    | Some s -> s
+    | None ->
+        (* cannot happen after Opreq.resolve_conflicts: conservative
+           demands are a superset of actual ones *)
+        invalid_arg
+          (Printf.sprintf "Plan_keys.actual_schemes %s: capability conflict"
+             (Attr.name a))
+
+let compute ~config ~original (ext : Extend.t) =
+  ignore config;
+  let ak = crypto_attrs ext.Extend.plan in
+  let root_eq =
+    (Hashtbl.find ext.Extend.profiles (Plan.id ext.Extend.plan)).Profile.eq
+  in
+  (* Def. 6.1: cluster Ak by the root's equivalence sets; leftovers are
+     singletons. *)
+  let from_classes =
+    List.filter_map
+      (fun cls ->
+        let inter = Attr.Set.inter ak cls in
+        if Attr.Set.is_empty inter then None else Some inter)
+      (Partition.sets root_eq)
+  in
+  let clustered =
+    List.fold_left Attr.Set.union Attr.Set.empty from_classes
+  in
+  let singletons =
+    Attr.Set.fold
+      (fun a acc -> Attr.Set.singleton a :: acc)
+      (Attr.Set.diff ak clustered) []
+  in
+  let holders_of attrs =
+    Plan.fold
+      (fun acc n ->
+        match Plan.node n with
+        | Plan.Encrypt (s, _) | Plan.Decrypt (s, _)
+          when not (Attr.Set.is_empty (Attr.Set.inter s attrs)) -> (
+            match Imap.find_opt (Plan.id n) ext.Extend.assignment with
+            | Some subject -> Subject.Set.add subject acc
+            | None -> acc)
+        | Plan.Base sch
+          when not
+                 (Attr.Set.is_empty
+                    (Attr.Set.inter (Schema.stored_encrypted sch) attrs)) ->
+            (* the authority provisioned the at-rest encryption *)
+            Subject.Set.add (Subject.authority sch.Schema.owner) acc
+        | _ -> acc)
+      Subject.Set.empty ext.Extend.plan
+  in
+  let scheme_of = actual_schemes ~original ext in
+  List.map
+    (fun attrs ->
+      (* all attrs of a cluster share capability demands (they are
+         compared together), so any representative works *)
+      { id = Attr.Set.to_string attrs;
+        attrs;
+        scheme = scheme_of (Attr.Set.min_elt attrs);
+        holders = holders_of attrs })
+    (from_classes @ List.rev singletons)
+  |> List.sort (fun a b -> String.compare a.id b.id)
+
+let cluster_of_attr clusters a =
+  List.find_opt (fun c -> Attr.Set.mem a c.attrs) clusters
+
+let keys_for clusters s =
+  List.filter (fun c -> Subject.Set.mem s c.holders) clusters
+
+let pp_cluster fmt c =
+  Format.fprintf fmt "k%s (%a) -> {%s}" c.id Scheme.pp c.scheme
+    (String.concat ","
+       (List.map Subject.name (Subject.Set.elements c.holders)))

@@ -1,0 +1,215 @@
+open Relalg
+
+type t = {
+  vp : Attr.Set.t;
+  ve : Attr.Set.t;
+  ip : Attr.Set.t;
+  ie : Attr.Set.t;
+  eq : Partition.t;
+}
+
+exception Not_executable of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Not_executable s)) fmt
+
+let of_base s =
+  (* outsourced relations arrive with their at-rest-encrypted columns
+     visible encrypted (Sec. 9 extension); authority-stored relations are
+     fully plaintext *)
+  let enc = Schema.stored_encrypted s in
+  { vp = Attr.Set.diff (Schema.attrs s) enc;
+    ve = enc;
+    ip = Attr.Set.empty;
+    ie = Attr.Set.empty;
+    eq = Partition.empty }
+
+let make ?(vp = []) ?(ve = []) ?(ip = []) ?(ie = []) ?(eq = []) () =
+  { vp = Attr.Set.of_names vp;
+    ve = Attr.Set.of_names ve;
+    ip = Attr.Set.of_names ip;
+    ie = Attr.Set.of_names ie;
+    eq =
+      List.fold_left
+        (fun p names -> Partition.union_set p (Attr.Set.of_names names))
+        Partition.empty eq }
+
+let visible t = Attr.Set.union t.vp t.ve
+let all_attrs t =
+  List.fold_left Attr.Set.union
+    (Attr.Set.union (Attr.Set.union t.vp t.ve) (Attr.Set.union t.ip t.ie))
+    (Partition.sets t.eq)
+
+let check_visible ~op t a =
+  if not (Attr.Set.mem a (visible t)) then
+    fail "%s: attribute %s is not visible in the operand" op (Attr.name a)
+
+(* Uniform visibility precondition for evaluating 'a_i op a_j': both
+   plaintext or both encrypted (Sec. 3.2). *)
+let check_uniform ~op t a b =
+  check_visible ~op t a;
+  check_visible ~op t b;
+  let both_plain = Attr.Set.mem a t.vp && Attr.Set.mem b t.vp in
+  let both_enc = Attr.Set.mem a t.ve && Attr.Set.mem b t.ve in
+  if not (both_plain || both_enc) then
+    fail "%s: %s and %s are not uniformly visible (plaintext vs encrypted)"
+      op (Attr.name a) (Attr.name b)
+
+let project attrs t =
+  { t with vp = Attr.Set.inter t.vp attrs; ve = Attr.Set.inter t.ve attrs }
+
+(* One atom's contribution to a profile (used by both select and join). *)
+let apply_atom ~op t atom =
+  match atom with
+  | Predicate.Cmp_const (a, _, _) | Predicate.In_list (a, _)
+  | Predicate.Like (a, _) ->
+      check_visible ~op t a;
+      { t with
+        ip = Attr.Set.union t.ip (Attr.Set.inter t.vp (Attr.Set.singleton a));
+        ie = Attr.Set.union t.ie (Attr.Set.inter t.ve (Attr.Set.singleton a))
+      }
+  | Predicate.Cmp_attr (a, _, b) ->
+      check_uniform ~op t a b;
+      { t with eq = Partition.union_pair t.eq a b }
+
+let select pred t =
+  List.fold_left (apply_atom ~op:"select") t (Predicate.atoms pred)
+
+let product l r =
+  { vp = Attr.Set.union l.vp r.vp;
+    ve = Attr.Set.union l.ve r.ve;
+    ip = Attr.Set.union l.ip r.ip;
+    ie = Attr.Set.union l.ie r.ie;
+    eq = Partition.merge l.eq r.eq }
+
+let join pred l r =
+  List.fold_left (apply_atom ~op:"join") (product l r) (Predicate.atoms pred)
+
+let group_by keys aggs t =
+  let operands =
+    List.fold_left
+      (fun acc (agg : Aggregate.t) ->
+        match Aggregate.operand agg with
+        | Some a ->
+            check_visible ~op:"group_by" t a;
+            Attr.Set.add a acc
+        | None -> acc)
+      Attr.Set.empty aggs
+  in
+  Attr.Set.iter (fun a -> check_visible ~op:"group_by" t a) keys;
+  let kept = Attr.Set.union keys operands in
+  { vp = Attr.Set.inter t.vp kept;
+    ve = Attr.Set.inter t.ve kept;
+    ip = Attr.Set.union t.ip (Attr.Set.inter t.vp keys);
+    ie = Attr.Set.union t.ie (Attr.Set.inter t.ve keys);
+    eq = t.eq }
+
+let udf inputs output t =
+  Attr.Set.iter (fun a -> check_visible ~op:"udf" t a) inputs;
+  let all_plain = Attr.Set.subset inputs t.vp in
+  let all_enc = Attr.Set.subset inputs t.ve in
+  if not (all_plain || all_enc) then
+    fail "udf: inputs %s not uniformly visible" (Attr.Set.to_string inputs);
+  let dropped = Attr.Set.remove output inputs in
+  { t with
+    vp = Attr.Set.diff t.vp dropped;
+    ve = Attr.Set.diff t.ve dropped;
+    eq = Partition.union_set t.eq inputs }
+
+(* Ordering by A leaks value relations on A: treated like grouping
+   (keys go implicit, in the form they are visible). Our extension of
+   Fig. 2 for the Sort nodes of PostgreSQL plans. *)
+let order_by keys t =
+  let key_set = Attr.Set.of_list (List.map fst keys) in
+  Attr.Set.iter (fun a -> check_visible ~op:"order_by" t a) key_set;
+  { t with
+    ip = Attr.Set.union t.ip (Attr.Set.inter t.vp key_set);
+    ie = Attr.Set.union t.ie (Attr.Set.inter t.ve key_set) }
+
+let encrypt attrs t =
+  if not (Attr.Set.subset attrs t.vp) then
+    fail "encrypt: attributes %s are not visible plaintext"
+      (Attr.Set.to_string (Attr.Set.diff attrs t.vp));
+  { t with vp = Attr.Set.diff t.vp attrs; ve = Attr.Set.union t.ve attrs }
+
+let decrypt attrs t =
+  if not (Attr.Set.subset attrs t.ve) then
+    fail "decrypt: attributes %s are not visible encrypted"
+      (Attr.Set.to_string (Attr.Set.diff attrs t.ve));
+  { t with ve = Attr.Set.diff t.ve attrs; vp = Attr.Set.union t.vp attrs }
+
+let of_node node children =
+  match (node, children) with
+  | Plan.Base s, [] -> of_base s
+  | Plan.Project (attrs, _), [ c ] -> project attrs c
+  | Plan.Select (pred, _), [ c ] -> select pred c
+  | Plan.Product _, [ l; r ] -> product l r
+  | Plan.Join (pred, _, _), [ l; r ] -> join pred l r
+  | Plan.Group_by (keys, aggs, _), [ c ] -> group_by keys aggs c
+  | Plan.Udf (_, inputs, output, _), [ c ] -> udf inputs output c
+  | Plan.Order_by (keys, _), [ c ] -> order_by keys c
+  | Plan.Limit (_, _), [ c ] -> c
+  | Plan.Encrypt (attrs, _), [ c ] -> encrypt attrs c
+  | Plan.Decrypt (attrs, _), [ c ] -> decrypt attrs c
+  | _ -> invalid_arg "Profile.of_node: operator/children arity mismatch"
+
+let rec of_plan plan =
+  Plan.node plan
+  |> fun node -> of_node node (List.map of_plan (Plan.children plan))
+
+(* Logical (visibility-blind) analysis: every base relation is treated as
+   plaintext regardless of its storage, so the structural content of the
+   profile — implicit attributes, equivalence classes — is computable for
+   plans whose physical visibility would not be executable as-is (e.g. a
+   join of an outsourced, at-rest-encrypted column with a plaintext
+   one before the optimizer has balanced the pair). *)
+let of_node_logical node children =
+  match node with
+  | Plan.Base s ->
+      { vp = Schema.attrs s;
+        ve = Attr.Set.empty;
+        ip = Attr.Set.empty;
+        ie = Attr.Set.empty;
+        eq = Partition.empty }
+  | _ -> of_node node children
+
+let rec of_plan_logical plan =
+  of_node_logical (Plan.node plan)
+    (List.map of_plan_logical (Plan.children plan))
+
+let annotate_with of_node_fn plan =
+  let table = Hashtbl.create 32 in
+  let rec go plan =
+    let children = List.map go (Plan.children plan) in
+    let profile = of_node_fn (Plan.node plan) children in
+    Hashtbl.replace table (Plan.id plan) profile;
+    profile
+  in
+  ignore (go plan);
+  table
+
+let annotate plan = annotate_with of_node plan
+let annotate_logical plan = annotate_with of_node_logical plan
+
+let equal a b =
+  Attr.Set.equal a.vp b.vp && Attr.Set.equal a.ve b.ve
+  && Attr.Set.equal a.ip b.ip && Attr.Set.equal a.ie b.ie
+  && Partition.equal a.eq b.eq
+
+let to_string t =
+  let part label plain enc =
+    if Attr.Set.is_empty plain && Attr.Set.is_empty enc then None
+    else
+      Some
+        (Printf.sprintf "%s:%s%s" label
+           (Attr.Set.to_string plain)
+           (if Attr.Set.is_empty enc then ""
+            else Printf.sprintf "[%s]" (Attr.Set.to_string enc)))
+  in
+  let eq =
+    if Partition.is_empty t.eq then None
+    else Some (Printf.sprintf "≃:%s" (Partition.to_string t.eq))
+  in
+  String.concat " "
+    (List.filter_map Fun.id [ part "v" t.vp t.ve; part "i" t.ip t.ie; eq ])
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

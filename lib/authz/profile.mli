@@ -1,0 +1,91 @@
+(** Relation profiles (Def. 3.1) and their propagation rules (Fig. 2).
+
+    The profile of a relation captures its informative content: visible
+    attributes (in the schema) and implicit attributes (leaked by
+    selections/groupings), each in plaintext or encrypted form, plus the
+    closure of the equivalence relation induced by attribute comparisons.
+
+    Profiles only track attributes of the base relations (the vocabulary
+    of authorizations). The output of count-star — pure cardinality
+    metadata with no operand attribute — is not tracked; aggregate and
+    udf outputs keep an operand's name (paper's renaming convention) and
+    are tracked under it. *)
+
+open Relalg
+
+type t = {
+  vp : Attr.Set.t;  (** visible plaintext *)
+  ve : Attr.Set.t;  (** visible encrypted *)
+  ip : Attr.Set.t;  (** implicit plaintext *)
+  ie : Attr.Set.t;  (** implicit encrypted *)
+  eq : Partition.t;  (** equivalence classes (R≃) *)
+}
+
+exception Not_executable of string
+(** Raised when an operator's precondition on its operand profiles fails:
+    comparing attributes with non-uniform visibility, operating on a
+    non-visible attribute, encrypting a non-plaintext attribute, etc. *)
+
+val of_base : Schema.t -> t
+(** All attributes visible plaintext, everything else empty (base
+    relations carry no implicit content). *)
+
+val make :
+  ?vp:string list ->
+  ?ve:string list ->
+  ?ip:string list ->
+  ?ie:string list ->
+  ?eq:string list list ->
+  unit ->
+  t
+(** Test/demo helper building a profile from attribute-name lists. *)
+
+(** {1 Fig. 2 rules} — one function per operator, mapping operand
+    profile(s) to the result profile. *)
+
+val project : Attr.Set.t -> t -> t
+val select : Predicate.t -> t -> t
+val product : t -> t -> t
+val join : Predicate.t -> t -> t -> t
+val group_by : Attr.Set.t -> Aggregate.t list -> t -> t
+val udf : Attr.Set.t -> Attr.t -> t -> t
+
+(** Our Fig. 2 extension for PostgreSQL Sort nodes: the sort keys leak
+    value relations and join the implicit attributes, in the form they
+    are visible; [Limit] nodes are profile-neutral. *)
+val order_by : (Attr.t * Plan.sort_dir) list -> t -> t
+val encrypt : Attr.Set.t -> t -> t
+val decrypt : Attr.Set.t -> t -> t
+
+val of_node : Plan.node -> t list -> t
+(** Dispatch on the operator, children profiles given in order. *)
+
+val of_plan : Plan.t -> t
+(** Profile of the plan's root relation. *)
+
+val of_plan_logical : Plan.t -> t
+(** Like {!of_plan}, but treating every base relation as plaintext
+    regardless of storage — the visibility-blind structural analysis
+    (implicit attributes, equivalence classes) used by scheme selection
+    and key derivation, computable even when the raw plan's physical
+    visibility is not yet executable. *)
+
+val annotate : Plan.t -> (int, t) Hashtbl.t
+(** Profiles of every node's output relation, keyed by node id. *)
+
+val annotate_logical : Plan.t -> (int, t) Hashtbl.t
+
+(** {1 Observation} *)
+
+val visible : t -> Attr.Set.t
+(** [vp ∪ ve]. *)
+
+val all_attrs : t -> Attr.Set.t
+(** Attributes appearing anywhere in the profile, including equivalence
+    classes (Thm. 3.1's carrier set). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+(** Paper-style rendering: [v: SDT [CP] i: D ≃: SC] with encrypted
+    attributes bracketed. *)

@@ -1,0 +1,26 @@
+(** Subjects: users, data authorities, and cloud providers (Sec. 2).
+
+    The paper expects users to hold plaintext-only authorizations (they
+    must read query answers), data authorities to hold plaintext
+    authorizations on their own relations, and providers to typically
+    hold encrypted visibility. Roles carry no semantics in the model
+    itself but drive the cost model (Sec. 7: user = 10x, authority = 3x a
+    provider's CPU price). *)
+
+type role = User | Authority | Provider
+
+type t = { role : role; name : string }
+
+val user : string -> t
+val authority : string -> t
+val provider : string -> t
+
+val name : t -> string
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+module Set : Stdlib.Set.S with type elt = t
+module Map : Stdlib.Map.S with type key = t
+
+val pp_set : Format.formatter -> Set.t -> unit

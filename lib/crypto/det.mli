@@ -1,0 +1,18 @@
+(** Deterministic authenticated encryption (SIV construction).
+
+    The synthetic IV is a PRF of the plaintext, so equal plaintexts under
+    the same key yield equal ciphertexts — exactly the property the paper
+    exploits to evaluate equality conditions and equi-joins over encrypted
+    values (Sec. 5). Decryption verifies the IV, detecting tampering. *)
+
+type key
+
+val key_of_string : string -> key
+(** 16-byte master key; sub-keys for MAC and CTR are derived internally. *)
+
+val encrypt : key -> string -> string
+(** [encrypt k plaintext] is [iv (8 bytes) || ctr-encrypted plaintext]. *)
+
+val decrypt : key -> string -> string
+(** Inverse of {!encrypt}. Raises [Invalid_argument] on truncated input
+    and [Failure] on authentication failure. *)

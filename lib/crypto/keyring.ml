@@ -1,0 +1,34 @@
+type t = {
+  prf : Prf.t;
+  rng : Prng.t;
+  paillier_rng : Prng.t;
+  mutable paillier_pair : (Paillier.public * Paillier.secret) option;
+}
+
+let create ?(seed = 0x5EED_CAFE_F00DL) () =
+  let root = Prng.create seed in
+  let master = Prng.bytes root 16 in
+  { prf = Prf.create master;
+    rng = Prng.split root;
+    paillier_rng = Prng.split root;
+    paillier_pair = None }
+
+let cluster_secret t key_id = Prf.expand t.prf ("cluster:" ^ key_id) 16
+
+let det_key_of_secret = Det.key_of_string
+let rnd_key_of_secret = Rnd.key_of_string
+let ope_key_of_secret = Ope.key_of_string
+
+let det_key t key_id = det_key_of_secret (cluster_secret t key_id)
+let rnd_key t key_id = rnd_key_of_secret (cluster_secret t key_id)
+let ope_key t key_id = ope_key_of_secret (cluster_secret t key_id)
+
+let paillier t =
+  match t.paillier_pair with
+  | Some pair -> pair
+  | None ->
+      let pair = Paillier.keygen t.paillier_rng in
+      t.paillier_pair <- Some pair;
+      pair
+
+let rng t = t.rng

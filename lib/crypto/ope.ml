@@ -1,0 +1,72 @@
+type key = Prf.t
+
+let plain_bits = 40
+let cipher_bits = 55
+let plain_size = 1 lsl plain_bits (* 2^40 *)
+let cipher_size = 1 lsl cipher_bits
+let offset = plain_size / 2 (* signed -> unsigned shift *)
+
+let key_of_string master =
+  if String.length master <> 16 then
+    invalid_arg "Ope.key_of_string: need 16 bytes";
+  Prf.create (Prf.create master |> fun p -> Prf.expand p "ope" 16)
+
+(* Recursive binary partition. Plain range [plo, phi] (inclusive) maps into
+   cipher range [clo, chi]; invariant: chi - clo >= phi - plo. The pivot
+   splits the plain range in half; the cipher split point is PRF-derived
+   within the slack so that both halves keep enough room. *)
+let rec enc_range key plo phi clo chi x =
+  if plo = phi then
+    (* Whole cipher slice belongs to this plaintext: pick a deterministic
+       point inside it. *)
+    clo + Prf.int_below key (Printf.sprintf "leaf:%d" plo) (chi - clo + 1)
+  else
+    let pm = plo + ((phi - plo) / 2) in
+    let nl = pm - plo + 1 and nr = phi - pm in
+    let slack = chi - clo + 1 - (nl + nr) in
+    let sl =
+      Prf.int_below key (Printf.sprintf "node:%d:%d:%d:%d" plo phi clo chi)
+        (slack + 1)
+    in
+    let cm = clo + nl + sl - 1 in
+    if x <= pm then enc_range key plo pm clo cm x
+    else enc_range key (pm + 1) phi (cm + 1) chi x
+
+let rec dec_range key plo phi clo chi c =
+  if plo = phi then plo
+  else
+    let pm = plo + ((phi - plo) / 2) in
+    let nl = pm - plo + 1 and nr = phi - pm in
+    let slack = chi - clo + 1 - (nl + nr) in
+    let sl =
+      Prf.int_below key (Printf.sprintf "node:%d:%d:%d:%d" plo phi clo chi)
+        (slack + 1)
+    in
+    let cm = clo + nl + sl - 1 in
+    if c <= cm then dec_range key plo pm clo cm c
+    else dec_range key (pm + 1) phi (cm + 1) chi c
+
+let encrypt key x =
+  let v = x + offset in
+  if v < 0 || v >= plain_size then
+    invalid_arg (Printf.sprintf "Ope.encrypt: %d out of domain" x);
+  enc_range key 0 (plain_size - 1) 0 (cipher_size - 1) v
+
+let decrypt key c =
+  if c < 0 || c >= cipher_size then
+    invalid_arg (Printf.sprintf "Ope.decrypt: %d out of range" c);
+  dec_range key 0 (plain_size - 1) 0 (cipher_size - 1) c - offset
+
+let cipher_bytes = (cipher_bits + 7) / 8
+
+let encrypt_bytes key x =
+  let c = encrypt key x in
+  String.init cipher_bytes (fun i ->
+      Char.chr ((c lsr (8 * (cipher_bytes - 1 - i))) land 255))
+
+let decrypt_bytes key s =
+  if String.length s <> cipher_bytes then
+    invalid_arg "Ope.decrypt_bytes: bad width";
+  let c = ref 0 in
+  String.iter (fun ch -> c := (!c lsl 8) lor Char.code ch) s;
+  decrypt key !c

@@ -1,0 +1,32 @@
+(** Order-preserving encryption.
+
+    A stateless binary-partition OPE: the plaintext domain is recursively
+    halved and each half is assigned a PRF-chosen, order-respecting slice
+    of the ciphertext domain. Strictly monotone, deterministic, and
+    invertible with the key — enough to evaluate range conditions over
+    ciphertext (the paper cites Boldyreva-style OPE / CryptDB).
+
+    Plaintexts are signed integers in [[-2{^39}, 2{^39})]; ciphertexts are
+    non-negative ints below [2{^55}], so byte-encoded big-endian
+    ciphertexts compare like the underlying values. *)
+
+type key
+
+val key_of_string : string -> key
+(** 16-byte master key. *)
+
+val plain_bits : int
+(** Bits of the plaintext domain (signed values use one bit fewer). *)
+
+val cipher_bits : int
+
+val encrypt : key -> int -> int
+(** Raises [Invalid_argument] if out of domain. *)
+
+val decrypt : key -> int -> int
+
+val encrypt_bytes : key -> int -> string
+(** Fixed-width big-endian encoding of [encrypt]; lexicographic byte
+    comparison agrees with numeric order. *)
+
+val decrypt_bytes : key -> string -> int

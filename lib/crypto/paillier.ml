@@ -1,0 +1,58 @@
+type public = { n : Bignum.t; n2 : Bignum.t }
+type secret = { lambda : Bignum.t; mu : Bignum.t }
+
+let keygen ?(bits = 256) rng =
+  let half = bits / 2 in
+  let rec distinct_primes () =
+    let p = Bignum.random_prime rng half in
+    let q = Bignum.random_prime rng (bits - half) in
+    if Bignum.equal p q then distinct_primes () else (p, q)
+  in
+  let p, q = distinct_primes () in
+  let n = Bignum.mul p q in
+  let n2 = Bignum.mul n n in
+  let lambda = Bignum.lcm (Bignum.pred p) (Bignum.pred q) in
+  (* g = n + 1, so g^lambda mod n^2 = 1 + lambda*n, and
+     L(g^lambda) = lambda; mu = lambda^{-1} mod n. *)
+  let mu =
+    match Bignum.invmod lambda n with
+    | Some m -> m
+    | None -> failwith "Paillier.keygen: lambda not invertible"
+  in
+  ({ n; n2 }, { lambda; mu })
+
+let encode pk m =
+  (* signed encoding into [0, n) *)
+  if Bignum.sign m >= 0 then Bignum.rem m pk.n
+  else Bignum.rem (Bignum.add pk.n m) pk.n
+
+let encrypt pk rng m =
+  let m = encode pk m in
+  let rec random_unit () =
+    let r = Bignum.random_below rng pk.n in
+    if Bignum.is_zero r || not (Bignum.equal (Bignum.gcd r pk.n) Bignum.one)
+    then random_unit ()
+    else r
+  in
+  let r = random_unit () in
+  (* g^m = (1 + n)^m = 1 + m*n  (mod n^2) *)
+  let gm = Bignum.rem (Bignum.succ (Bignum.mul m pk.n)) pk.n2 in
+  let rn = Bignum.mod_pow ~base:r ~exp:pk.n ~modulus:pk.n2 in
+  Bignum.rem (Bignum.mul gm rn) pk.n2
+
+let lfun pk x = Bignum.div (Bignum.pred x) pk.n
+
+let decrypt pk sk c =
+  let u = Bignum.mod_pow ~base:c ~exp:sk.lambda ~modulus:pk.n2 in
+  Bignum.rem (Bignum.mul (lfun pk u) sk.mu) pk.n
+
+let decrypt_signed pk sk c =
+  let m = decrypt pk sk c in
+  let half = Bignum.shift_right pk.n 1 in
+  if Bignum.compare m half > 0 then Bignum.sub m pk.n else m
+
+let add pk c1 c2 = Bignum.rem (Bignum.mul c1 c2) pk.n2
+let mul_scalar pk c k = Bignum.mod_pow ~base:c ~exp:(encode pk k) ~modulus:pk.n2
+
+let cipher_to_string = Bignum.to_string
+let cipher_of_string = Bignum.of_string

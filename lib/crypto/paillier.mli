@@ -1,0 +1,31 @@
+(** Paillier additively homomorphic cryptosystem.
+
+    Supports [add] on ciphertexts (product mod n²) and multiplication by a
+    plaintext scalar — what the paper needs to compute [sum]/[avg]
+    aggregates over encrypted values at an untrusted provider. Built on
+    the in-repo {!Bignum}. Key sizes here are simulation-grade. *)
+
+type public = { n : Bignum.t; n2 : Bignum.t }
+type secret
+
+val keygen : ?bits:int -> Prng.t -> public * secret
+(** [keygen ~bits rng] generates a modulus of [bits] bits (default 256). *)
+
+val encrypt : public -> Prng.t -> Bignum.t -> Bignum.t
+(** [encrypt pk rng m] for [0 <= m < n]. Negative plaintexts are mapped
+    to [n + m] (two's-complement-style encoding, see {!decrypt_signed}). *)
+
+val decrypt : public -> secret -> Bignum.t -> Bignum.t
+(** Plain decryption in [[0, n)]. *)
+
+val decrypt_signed : public -> secret -> Bignum.t -> Bignum.t
+(** Decryption mapping residues above [n/2] to negative values. *)
+
+val add : public -> Bignum.t -> Bignum.t -> Bignum.t
+(** Homomorphic addition: [dec (add pk c1 c2) = m1 + m2]. *)
+
+val mul_scalar : public -> Bignum.t -> Bignum.t -> Bignum.t
+(** [mul_scalar pk c k]: [dec = m * k]. *)
+
+val cipher_to_string : Bignum.t -> string
+val cipher_of_string : string -> Bignum.t

@@ -1,0 +1,45 @@
+type t = Speck.key
+
+let create key = Speck.expand_key key
+
+let block_of_string s off =
+  (* little-endian 8-byte load, zero-padded *)
+  let v = ref 0L in
+  for i = 7 downto 0 do
+    let byte =
+      if off + i < String.length s then Char.code s.[off + i] else 0
+    in
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int byte)
+  done;
+  !v
+
+let mac t msg =
+  (* Prefix-free: first block encodes the message length. *)
+  let len = String.length msg in
+  let state = ref (Speck.encrypt_block t (Int64.of_int len)) in
+  let nblocks = (len + 7) / 8 in
+  for b = 0 to nblocks - 1 do
+    let blk = block_of_string msg (b * 8) in
+    state := Speck.encrypt_block t (Int64.logxor !state blk)
+  done;
+  !state
+
+let bytes_of_int64 v =
+  String.init 8 (fun i ->
+      Char.chr (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 255L)))
+
+let mac_bytes t msg = bytes_of_int64 (mac t msg)
+
+let expand t label n =
+  let buf = Buffer.create n in
+  let i = ref 0 in
+  while Buffer.length buf < n do
+    Buffer.add_string buf (mac_bytes t (label ^ "\x00" ^ string_of_int !i));
+    incr i
+  done;
+  String.sub (Buffer.contents buf) 0 n
+
+let int_below t label bound =
+  if bound <= 0 then invalid_arg "Prf.int_below: bound must be positive";
+  let v = Int64.to_int (Int64.shift_right_logical (mac t label) 2) in
+  v mod bound

@@ -1,0 +1,18 @@
+(** Randomized authenticated encryption (CTR + MAC).
+
+    Semantically secure: two encryptions of the same plaintext differ.
+    Supports no computation over ciphertext — the paper's choice for
+    attributes on which no operation must run (Sec. 6: "the scheme
+    providing highest protection, while supporting the operations"). *)
+
+type key
+
+val key_of_string : string -> key
+(** 16-byte master key. *)
+
+val encrypt : key -> Prng.t -> string -> string
+(** [encrypt k rng plaintext] draws a fresh IV from [rng]. Layout:
+    [iv (8) || body || tag (8)]. *)
+
+val decrypt : key -> string -> string
+(** Raises [Failure] on authentication failure. *)

@@ -1,0 +1,53 @@
+type t = Rnd | Phe | Det | Ope
+type capability = Cap_equality | Cap_order | Cap_addition
+
+let name = function Rnd -> "rnd" | Phe -> "phe" | Det -> "det" | Ope -> "ope"
+
+let of_name = function
+  | "rnd" -> Some Rnd
+  | "phe" -> Some Phe
+  | "det" -> Some Det
+  | "ope" -> Some Ope
+  | _ -> None
+
+let supports scheme cap =
+  match (scheme, cap) with
+  | Rnd, _ -> false
+  | Phe, Cap_addition -> true
+  | Phe, (Cap_equality | Cap_order) -> false
+  | Det, Cap_equality -> true
+  | Det, (Cap_order | Cap_addition) -> false
+  | Ope, (Cap_equality | Cap_order) -> true
+  | Ope, Cap_addition -> false
+
+let protection_rank = function Rnd -> 3 | Phe -> 2 | Det -> 1 | Ope -> 0
+let all = [ Rnd; Phe; Det; Ope ]
+
+let strongest_supporting caps =
+  let candidates =
+    List.filter (fun s -> List.for_all (supports s) caps) all
+  in
+  match
+    List.sort (fun a b -> compare (protection_rank b) (protection_rank a))
+      candidates
+  with
+  | best :: _ -> Some best
+  | [] -> None
+
+(* Expansion factors: symmetric adds an 8-byte IV (and tag for rnd) on
+   small fields (~2x on typical scalars); OPE maps 5-byte plaintexts to
+   7-byte ciphertexts; Paillier blows a scalar up to 2*|n| bits. *)
+let expansion = function
+  | Det -> 2.0
+  | Rnd -> 2.5
+  | Ope -> 1.4
+  | Phe -> 16.0
+
+(* Relative CPU cost per MB processed, AES-like symmetric as baseline. *)
+let cpu_cost_per_mb = function
+  | Det -> 0.002
+  | Rnd -> 0.002
+  | Ope -> 0.02
+  | Phe -> 2.0
+
+let pp fmt t = Format.pp_print_string fmt (name t)

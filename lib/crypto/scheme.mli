@@ -1,0 +1,46 @@
+(** Encryption-scheme capability lattice.
+
+    The authorization model deliberately ignores scheme choice (Sec. 2);
+    the optimizer picks, per attribute, "the scheme providing highest
+    protection, while supporting the operations to be executed on the
+    attribute's encrypted values" (Sec. 6). This module captures the four
+    schemes of the paper's tool, the computations each supports, the
+    protection order among them, and their cost/expansion metadata used
+    by the economic model. *)
+
+type t =
+  | Rnd  (** randomized symmetric — no computation, highest protection *)
+  | Phe  (** Paillier — additive homomorphism *)
+  | Det  (** deterministic symmetric — equality, equi-join, grouping *)
+  | Ope  (** order-preserving — range conditions, min/max, sorting *)
+
+(** Computation an operator wants to run over ciphertext. *)
+type capability =
+  | Cap_equality
+  | Cap_order
+  | Cap_addition
+
+val name : t -> string
+val of_name : string -> t option
+
+val supports : t -> capability -> bool
+
+val protection_rank : t -> int
+(** Higher is stronger: Rnd = 3, Phe = 2, Det = 1, Ope = 0. *)
+
+val strongest_supporting : capability list -> t option
+(** The paper's selection rule: strongest scheme supporting every listed
+    capability; [Some Rnd] for the empty list; [None] when the
+    combination is unsatisfiable (e.g. order + addition). *)
+
+val expansion : t -> float
+(** Multiplicative ciphertext-size blowup vs. plaintext. *)
+
+val cpu_cost_per_mb : t -> float
+(** Relative CPU cost (provider cost units per MB processed) to
+    encrypt/decrypt, calibrated on common benchmarks: symmetric schemes
+    are near-free, OPE noticeably slower, Paillier orders of magnitude
+    slower. *)
+
+val all : t list
+val pp : Format.formatter -> t -> unit

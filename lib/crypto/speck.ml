@@ -1,0 +1,63 @@
+(* Speck64/128: 32-bit words, rotation constants alpha=8, beta=3,
+   27 rounds, 4-word key. Words are OCaml ints masked to 32 bits. *)
+
+let rounds = 27
+let mask = 0xFFFFFFFF
+
+type key = int array (* round keys, length [rounds] *)
+
+let ror x n = ((x lsr n) lor (x lsl (32 - n))) land mask
+let rol x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+let word_of_string s off =
+  Char.code s.[off]
+  lor (Char.code s.[off + 1] lsl 8)
+  lor (Char.code s.[off + 2] lsl 16)
+  lor (Char.code s.[off + 3] lsl 24)
+
+let expand_key k =
+  if String.length k <> 16 then invalid_arg "Speck.expand_key: need 16 bytes";
+  let k0 = word_of_string k 0 in
+  let l = Array.make (rounds + 3) 0 in
+  l.(0) <- word_of_string k 4;
+  l.(1) <- word_of_string k 8;
+  l.(2) <- word_of_string k 12;
+  let ks = Array.make rounds 0 in
+  ks.(0) <- k0;
+  for i = 0 to rounds - 2 do
+    l.(i + 3) <- ((ks.(i) + ror l.(i) 8) land mask) lxor i;
+    ks.(i + 1) <- rol ks.(i) 3 lxor l.(i + 3)
+  done;
+  ks
+
+let split64 v =
+  let x = Int64.to_int (Int64.logand (Int64.shift_right_logical v 32) 0xFFFFFFFFL) in
+  let y = Int64.to_int (Int64.logand v 0xFFFFFFFFL) in
+  (x, y)
+
+let join64 x y =
+  Int64.logor
+    (Int64.shift_left (Int64.of_int (x land mask)) 32)
+    (Int64.of_int (y land mask))
+
+let encrypt_block ks block =
+  let x = ref 0 and y = ref 0 in
+  let bx, by = split64 block in
+  x := bx;
+  y := by;
+  for i = 0 to rounds - 1 do
+    x := ((ror !x 8 + !y) land mask) lxor ks.(i);
+    y := rol !y 3 lxor !x
+  done;
+  join64 !x !y
+
+let decrypt_block ks block =
+  let bx, by = split64 block in
+  let x = ref bx and y = ref by in
+  for i = rounds - 1 downto 0 do
+    y := ror (!y lxor !x) 3;
+    (* modular subtraction on 32-bit words (negative ints mask correctly) *)
+    x := ((!x lxor ks.(i)) - !y) land mask;
+    x := rol !x 8
+  done;
+  join64 !x !y

@@ -1,0 +1,16 @@
+(** Speck64/128 block cipher.
+
+    64-bit blocks, 128-bit keys, 27 rounds — the reference add-rotate-xor
+    design by Beaulieu et al. Used as the workhorse primitive behind the
+    PRF and the symmetric encryption modes. *)
+
+type key
+
+val expand_key : string -> key
+(** [expand_key k] derives the round keys from a 16-byte key string.
+    Raises [Invalid_argument] if [k] is not 16 bytes. *)
+
+val encrypt_block : key -> int64 -> int64
+val decrypt_block : key -> int64 -> int64
+
+val rounds : int

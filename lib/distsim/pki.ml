@@ -1,0 +1,39 @@
+module C = Mpq_crypto
+
+type t = { prf : C.Prf.t; rng : C.Prng.t }
+
+let create ?(seed = 0xD15EA5EL) () =
+  let rng = C.Prng.create seed in
+  { prf = C.Prf.create (C.Prng.bytes rng 16); rng = C.Prng.split rng }
+
+type sealed = {
+  sender : string;
+  recipient : string;
+  ciphertext : string;
+  signature : string;
+}
+
+exception Bad_envelope of string
+
+let box_key t a b = C.Rnd.key_of_string (C.Prf.expand t.prf ("box:" ^ a ^ ":" ^ b) 16)
+let sign_key t who = C.Prf.create (C.Prf.expand t.prf ("sig:" ^ who) 16)
+
+let seal t ~sender ~recipient payload =
+  let signature = C.Prf.mac_bytes (sign_key t sender) payload in
+  let ciphertext = C.Rnd.encrypt (box_key t sender recipient) t.rng payload in
+  { sender; recipient; ciphertext; signature }
+
+let open_ t ~recipient sealed =
+  if sealed.recipient <> recipient then
+    raise (Bad_envelope "envelope addressed to a different subject");
+  let payload =
+    try C.Rnd.decrypt (box_key t sealed.sender recipient) sealed.ciphertext
+    with Failure _ -> raise (Bad_envelope "decryption failure")
+  in
+  if
+    not
+      (String.equal
+         (C.Prf.mac_bytes (sign_key t sealed.sender) payload)
+         sealed.signature)
+  then raise (Bad_envelope "signature verification failure");
+  payload

@@ -1,0 +1,34 @@
+(** Simulated public-key infrastructure.
+
+    The paper's dispatch wraps each sub-query as
+    [[[q_S, keys]_priU]_pubS]: signed with the user's private key,
+    encrypted for the recipient (Sec. 6, Fig. 8). The sealed container
+    offers no asymmetric-crypto package, so we simulate the envelope
+    semantics with symmetric primitives: per ordered pair of subjects a
+    shared box key (as a Diffie-Hellman-style pairwise secret would
+    give), signature = MAC under the sender's signing secret, verifiable
+    through the registry (standing in for certificate verification). The
+    trust semantics — only the recipient opens, the sender is
+    authenticated — are preserved; the bit-level security is
+    simulation-grade (DESIGN.md). *)
+
+type t
+(** The registry, playing the role of the CA / key directory. *)
+
+val create : ?seed:int64 -> unit -> t
+
+type sealed = {
+  sender : string;
+  recipient : string;
+  ciphertext : string;
+  signature : string;
+}
+
+val seal : t -> sender:string -> recipient:string -> string -> sealed
+(** Sign with the sender's key, encrypt for the recipient. *)
+
+exception Bad_envelope of string
+
+val open_ : t -> recipient:string -> sealed -> string
+(** Decrypt and verify; raises {!Bad_envelope} on wrong recipient,
+    decryption failure, or signature mismatch. *)

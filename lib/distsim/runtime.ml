@@ -1,0 +1,160 @@
+open Relalg
+
+type event =
+  | Request_sent of { name : string; to_ : Authz.Subject.t; keys : string list }
+  | Request_opened of { name : string; by : Authz.Subject.t }
+  | Data_transfer of {
+      from_ : Authz.Subject.t;
+      to_ : Authz.Subject.t;
+      node_id : int;
+      rows : int;
+      bytes : int;
+    }
+  | Release_check of {
+      by : Authz.Subject.t;
+      for_ : Authz.Subject.t;
+      node_id : int;
+      ok : bool;
+    }
+  | Key_check of { by : Authz.Subject.t; cluster : string; ok : bool }
+
+exception Distributed_violation of string
+
+type outcome = { result : Engine.Table.t; trace : event list }
+
+let execute ~policy ~pki ~keyring ~user ~tables ?(udfs = []) ~extended
+    ~clusters () =
+  let trace = ref [] in
+  let emit e = trace := e :: !trace in
+  let requests = Authz.Dispatch.requests extended clusters in
+  (* 1. dispatch: the user seals a request per fragment; the executor
+     opens and verifies it (the envelope discipline of Fig. 8). *)
+  List.iter
+    (fun (r : Authz.Dispatch.request) ->
+      let payload =
+        Printf.sprintf "%s|%s|%s" r.Authz.Dispatch.name
+          r.Authz.Dispatch.expression
+          (String.concat "," r.Authz.Dispatch.key_clusters)
+      in
+      let sealed =
+        Pki.seal pki ~sender:(Authz.Subject.name user)
+          ~recipient:(Authz.Subject.name r.Authz.Dispatch.subject)
+          payload
+      in
+      emit
+        (Request_sent
+           { name = r.Authz.Dispatch.name;
+             to_ = r.Authz.Dispatch.subject;
+             keys = r.Authz.Dispatch.key_clusters });
+      let opened =
+        Pki.open_ pki
+          ~recipient:(Authz.Subject.name r.Authz.Dispatch.subject)
+          sealed
+      in
+      if not (String.equal opened payload) then
+        raise (Distributed_violation "request payload corrupted in transit");
+      emit
+        (Request_opened
+           { name = r.Authz.Dispatch.name; by = r.Authz.Dispatch.subject }))
+    requests;
+  (* 2. key distribution check: each executor holds exactly the clusters
+     whose enc/dec operations it performs. *)
+  let executor n =
+    Authz.Imap.find (Plan.id n) extended.Authz.Extend.assignment
+  in
+  Plan.iter
+    (fun n ->
+      match Plan.node n with
+      | Plan.Encrypt (attrs, _) | Plan.Decrypt (attrs, _) ->
+          let s = executor n in
+          Attr.Set.iter
+            (fun a ->
+              match Authz.Plan_keys.cluster_of_attr clusters a with
+              | Some c ->
+                  let ok =
+                    Authz.Subject.Set.mem s c.Authz.Plan_keys.holders
+                  in
+                  emit (Key_check { by = s; cluster = c.Authz.Plan_keys.id; ok });
+                  if not ok then
+                    raise
+                      (Distributed_violation
+                         (Printf.sprintf "%s lacks key k%s for node %d"
+                            (Authz.Subject.name s) c.Authz.Plan_keys.id
+                            (Plan.id n)))
+              | None ->
+                  raise
+                    (Distributed_violation
+                       (Printf.sprintf
+                          "attribute %s of node %d has no key cluster"
+                          (Attr.name a) (Plan.id n))))
+            attrs
+      | _ -> ())
+    extended.Authz.Extend.plan;
+  (* 3. evaluation with per-boundary release checks (each sender re-checks
+     Def. 4.1 for the receiver before handing data over). *)
+  let crypto = Engine.Enc_exec.make keyring clusters in
+  let ctx = Engine.Exec.context ~udfs ~crypto tables in
+  let parent_of =
+    let tbl = Hashtbl.create 64 in
+    Plan.iter
+      (fun n ->
+        List.iter (fun c -> Hashtbl.replace tbl (Plan.id c) n) (Plan.children n))
+      extended.Authz.Extend.plan;
+    fun n -> Hashtbl.find_opt tbl (Plan.id n)
+  in
+  let hook node table =
+    match parent_of node with
+    | None -> ()
+    | Some parent ->
+        let s_from = executor node and s_to = executor parent in
+        if not (Authz.Subject.equal s_from s_to) then begin
+          let profile =
+            Hashtbl.find extended.Authz.Extend.profiles (Plan.id node)
+          in
+          let ok =
+            Authz.Authorized.is_authorized
+              (Authz.Authorization.view policy s_to)
+              profile
+          in
+          emit
+            (Release_check
+               { by = s_from; for_ = s_to; node_id = Plan.id node; ok });
+          if not ok then
+            raise
+              (Distributed_violation
+                 (Printf.sprintf "%s refuses to release node %d to %s"
+                    (Authz.Subject.name s_from) (Plan.id node)
+                    (Authz.Subject.name s_to)));
+          emit
+            (Data_transfer
+               { from_ = s_from;
+                 to_ = s_to;
+                 node_id = Plan.id node;
+                 rows = Engine.Table.cardinality table;
+                 bytes = Engine.Table.byte_size table })
+        end
+  in
+  let result =
+    Engine.Exec.run_with_hook ctx ~hook extended.Authz.Extend.plan
+  in
+  { result; trace = List.rev !trace }
+
+let pp_event fmt = function
+  | Request_sent { name; to_; keys } ->
+      Format.fprintf fmt "request %s -> %s%s" name (Authz.Subject.name to_)
+        (match keys with
+        | [] -> ""
+        | ks -> " [keys " ^ String.concat "," ks ^ "]")
+  | Request_opened { name; by } ->
+      Format.fprintf fmt "request %s opened by %s" name (Authz.Subject.name by)
+  | Data_transfer { from_; to_; node_id; rows; bytes } ->
+      Format.fprintf fmt "data n%d: %s -> %s (%d rows, %d bytes)" node_id
+        (Authz.Subject.name from_) (Authz.Subject.name to_) rows bytes
+  | Release_check { by; for_; node_id; ok } ->
+      Format.fprintf fmt "release check n%d by %s for %s: %s" node_id
+        (Authz.Subject.name by) (Authz.Subject.name for_)
+        (if ok then "authorized" else "DENIED")
+  | Key_check { by; cluster; ok } ->
+      Format.fprintf fmt "key check k%s at %s: %s" cluster
+        (Authz.Subject.name by)
+        (if ok then "held" else "MISSING")

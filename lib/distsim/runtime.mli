@@ -1,0 +1,50 @@
+(** Distributed execution simulation.
+
+    Drives a planned query the way the paper's deployment would: the user
+    seals one request per fragment (Fig. 8) and sends it to the
+    fragment's executor together with exactly the cluster keys that
+    executor holds (Def. 6.1); executors evaluate their fragment, pulling
+    operand relations from their callees; every data authority checks
+    authorizations before releasing data across a subject boundary
+    (Sec. 6), and each executor verifies it received the keys its
+    encryption/decryption operations need. The whole exchange is traced
+    for inspection and testing. *)
+
+
+type event =
+  | Request_sent of { name : string; to_ : Authz.Subject.t; keys : string list }
+  | Request_opened of { name : string; by : Authz.Subject.t }
+  | Data_transfer of {
+      from_ : Authz.Subject.t;
+      to_ : Authz.Subject.t;
+      node_id : int;
+      rows : int;
+      bytes : int;
+    }
+  | Release_check of {
+      by : Authz.Subject.t;
+      for_ : Authz.Subject.t;
+      node_id : int;
+      ok : bool;
+    }
+  | Key_check of { by : Authz.Subject.t; cluster : string; ok : bool }
+
+exception Distributed_violation of string
+
+type outcome = { result : Engine.Table.t; trace : event list }
+
+val execute :
+  policy:Authz.Authorization.t ->
+  pki:Pki.t ->
+  keyring:Mpq_crypto.Keyring.t ->
+  user:Authz.Subject.t ->
+  tables:(string * Engine.Table.t) list ->
+  ?udfs:(string * Engine.Exec.udf) list ->
+  extended:Authz.Extend.t ->
+  clusters:Authz.Plan_keys.cluster list ->
+  unit ->
+  outcome
+(** Raises {!Distributed_violation} when a release check fails or an
+    executor misses a key its fragment needs. *)
+
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,170 @@
+open Relalg
+
+exception Csv_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Csv_error s)) fmt
+
+(* split a CSV text into rows of raw fields, honoring quotes *)
+let split_rows text =
+  let rows = ref [] and fields = ref [] and buf = Buffer.create 32 in
+  let quoted_field = ref false in
+  let push_field () =
+    fields := (Buffer.contents buf, !quoted_field) :: !fields;
+    Buffer.clear buf;
+    quoted_field := false
+  in
+  let push_row () =
+    push_field ();
+    (match !fields with
+    | [ ("", false) ] -> () (* blank line *)
+    | fs -> rows := List.rev fs :: !rows);
+    fields := []
+  in
+  let n = String.length text in
+  let i = ref 0 in
+  let in_quotes = ref false in
+  while !i < n do
+    let c = text.[!i] in
+    if !in_quotes then
+      if c = '"' then
+        if !i + 1 < n && text.[!i + 1] = '"' then begin
+          Buffer.add_char buf '"';
+          i := !i + 1
+        end
+        else in_quotes := false
+      else Buffer.add_char buf c
+    else
+      (match c with
+      | '"' ->
+          in_quotes := true;
+          quoted_field := true
+      | ',' -> push_field ()
+      | '\n' -> push_row ()
+      | '\r' -> ()
+      | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  if !in_quotes then err "unterminated quote";
+  if Buffer.length buf > 0 || !fields <> [] then push_row ();
+  List.rev !rows
+
+let parse_value ty (raw, quoted) =
+  let raw = if quoted then raw else String.trim raw in
+  if raw = "" && not quoted then Value.Null
+  else
+    match ty with
+    | Schema.Tint -> (
+        match int_of_string_opt raw with
+        | Some i -> Value.Int i
+        | None -> err "not an integer: %s" raw)
+    | Schema.Tfloat -> (
+        match float_of_string_opt raw with
+        | Some f -> Value.Float f
+        | None -> err "not a number: %s" raw)
+    | Schema.Tstring -> Value.Str raw
+    | Schema.Tdate -> (
+        try Value.date_of_string raw
+        with Invalid_argument _ -> err "not a date: %s" raw)
+    | Schema.Tbool -> (
+        match String.lowercase_ascii raw with
+        | "true" | "t" | "1" -> Value.Bool true
+        | "false" | "f" | "0" -> Value.Bool false
+        | _ -> err "not a boolean: %s" raw)
+
+let parse ?(header = true) schema text =
+  let rows = split_rows text in
+  let cols = Schema.attr_list schema in
+  let order, data_rows =
+    if header then
+      match rows with
+      | [] -> err "empty input"
+      | hd :: rest ->
+          let names = List.map (fun (f, _) -> String.trim f) hd in
+          let order =
+            List.map
+              (fun name ->
+                match
+                  List.find_opt
+                    (fun a ->
+                      String.lowercase_ascii (Attr.name a)
+                      = String.lowercase_ascii name)
+                    cols
+                with
+                | Some a -> a
+                | None -> err "unknown column %s" name)
+              names
+          in
+          let missing =
+            List.filter (fun a -> not (List.memq a order)) cols
+          in
+          if missing <> [] then
+            err "missing columns: %s"
+              (String.concat "," (List.map Attr.name missing));
+          (order, rest)
+    else (cols, rows)
+  in
+  let arity = List.length order in
+  let table_rows =
+    List.map
+      (fun fields ->
+        if List.length fields <> arity then
+          err "row arity %d, expected %d" (List.length fields) arity;
+        let by_attr =
+          List.map2
+            (fun a f ->
+              let ty =
+                match Schema.type_of schema a with
+                | Some ty -> ty
+                | None -> assert false
+              in
+              (a, parse_value ty f))
+            order fields
+        in
+        Array.of_list (List.map (fun a -> List.assoc a by_attr) cols))
+      data_rows
+  in
+  Table.of_schema schema table_rows
+
+let load ?header schema path =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let text = really_input_string ic n in
+  close_in ic;
+  parse ?header schema text
+
+let escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let render_value = function
+  | Value.Null -> ""
+  | Value.Bool b -> string_of_bool b
+  | Value.Int i -> string_of_int i
+  | Value.Float f -> Printf.sprintf "%g" f
+  | Value.Str s -> escape s
+  | Value.Date _ as v -> Value.to_string v
+  | Value.Enc c ->
+      let hex = Buffer.create (2 * String.length c.Value.payload) in
+      String.iter
+        (fun ch -> Buffer.add_string hex (Printf.sprintf "%02x" (Char.code ch)))
+        c.Value.payload;
+      Printf.sprintf "enc:%s:%s" c.Value.scheme (Buffer.contents hex)
+
+let to_string table =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (String.concat "," (List.map Attr.name (Table.attrs table)));
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf
+        (String.concat "," (Array.to_list (Array.map render_value row)));
+      Buffer.add_char buf '\n')
+    (Table.rows table);
+  Buffer.contents buf
+
+let save table path =
+  let oc = open_out path in
+  output_string oc (to_string table);
+  close_out oc

@@ -1,0 +1,255 @@
+open Relalg
+module C = Mpq_crypto
+
+exception Crypto_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Crypto_error s)) fmt
+
+type ctx = {
+  keyring : C.Keyring.t;
+  clusters : Authz.Plan_keys.cluster list;
+}
+
+let make keyring clusters = { keyring; clusters }
+
+let of_schemes keyring pairs =
+  let clusters =
+    List.map
+      (fun (name, scheme) ->
+        { Authz.Plan_keys.id = name;
+          attrs = Attr.Set.singleton (Attr.make name);
+          scheme;
+          holders = Authz.Subject.Set.empty })
+      pairs
+  in
+  { keyring; clusters }
+
+let clusters ctx = ctx.clusters
+
+let cluster_of ctx a =
+  match Authz.Plan_keys.cluster_of_attr ctx.clusters a with
+  | Some c -> c
+  | None -> err "attribute %s belongs to no key cluster" (Attr.name a)
+
+let cluster_by_id ctx id =
+  match
+    List.find_opt (fun c -> c.Authz.Plan_keys.id = id) ctx.clusters
+  with
+  | Some c -> c
+  | None -> err "unknown key cluster %s" id
+
+let scheme_of ctx a = (cluster_of ctx a).Authz.Plan_keys.scheme
+
+(* --- serialization ------------------------------------------------- *)
+
+let serialize = function
+  | Value.Null -> "n"
+  | Value.Bool b -> if b then "b1" else "b0"
+  | Value.Int i -> "i" ^ string_of_int i
+  | Value.Float f -> "f" ^ string_of_float f
+  | Value.Str s -> "s" ^ s
+  | Value.Date d -> "d" ^ string_of_int d
+  | Value.Enc _ -> err "cannot re-serialize a ciphertext"
+
+let deserialize s =
+  if String.length s = 0 then err "empty serialized value"
+  else
+    let body = String.sub s 1 (String.length s - 1) in
+    match s.[0] with
+    | 'n' -> Value.Null
+    | 'b' -> Value.Bool (body = "1")
+    | 'i' -> Value.Int (int_of_string body)
+    | 'f' -> Value.Float (float_of_string body)
+    | 's' -> Value.Str body
+    | 'd' -> Value.Date (int_of_string body)
+    | c -> err "bad serialization tag %c" c
+
+(* --- numeric images for OPE / Paillier ----------------------------- *)
+
+let cents f = int_of_float (Float.round (f *. 100.0))
+
+let ope_image = function
+  | Value.Int i -> (i, 'i')
+  | Value.Date d -> (d, 'd')
+  | Value.Bool b -> ((if b then 1 else 0), 'b')
+  | Value.Float f -> (cents f, 'f')
+  | Value.Str s ->
+      (* 4-byte big-endian prefix (fits the 40-bit OPE domain):
+         order-preserving up to prefix ties; the deterministic tail in the
+         payload recovers the exact string *)
+      let v = ref 0 in
+      for i = 0 to 3 do
+        let byte = if i < String.length s then Char.code s.[i] else 0 in
+        v := (!v lsl 8) lor byte
+      done;
+      (!v, 's')
+  | Value.Null | Value.Enc _ -> err "no OPE image for this value"
+
+let phe_image = function
+  | Value.Int i -> (i * 100, 'i')
+  | Value.Float f -> (cents f, 'f')
+  | Value.Date d -> (d * 100, 'd')
+  | Value.Bool b -> ((if b then 100 else 0), 'b')
+  | Value.Null | Value.Str _ | Value.Enc _ ->
+      err "no additive image for this value"
+
+let phe_unscale tag scaled =
+  match tag with
+  | 'i' when scaled mod 100 = 0 -> Value.Int (scaled / 100)
+  | 'i' | 'f' -> Value.Float (float_of_int scaled /. 100.0)
+  | 'd' -> Value.Date (scaled / 100)
+  | 'b' -> Value.Bool (scaled <> 0)
+  | c -> err "bad phe tag %c" c
+
+(* --- keys ----------------------------------------------------------- *)
+
+let secret ctx (cluster : Authz.Plan_keys.cluster) =
+  C.Keyring.cluster_secret ctx.keyring cluster.Authz.Plan_keys.id
+
+let det_key ctx cluster = C.Keyring.det_key_of_secret (secret ctx cluster)
+let rnd_key ctx cluster = C.Keyring.rnd_key_of_secret (secret ctx cluster)
+let ope_key ctx cluster = C.Keyring.ope_key_of_secret (secret ctx cluster)
+
+(* --- encryption ----------------------------------------------------- *)
+
+let encrypt_with ctx (cluster : Authz.Plan_keys.cluster) v =
+  let key_id = cluster.Authz.Plan_keys.id in
+  let mk scheme payload =
+    Value.Enc { Value.scheme = C.Scheme.name scheme; key_id; payload }
+  in
+  match cluster.Authz.Plan_keys.scheme with
+  | C.Scheme.Det -> mk C.Scheme.Det (C.Det.encrypt (det_key ctx cluster) (serialize v))
+  | C.Scheme.Rnd ->
+      mk C.Scheme.Rnd
+        (C.Rnd.encrypt (rnd_key ctx cluster) (C.Keyring.rng ctx.keyring)
+           (serialize v))
+  | C.Scheme.Ope ->
+      let image, tag = ope_image v in
+      let prefix = C.Ope.encrypt_bytes (ope_key ctx cluster) image in
+      let tail =
+        (* strings keep a deterministic tail for exact recovery *)
+        match v with
+        | Value.Str _ -> C.Det.encrypt (det_key ctx cluster) (serialize v)
+        | _ -> ""
+      in
+      mk C.Scheme.Ope (prefix ^ String.make 1 tag ^ tail)
+  | C.Scheme.Phe ->
+      let image, tag = phe_image v in
+      let pk, _ = C.Keyring.paillier ctx.keyring in
+      let cipher =
+        C.Paillier.encrypt pk (C.Keyring.rng ctx.keyring)
+          (C.Bignum.of_int image)
+      in
+      mk C.Scheme.Phe
+        (Printf.sprintf "v|%s|%c" (C.Bignum.to_string cipher) tag)
+
+let encrypt_value ctx a v =
+  match v with
+  | Value.Null -> Value.Null
+  | Value.Enc _ -> err "attribute %s is already encrypted" (Attr.name a)
+  | _ -> encrypt_with ctx (cluster_of ctx a) v
+
+(* --- decryption ----------------------------------------------------- *)
+
+let ope_bytes = 7
+
+let decrypt_cipher ctx (c : Value.cipher) =
+  let cluster = cluster_by_id ctx c.Value.key_id in
+  match c.Value.scheme with
+  | "det" -> deserialize (C.Det.decrypt (det_key ctx cluster) c.Value.payload)
+  | "rnd" -> deserialize (C.Rnd.decrypt (rnd_key ctx cluster) c.Value.payload)
+  | "ope" ->
+      let p = c.Value.payload in
+      if String.length p < ope_bytes + 1 then err "truncated OPE payload";
+      let tag = p.[ope_bytes] in
+      let image =
+        C.Ope.decrypt_bytes (ope_key ctx cluster) (String.sub p 0 ope_bytes)
+      in
+      (match tag with
+      | 'i' -> Value.Int image
+      | 'd' -> Value.Date image
+      | 'b' -> Value.Bool (image <> 0)
+      | 'f' -> Value.Float (float_of_int image /. 100.0)
+      | 's' ->
+          let tail =
+            String.sub p (ope_bytes + 1) (String.length p - ope_bytes - 1)
+          in
+          deserialize (C.Det.decrypt (det_key ctx cluster) tail)
+      | t -> err "bad OPE tag %c" t)
+  | "phe" -> (
+      let pk, sk = C.Keyring.paillier ctx.keyring in
+      match String.split_on_char '|' c.Value.payload with
+      | [ "v"; cipher; tag ] ->
+          let m =
+            C.Paillier.decrypt_signed pk sk (C.Bignum.of_string cipher)
+          in
+          phe_unscale tag.[0]
+            (match C.Bignum.to_int_opt m with
+            | Some i -> i
+            | None -> err "phe plaintext overflow")
+      | [ "a"; cipher; count; tag ] ->
+          let m =
+            C.Paillier.decrypt_signed pk sk (C.Bignum.of_string cipher)
+          in
+          let n = int_of_string count in
+          if n = 0 then Value.Null
+          else
+            let sum =
+              match C.Bignum.to_int_opt m with
+              | Some i -> i
+              | None -> err "phe plaintext overflow"
+            in
+            ignore tag;
+            Value.Float (float_of_int sum /. (100.0 *. float_of_int n))
+      | _ -> err "bad phe payload")
+  | s -> err "unknown scheme %s" s
+
+let decrypt_value ctx = function
+  | Value.Null -> Value.Null
+  | Value.Enc c -> decrypt_cipher ctx c
+  | _ -> err "decrypt of a plaintext value"
+
+(* --- constants in dispatched conditions ----------------------------- *)
+
+let const_cipher ctx (sample : Value.cipher) const =
+  let cluster = cluster_by_id ctx sample.Value.key_id in
+  match C.Scheme.of_name sample.Value.scheme with
+  | Some scheme when scheme = cluster.Authz.Plan_keys.scheme ->
+      encrypt_with ctx cluster const
+  | Some scheme ->
+      (* ciphertext produced under a different scheme than the cluster's
+         current one: re-derive with the observed scheme *)
+      encrypt_with ctx
+        { cluster with Authz.Plan_keys.scheme }
+        const
+  | None -> err "unknown scheme %s" sample.Value.scheme
+
+(* --- homomorphic aggregation ---------------------------------------- *)
+
+let phe_sum ctx values ~avg =
+  let pk, _ = C.Keyring.paillier ctx.keyring in
+  let parse v =
+    match v with
+    | Value.Enc c when c.Value.scheme = "phe" -> (
+        match String.split_on_char '|' c.Value.payload with
+        | [ "v"; cipher; tag ] -> Some (c, C.Bignum.of_string cipher, tag.[0])
+        | _ -> err "cannot aggregate an already-aggregated phe value")
+    | Value.Null -> None
+    | _ -> err "phe aggregation over a non-phe value"
+  in
+  let parsed = List.filter_map parse values in
+  match parsed with
+  | [] -> Value.Null
+  | (sample, first, tag) :: rest ->
+      let sum =
+        List.fold_left
+          (fun acc (_, c, _) -> C.Paillier.add pk acc c)
+          first rest
+      in
+      let n = List.length parsed in
+      let payload =
+        if avg then
+          Printf.sprintf "a|%s|%d|%c" (C.Bignum.to_string sum) n tag
+        else Printf.sprintf "v|%s|%c" (C.Bignum.to_string sum) tag
+      in
+      Value.Enc { sample with Value.payload }

@@ -1,0 +1,52 @@
+(** Value-level encryption for plan execution.
+
+    Bridges the abstract [Encrypt]/[Decrypt] plan operators and the
+    concrete schemes in [mpq_crypto]. Each attribute is encrypted under
+    its key cluster (Def. 6.1) with the cluster's scheme:
+
+    - [det]: SIV deterministic encryption of the serialized value —
+      supports equality, grouping, equi-joins;
+    - [ope]: order-preserving encryption of the numeric image (floats
+      scaled to cents, strings by 4-byte prefix with a deterministic
+      tail for exact recovery) — supports range conditions and min/max;
+    - [phe]: Paillier over the cent-scaled numeric value — supports
+      sum/avg; aggregated ciphertexts carry the divisor for avg;
+    - [rnd]: randomized encryption — supports nothing, protects most. *)
+
+open Relalg
+
+type ctx
+
+exception Crypto_error of string
+
+val make : Mpq_crypto.Keyring.t -> Authz.Plan_keys.cluster list -> ctx
+
+val of_schemes :
+  Mpq_crypto.Keyring.t -> (string * Mpq_crypto.Scheme.t) list -> ctx
+(** Convenience: one singleton cluster per (attribute name, scheme),
+    with every subject a holder. For tests and standalone use. *)
+
+val clusters : ctx -> Authz.Plan_keys.cluster list
+
+val scheme_of : ctx -> Attr.t -> Mpq_crypto.Scheme.t
+(** Raises [Crypto_error] when the attribute belongs to no cluster. *)
+
+val encrypt_value : ctx -> Attr.t -> Value.t -> Value.t
+(** [Null] passes through unencrypted. *)
+
+val decrypt_value : ctx -> Value.t -> Value.t
+(** Dispatches on the ciphertext's own scheme/key tags; [Null] passes
+    through. Raises [Crypto_error] on plaintext input or unknown key. *)
+
+val const_cipher : ctx -> Value.cipher -> Value.t -> Value.t
+(** [const_cipher ctx sample const] encrypts a comparison constant under
+    the same scheme and key as [sample], so a dispatched condition can be
+    evaluated on encrypted values (Sec. 5's "condition formulated on
+    encrypted values"). *)
+
+val phe_sum : ctx -> Value.t list -> avg:bool -> Value.t
+(** Homomorphic aggregation of Paillier ciphertexts: the encrypted sum,
+    or the encrypted average (sum plus divisor) when [avg] is set. *)
+
+val serialize : Value.t -> string
+val deserialize : string -> Value.t

@@ -1,0 +1,69 @@
+open Relalg
+
+exception Eval_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Eval_error s)) fmt
+
+let of_comparison op c =
+  match op with
+  | Predicate.Eq -> c = 0
+  | Predicate.Neq -> c <> 0
+  | Predicate.Lt -> c < 0
+  | Predicate.Le -> c <= 0
+  | Predicate.Gt -> c > 0
+  | Predicate.Ge -> c >= 0
+
+let cipher_compare op (a : Value.cipher) (b : Value.cipher) =
+  if a.Value.scheme <> b.Value.scheme || a.Value.key_id <> b.Value.key_id then
+    err "comparison of ciphertexts under different schemes/keys"
+  else
+    match (a.Value.scheme, op) with
+    | "det", (Predicate.Eq | Predicate.Neq) ->
+        of_comparison op (compare a.Value.payload b.Value.payload)
+    | "det", _ -> err "deterministic encryption supports only equality"
+    | "ope", _ -> of_comparison op (String.compare a.Value.payload b.Value.payload)
+    | "rnd", _ -> err "randomized encryption supports no comparison"
+    | "phe", _ -> err "homomorphic encryption supports no comparison"
+    | s, _ -> err "unknown scheme %s" s
+
+let rec compare_values ?ctx op a b =
+  match (a, b) with
+  | Value.Null, _ | _, Value.Null -> false
+  | Value.Enc ca, Value.Enc cb -> cipher_compare op ca cb
+  | Value.Enc ca, plain -> (
+      match ctx with
+      | Some c -> compare_values ~ctx:c op a (Enc_exec.const_cipher c ca plain)
+      | None -> err "encrypted comparison requires a crypto context")
+  | plain, Value.Enc cb -> (
+      match ctx with
+      | Some c ->
+          compare_values ~ctx:c op (Enc_exec.const_cipher c cb plain) b
+      | None ->
+          ignore plain;
+          err "encrypted comparison requires a crypto context")
+  | a, b -> (
+      match op with
+      | Predicate.Eq -> Value.equal a b
+      | Predicate.Neq -> not (Value.equal a b)
+      | _ -> (
+          try of_comparison op (Value.compare a b)
+          with Value.Incomparable _ ->
+            err "incomparable values %s / %s" (Value.to_string a)
+              (Value.to_string b)))
+
+let atom ?ctx table row a =
+  let get attr = Table.value table row attr in
+  match a with
+  | Predicate.Cmp_const (attr, op, v) -> compare_values ?ctx op (get attr) v
+  | Predicate.Cmp_attr (x, op, y) -> compare_values ?ctx op (get x) (get y)
+  | Predicate.In_list (attr, vs) ->
+      List.exists (fun v -> compare_values ?ctx Predicate.Eq (get attr) v) vs
+  | Predicate.Like (attr, pattern) -> (
+      match get attr with
+      | Value.Str s -> Predicate.like_matches ~pattern s
+      | Value.Null -> false
+      | Value.Enc _ -> err "LIKE requires plaintext"
+      | v -> err "LIKE over non-string %s" (Value.to_string v))
+
+let predicate ?ctx table row p =
+  List.for_all (fun clause -> List.exists (atom ?ctx table row) clause) p

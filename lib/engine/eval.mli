@@ -1,0 +1,23 @@
+(** Predicate evaluation over rows, including over ciphertext.
+
+    Comparisons between two ciphertexts require the same scheme and key
+    cluster: deterministic encryption supports (in)equality, OPE supports
+    ordering. A comparison between a ciphertext and a plaintext constant
+    encrypts the constant on the fly under the ciphertext's cluster —
+    modelling dispatched conditions "formulated on encrypted values"
+    (Sec. 5) — and therefore needs a crypto context. SQL three-valued
+    logic is approximated: any comparison involving [Null] is false. *)
+
+open Relalg
+
+exception Eval_error of string
+
+val compare_values :
+  ?ctx:Enc_exec.ctx -> Predicate.op -> Value.t -> Value.t -> bool
+
+val atom :
+  ?ctx:Enc_exec.ctx -> Table.t -> Value.t array -> Predicate.atom -> bool
+
+val predicate :
+  ?ctx:Enc_exec.ctx -> Table.t -> Value.t array -> Predicate.t -> bool
+(** CNF evaluation: every clause must have a true atom. *)

@@ -1,0 +1,333 @@
+open Relalg
+
+exception Exec_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Exec_error s)) fmt
+
+type udf = Value.t list -> Value.t
+
+type context = {
+  tables : (string * Table.t) list;
+  udfs : (string * udf) list;
+  crypto : Enc_exec.ctx option;
+}
+
+let context ?(udfs = []) ?crypto tables = { tables; udfs; crypto }
+
+let hash_key = function
+  | Value.Enc c -> Printf.sprintf "E%s/%s/%s" c.Value.scheme c.Value.key_id c.Value.payload
+  | Value.Int i -> Printf.sprintf "N%d" i
+  | Value.Float f ->
+      if Float.is_integer f && Float.abs f < 1e15 then
+        Printf.sprintf "N%d" (int_of_float f)
+      else Printf.sprintf "F%h" f
+  | Value.Str s -> "S" ^ s
+  | Value.Date d -> Printf.sprintf "D%d" d
+  | Value.Bool b -> if b then "B1" else "B0"
+  | Value.Null -> "_"
+
+let base ctx s =
+  match List.assoc_opt s.Schema.name ctx.tables with
+  | None -> err "unknown base relation %s" s.Schema.name
+  | Some t ->
+      let t = Table.select_columns t (Schema.attr_list s) in
+      (* outsourced relations are served as stored: at-rest-encrypted
+         columns come back as ciphertext *)
+      let enc = Schema.stored_encrypted s in
+      if Attr.Set.is_empty enc then t
+      else
+        match ctx.crypto with
+        | None -> err "outsourced relation %s needs a crypto context" s.Schema.name
+        | Some crypto ->
+            Attr.Set.fold
+              (fun a acc ->
+                Table.map_column acc a (fun v -> Enc_exec.encrypt_value crypto a v))
+              enc t
+
+let project table attrs = Table.select_columns table (Attr.Set.elements attrs)
+
+let select ?crypto table pred =
+  let rows =
+    List.filter (fun r -> Eval.predicate ?ctx:crypto table r pred) (Table.rows table)
+  in
+  Table.create (Table.attrs table) rows
+
+let product l r =
+  let attrs = Table.attrs l @ Table.attrs r in
+  let rows =
+    List.concat_map
+      (fun rl -> List.map (fun rr -> Array.append rl rr) (Table.rows r))
+      (Table.rows l)
+  in
+  Table.create attrs rows
+
+(* Equality pairs usable for hashing: conjunctive (singleton-clause)
+   atoms 'a = b' with one side in each operand. *)
+let equi_pairs pred l r =
+  let conjunctive = List.for_all (fun c -> List.length c = 1) pred in
+  if not conjunctive then ([], pred)
+  else
+    let la = Attr.Set.of_list (Table.attrs l) in
+    let ra = Attr.Set.of_list (Table.attrs r) in
+    List.fold_left
+      (fun (pairs, residual) clause ->
+        match clause with
+        | [ Predicate.Cmp_attr (a, Predicate.Eq, b) ]
+          when Attr.Set.mem a la && Attr.Set.mem b ra ->
+            ((a, b) :: pairs, residual)
+        | [ Predicate.Cmp_attr (a, Predicate.Eq, b) ]
+          when Attr.Set.mem b la && Attr.Set.mem a ra ->
+            ((b, a) :: pairs, residual)
+        | c -> (pairs, c :: residual))
+      ([], []) pred
+    |> fun (pairs, residual) -> (List.rev pairs, List.rev residual)
+
+let join ?crypto pred l r =
+  let attrs = Table.attrs l @ Table.attrs r in
+  let pairs, residual = equi_pairs pred l r in
+  let combined_header = Table.create attrs [] in
+  let keep combined = Eval.predicate ?ctx:crypto combined_header combined residual in
+  let rows =
+    match pairs with
+    | [] ->
+        (* nested loop *)
+        List.concat_map
+          (fun rl ->
+            List.filter_map
+              (fun rr ->
+                let combined = Array.append rl rr in
+                if Eval.predicate ?ctx:crypto combined_header combined pred
+                then Some combined
+                else None)
+              (Table.rows r))
+          (Table.rows l)
+    | _ ->
+        let lk = List.map (fun (a, _) -> Table.col_index l a) pairs in
+        let rk = List.map (fun (_, b) -> Table.col_index r b) pairs in
+        let key idxs row =
+          String.concat "\x01" (List.map (fun i -> hash_key row.(i)) idxs)
+        in
+        let index = Hashtbl.create (Table.cardinality r) in
+        List.iter
+          (fun rr ->
+            let has_null = List.exists (fun i -> rr.(i) = Value.Null) rk in
+            if not has_null then
+              Hashtbl.add index (key rk rr) rr)
+          (Table.rows r);
+        List.concat_map
+          (fun rl ->
+            if List.exists (fun i -> rl.(i) = Value.Null) lk then []
+            else
+              Hashtbl.find_all index (key lk rl)
+              |> List.filter_map (fun rr ->
+                     let combined = Array.append rl rr in
+                     if keep combined then Some combined else None))
+          (Table.rows l)
+  in
+  Table.create attrs rows
+
+(* --- aggregation ----------------------------------------------------- *)
+
+let numeric v =
+  match Value.to_float v with
+  | Some f -> f
+  | None -> err "aggregate over non-numeric %s" (Value.to_string v)
+
+let all_ints vs = List.for_all (function Value.Int _ -> true | _ -> false) vs
+
+let aggregate ?crypto (agg : Aggregate.t) values =
+  let non_null = List.filter (fun v -> v <> Value.Null) values in
+  let encrypted = List.exists (function Value.Enc _ -> true | _ -> false) non_null in
+  match agg.Aggregate.func with
+  | Aggregate.Count_star -> Value.Int (List.length values)
+  | Aggregate.Count a when encrypted -> (
+      (* the output keeps the operand's (encrypted) profile entry: wrap
+         the count under the operand's cluster so data matches profile *)
+      match crypto with
+      | Some c -> Enc_exec.encrypt_value c a (Value.Int (List.length non_null))
+      | None -> err "encrypted count requires a crypto context")
+  | Aggregate.Count _ -> Value.Int (List.length non_null)
+  | Aggregate.Sum _ when encrypted -> (
+      match crypto with
+      | Some c -> Enc_exec.phe_sum c non_null ~avg:false
+      | None -> err "encrypted sum requires a crypto context")
+  | Aggregate.Avg _ when encrypted -> (
+      match crypto with
+      | Some c -> Enc_exec.phe_sum c non_null ~avg:true
+      | None -> err "encrypted avg requires a crypto context")
+  | Aggregate.Sum _ ->
+      if non_null = [] then Value.Null
+      else if all_ints non_null then
+        Value.Int
+          (List.fold_left
+             (fun acc v -> acc + match v with Value.Int i -> i | _ -> 0)
+             0 non_null)
+      else Value.Float (List.fold_left (fun acc v -> acc +. numeric v) 0.0 non_null)
+  | Aggregate.Avg _ ->
+      if non_null = [] then Value.Null
+      else
+        Value.Float
+          (List.fold_left (fun acc v -> acc +. numeric v) 0.0 non_null
+          /. float_of_int (List.length non_null))
+  | Aggregate.Min _ | Aggregate.Max _ -> (
+      let order =
+        match agg.Aggregate.func with Aggregate.Min _ -> -1 | _ -> 1
+      in
+      let better a b =
+        match (a, b) with
+        | Value.Enc ca, Value.Enc cb
+          when ca.Value.scheme = "ope" && cb.Value.scheme = "ope" ->
+            compare ca.Value.payload cb.Value.payload * order < 0
+        | Value.Enc _, _ | _, Value.Enc _ ->
+            err "min/max over non-OPE ciphertext"
+        | _ -> ( try Value.compare a b * order < 0 with Value.Incomparable _ -> false)
+      in
+      match non_null with
+      | [] -> Value.Null
+      | first :: rest ->
+          List.fold_left (fun best v -> if better v best then v else best) first rest)
+
+let group_by ?crypto table keys aggs =
+  let key_attrs = Attr.Set.elements keys in
+  let key_idx = List.map (Table.col_index table) key_attrs in
+  let groups = Hashtbl.create 64 in
+  let order = ref [] in
+  List.iter
+    (fun row ->
+      let k = String.concat "\x01" (List.map (fun i -> hash_key row.(i)) key_idx) in
+      match Hashtbl.find_opt groups k with
+      | Some rows -> Hashtbl.replace groups k (row :: rows)
+      | None ->
+          Hashtbl.add groups k [ row ];
+          order := k :: !order)
+    (Table.rows table);
+  let agg_outputs =
+    List.filter
+      (fun (a : Aggregate.t) -> not (Attr.Set.mem a.Aggregate.output keys))
+      aggs
+  in
+  let out_attrs = key_attrs @ List.map (fun (a : Aggregate.t) -> a.Aggregate.output) agg_outputs in
+  let rows =
+    List.rev_map
+      (fun k ->
+        let rows = List.rev (Hashtbl.find groups k) in
+        let first = List.hd rows in
+        let key_vals = List.map (fun i -> first.(i)) key_idx in
+        let agg_vals =
+          List.map
+            (fun (agg : Aggregate.t) ->
+              let operand_values =
+                match Aggregate.operand agg with
+                | Some a ->
+                    let i = Table.col_index table a in
+                    List.map (fun r -> r.(i)) rows
+                | None -> List.map (fun _ -> Value.Null) rows
+              in
+              aggregate ?crypto agg operand_values)
+            agg_outputs
+        in
+        Array.of_list (key_vals @ agg_vals))
+      !order
+  in
+  Table.create out_attrs rows
+
+let udf_apply ctx name inputs output table =
+  let f =
+    match List.assoc_opt name ctx.udfs with
+    | Some f -> f
+    | None -> err "unregistered udf %s" name
+  in
+  let input_attrs = Attr.Set.elements inputs in
+  let input_idx = List.map (Table.col_index table) input_attrs in
+  let dropped = Attr.Set.remove output inputs in
+  let out_attrs =
+    List.filter (fun a -> not (Attr.Set.mem a dropped)) (Table.attrs table)
+  in
+  let out_pos = List.map (Table.col_index table) out_attrs in
+  let out_index_of_output =
+    let rec find i = function
+      | [] -> err "udf output %s missing" (Attr.name output)
+      | a :: _ when Attr.equal a output -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 out_attrs
+  in
+  let rows =
+    List.map
+      (fun row ->
+        let result = f (List.map (fun i -> row.(i)) input_idx) in
+        let out = Array.of_list (List.map (fun i -> row.(i)) out_pos) in
+        out.(out_index_of_output) <- result;
+        out)
+      (Table.rows table)
+  in
+  Table.create out_attrs rows
+
+(* stable sort by the key list; OPE ciphertexts order by payload *)
+let order_by table keys =
+  let idx = List.map (fun (a, d) -> (Table.col_index table a, d)) keys in
+  let cmp r1 r2 =
+    let rec go = function
+      | [] -> 0
+      | (i, d) :: rest -> (
+          let c =
+            match (r1.(i), r2.(i)) with
+            | Value.Enc c1, Value.Enc c2 ->
+                String.compare c1.Value.payload c2.Value.payload
+            | v1, v2 -> (
+                try Value.compare v1 v2
+                with Value.Incomparable _ ->
+                  err "order_by over incomparable values")
+          in
+          let c = match d with Plan.Asc -> c | Plan.Desc -> -c in
+          if c <> 0 then c else go rest)
+    in
+    go idx
+  in
+  Table.create (Table.attrs table) (List.stable_sort cmp (Table.rows table))
+
+let limit table n =
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | r :: rest -> r :: take (k - 1) rest
+  in
+  Table.create (Table.attrs table) (take n (Table.rows table))
+
+let crypt_column ctx ~encrypt attrs table =
+  let crypto =
+    match ctx.crypto with
+    | Some c -> c
+    | None -> err "plan contains crypto operators but no crypto context given"
+  in
+  Attr.Set.fold
+    (fun a t ->
+      Table.map_column t a (fun v ->
+          if encrypt then Enc_exec.encrypt_value crypto a v
+          else Enc_exec.decrypt_value crypto v))
+    attrs table
+
+let run_with_hook ctx ~hook plan =
+  let rec go plan =
+    let result =
+      match Plan.node plan with
+      | Plan.Base s -> base ctx s
+      | Plan.Project (attrs, c) -> project (go c) attrs
+      | Plan.Select (pred, c) -> select ?crypto:ctx.crypto (go c) pred
+      | Plan.Product (l, r) -> product (go l) (go r)
+      | Plan.Join (pred, l, r) -> join ?crypto:ctx.crypto pred (go l) (go r)
+      | Plan.Group_by (keys, aggs, c) ->
+          group_by ?crypto:ctx.crypto (go c) keys aggs
+      | Plan.Udf (name, inputs, output, c) ->
+          udf_apply ctx name inputs output (go c)
+      | Plan.Order_by (keys, c) -> order_by (go c) keys
+      | Plan.Limit (n, c) -> limit (go c) n
+      | Plan.Encrypt (attrs, c) -> crypt_column ctx ~encrypt:true attrs (go c)
+      | Plan.Decrypt (attrs, c) -> crypt_column ctx ~encrypt:false attrs (go c)
+    in
+    hook plan result;
+    result
+  in
+  go plan
+
+let run ctx plan = run_with_hook ctx ~hook:(fun _ _ -> ()) plan

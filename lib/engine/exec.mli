@@ -1,0 +1,37 @@
+(** Plan execution over in-memory tables.
+
+    Executes both original plans and extended plans (with
+    [Encrypt]/[Decrypt] nodes, which require a crypto context). Joins use
+    a hash join on conjunctive equality pairs — including pairs of
+    deterministic ciphertexts — with a nested-loop fallback; group-by
+    hashes on the key tuple and supports homomorphic [sum]/[avg] over
+    Paillier ciphertexts and [min]/[max] over OPE ciphertexts. *)
+
+open Relalg
+
+exception Exec_error of string
+
+type udf = Value.t list -> Value.t
+(** Receives the values of the input attributes in attribute order. *)
+
+type context = {
+  tables : (string * Table.t) list;  (** base relations by name *)
+  udfs : (string * udf) list;
+  crypto : Enc_exec.ctx option;
+}
+
+val context :
+  ?udfs:(string * udf) list ->
+  ?crypto:Enc_exec.ctx ->
+  (string * Table.t) list ->
+  context
+
+val run : context -> Plan.t -> Table.t
+
+val run_with_hook :
+  context -> hook:(Plan.t -> Table.t -> unit) -> Plan.t -> Table.t
+(** Like {!run}, invoking [hook] on every node's output (post-order);
+    used by the runtime monitor. *)
+
+val hash_key : Value.t -> string
+(** Equality-compatible hash key (full ciphertext payload for [Enc]). *)

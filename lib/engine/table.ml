@@ -1,0 +1,103 @@
+open Relalg
+
+type t = {
+  attrs : Attr.t list;
+  index : int Attr.Map.t;
+  rows : Value.t array list;
+}
+
+let build_index attrs =
+  List.fold_left
+    (fun (i, m) a -> (i + 1, Attr.Map.add a i m))
+    (0, Attr.Map.empty) attrs
+  |> snd
+
+let create attrs rows =
+  let n = List.length attrs in
+  List.iter
+    (fun r ->
+      if Array.length r <> n then
+        invalid_arg
+          (Printf.sprintf "Table.create: row arity %d, header arity %d"
+             (Array.length r) n))
+    rows;
+  { attrs; index = build_index attrs; rows }
+
+let of_schema s rows = create (Schema.attr_list s) rows
+let attrs t = t.attrs
+let rows t = t.rows
+let cardinality t = List.length t.rows
+
+let col_index t a =
+  match Attr.Map.find_opt a t.index with
+  | Some i -> i
+  | None -> raise Not_found
+
+let value t row a = row.(col_index t a)
+
+let select_columns t cols =
+  let idx = List.map (col_index t) cols in
+  let project r = Array.of_list (List.map (fun i -> r.(i)) idx) in
+  create cols (List.map project t.rows)
+
+let map_column t a f =
+  let i = col_index t a in
+  let rows =
+    List.map
+      (fun r ->
+        let r' = Array.copy r in
+        r'.(i) <- f r.(i);
+        r')
+      t.rows
+  in
+  { t with rows }
+
+let append_rows t extra = create t.attrs (t.rows @ extra)
+
+let row_key r = String.concat "\x00" (Array.to_list (Array.map Value.to_string r))
+
+let equal_bag a b =
+  let a_sorted = List.sort Attr.compare a.attrs in
+  let b_sorted = List.sort Attr.compare b.attrs in
+  List.equal Attr.equal a_sorted b_sorted
+  &&
+  let canon t =
+    let t = select_columns t a_sorted in
+    List.sort String.compare (List.map row_key t.rows)
+  in
+  List.equal String.equal (canon a) (canon b)
+
+let value_bytes = function
+  | Value.Null -> 1
+  | Value.Bool _ -> 1
+  | Value.Int _ -> 8
+  | Value.Float _ -> 8
+  | Value.Str s -> String.length s
+  | Value.Date _ -> 4
+  | Value.Enc c -> String.length c.Value.payload + 8
+
+let byte_size t =
+  List.fold_left
+    (fun acc r -> Array.fold_left (fun acc v -> acc + value_bytes v) acc r)
+    0 t.rows
+
+let to_string ?(limit = 20) t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (String.concat " | " (List.map Attr.name t.attrs));
+  Buffer.add_char buf '\n';
+  List.iteri
+    (fun i r ->
+      if i < limit then begin
+        Buffer.add_string buf
+          (String.concat " | "
+             (Array.to_list (Array.map Value.to_string r)));
+        Buffer.add_char buf '\n'
+      end)
+    t.rows;
+  if cardinality t > limit then
+    Buffer.add_string buf
+      (Printf.sprintf "... (%d rows total)\n" (cardinality t));
+  Buffer.contents buf
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

@@ -1,0 +1,42 @@
+(** In-memory relations.
+
+    A table is an ordered list of attributes plus rows of values in that
+    order. Bag semantics throughout (SQL-style: projection does not
+    deduplicate). *)
+
+open Relalg
+
+type t
+
+val create : Attr.t list -> Value.t array list -> t
+(** Raises [Invalid_argument] when a row's arity differs from the
+    header's. *)
+
+val of_schema : Schema.t -> Value.t array list -> t
+
+val attrs : t -> Attr.t list
+val rows : t -> Value.t array list
+val cardinality : t -> int
+
+val col_index : t -> Attr.t -> int
+(** Raises [Not_found] for a foreign attribute. *)
+
+val value : t -> Value.t array -> Attr.t -> Value.t
+(** [value t row a] reads column [a] of a row of [t]. *)
+
+val select_columns : t -> Attr.t list -> t
+(** Keep (and reorder to) the given columns. *)
+
+val map_column : t -> Attr.t -> (Value.t -> Value.t) -> t
+(** Apply a function to one column of every row. *)
+
+val append_rows : t -> Value.t array list -> t
+
+val equal_bag : t -> t -> bool
+(** Multiset equality up to row order and column order. *)
+
+val byte_size : t -> int
+(** Approximate size in bytes (used by cost accounting). *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : ?limit:int -> t -> string

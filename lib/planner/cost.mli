@@ -1,0 +1,47 @@
+(** Economic cost model (Sec. 7).
+
+    [C_q = Σ_n C_cpu + C_io + C_net_io]: per node, CPU time × the
+    executor's per-minute price, locally processed volume × the I/O
+    price, and — on every edge whose endpoints have different executors —
+    transferred volume × the sender's egress price. Encryption and
+    decryption operators are charged CPU by scheme (Paillier orders of
+    magnitude above symmetric schemes) and change transferred volumes
+    through ciphertext expansion. *)
+
+open Relalg
+
+type breakdown = {
+  cpu : float;
+  io : float;
+  net : float;
+  seconds : float;  (** total work time (CPU + transfer, summed) *)
+  latency : float;
+      (** critical-path completion time: parallel branches overlap,
+          transfers on the slow client link dominate — the quantity the
+          paper's performance threshold bounds (Sec. 7) *)
+  per_subject : (Authz.Subject.t * float) list;  (** USD by participant *)
+}
+
+val total : breakdown -> float
+val zero : breakdown
+val add : breakdown -> breakdown -> breakdown
+
+val cpu_minutes :
+  scheme_of:(Attr.t -> Mpq_crypto.Scheme.t) ->
+  node:Plan.t ->
+  child_stats:Estimate.stats list ->
+  out_stats:Estimate.stats ->
+  float
+(** CPU minutes to execute one node (crypto operators are charged by
+    volume and scheme; udfs at 100× the relational per-tuple cost). *)
+
+val of_extended :
+  pricing:Pricing.t ->
+  network:Network.t ->
+  base:Estimate.base_stats ->
+  scheme_of:(Attr.t -> Mpq_crypto.Scheme.t) ->
+  Authz.Extend.t ->
+  breakdown
+(** Exact cost of a minimally extended plan under a given assignment. *)
+
+val pp : Format.formatter -> breakdown -> unit

@@ -1,0 +1,137 @@
+open Relalg
+module Scheme = Mpq_crypto.Scheme
+
+type stats = { card : float; widths : float Attr.Map.t }
+type base_stats = string -> stats option
+
+let row_bytes s = Attr.Map.fold (fun _ w acc -> acc +. w) s.widths 0.0
+let table_bytes s = s.card *. row_bytes s
+
+let of_widths ~card widths =
+  { card;
+    widths =
+      List.fold_left
+        (fun m (n, w) -> Attr.Map.add (Attr.make n) w m)
+        Attr.Map.empty widths }
+
+let default_selectivity = function
+  | Predicate.Cmp_const (_, (Predicate.Eq | Predicate.Neq), _) -> 0.1
+  | Predicate.Cmp_const (_, _, _) -> 1.0 /. 3.0
+  | Predicate.Cmp_attr (_, (Predicate.Eq | Predicate.Neq), _) -> 0.1
+  | Predicate.Cmp_attr (_, _, _) -> 1.0 /. 3.0
+  | Predicate.In_list (_, vs) ->
+      Float.min 0.5 (0.05 *. float_of_int (List.length vs))
+  | Predicate.Like _ -> 0.05
+
+let predicate_selectivity pred =
+  (* clauses multiply; atoms within a clause (disjunction) add, capped *)
+  List.fold_left
+    (fun acc clause ->
+      let s =
+        Float.min 1.0
+          (List.fold_left (fun a atom -> a +. default_selectivity atom) 0.0
+             clause)
+      in
+      acc *. s)
+    1.0 pred
+
+let restrict_widths widths attrs =
+  Attr.Map.filter (fun a _ -> Attr.Set.mem a attrs) widths
+
+let annotate ?(scheme_of = fun _ -> Scheme.Det) ~base plan =
+  let table = ref Authz.Imap.empty in
+  let record n s =
+    table := Authz.Imap.add (Plan.id n) s !table;
+    s
+  in
+  let width widths a =
+    match Attr.Map.find_opt a widths with Some w -> w | None -> 8.0
+  in
+  let rec go n =
+    let s =
+      match Plan.node n with
+      | Plan.Base sch -> (
+          match base sch.Schema.name with
+          | Some s -> s
+          | None ->
+              (* default: small relation, 8-byte columns *)
+              { card = 1000.0;
+                widths =
+                  List.fold_left
+                    (fun m a -> Attr.Map.add a 8.0 m)
+                    Attr.Map.empty
+                    (Schema.attr_list sch) })
+      | Plan.Project (attrs, c) ->
+          let cs = go c in
+          { cs with widths = restrict_widths cs.widths attrs }
+      | Plan.Select (pred, c) ->
+          let cs = go c in
+          { cs with card = Float.max 1.0 (cs.card *. predicate_selectivity pred) }
+      | Plan.Product (l, r) ->
+          let ls = go l and rs = go r in
+          { card = ls.card *. rs.card;
+            widths = Attr.Map.union (fun _ a _ -> Some a) ls.widths rs.widths }
+      | Plan.Join (pred, l, r) ->
+          let ls = go l and rs = go r in
+          let pairs = List.length (Predicate.attr_pairs pred) in
+          (* classic equi-join estimate: |L|*|R| / max(|L|,|R|) per pair *)
+          let card =
+            if pairs > 0 then
+              Float.max 1.0
+                (ls.card *. rs.card /. Float.max ls.card rs.card)
+            else ls.card *. rs.card *. predicate_selectivity pred
+          in
+          { card;
+            widths = Attr.Map.union (fun _ a _ -> Some a) ls.widths rs.widths }
+      | Plan.Group_by (keys, aggs, c) ->
+          let cs = go c in
+          (* distinct groups: a tenth of the input, floored *)
+          let card = Float.max 1.0 (cs.card /. 10.0) in
+          let kept =
+            List.fold_left
+              (fun acc (a : Aggregate.t) -> Attr.Set.add a.Aggregate.output acc)
+              keys aggs
+          in
+          let widths =
+            Attr.Set.fold
+              (fun a m -> Attr.Map.add a (width cs.widths a) m)
+              kept Attr.Map.empty
+          in
+          { card; widths }
+      | Plan.Udf (_, inputs, output, c) ->
+          let cs = go c in
+          let dropped = Attr.Set.remove output inputs in
+          { cs with
+            widths =
+              Attr.Map.filter (fun a _ -> not (Attr.Set.mem a dropped)) cs.widths }
+      | Plan.Order_by (_, c) -> go c
+      | Plan.Limit (n, c) ->
+          let cs = go c in
+          { cs with card = Float.min cs.card (float_of_int n) }
+      | Plan.Encrypt (attrs, c) ->
+          let cs = go c in
+          let widths =
+            Attr.Set.fold
+              (fun a m ->
+                Attr.Map.add a
+                  (width cs.widths a *. Scheme.expansion (scheme_of a))
+                  m)
+              attrs cs.widths
+          in
+          { cs with widths }
+      | Plan.Decrypt (attrs, c) ->
+          let cs = go c in
+          let widths =
+            Attr.Set.fold
+              (fun a m ->
+                Attr.Map.add a
+                  (width cs.widths a /. Scheme.expansion (scheme_of a))
+                  m)
+              attrs cs.widths
+          in
+          { cs with widths }
+    in
+    record n s
+  in
+  ignore (go plan);
+  !table

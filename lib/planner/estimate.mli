@@ -1,0 +1,38 @@
+(** Cardinality and size estimation.
+
+    A textbook System-R-style estimator standing in for the PostgreSQL
+    optimizer the paper reads its estimates from (DESIGN.md documents the
+    substitution). Tracks per-attribute byte widths so that encryption's
+    ciphertext expansion (per-scheme factors) shows up in transferred
+    volumes. *)
+
+open Relalg
+
+type stats = {
+  card : float;  (** estimated row count *)
+  widths : float Attr.Map.t;  (** average bytes per attribute *)
+}
+
+type base_stats = string -> stats option
+(** Statistics of base relations by name. *)
+
+val row_bytes : stats -> float
+val table_bytes : stats -> float
+
+val of_widths : card:float -> (string * float) list -> stats
+
+val default_selectivity : Predicate.atom -> float
+(** 0.1 for equality with a constant, 1/3 for ranges, 0.05 for LIKE,
+    0.25 for IN. *)
+
+val predicate_selectivity : Predicate.t -> float
+(** CNF combination: clauses multiply, atoms of a disjunction add
+    (capped at 1). *)
+
+val annotate :
+  ?scheme_of:(Attr.t -> Mpq_crypto.Scheme.t) ->
+  base:base_stats ->
+  Plan.t ->
+  stats Authz.Imap.t
+(** Per-node output statistics. [scheme_of] determines the expansion
+    factor applied by [Encrypt] nodes (default: deterministic). *)

@@ -1,0 +1,160 @@
+open Relalg
+
+let max_blocks = 12
+
+(* stats for a subtree, via the shared estimator *)
+let stats_of ~base plan =
+  Authz.Imap.find (Plan.id plan) (Estimate.annotate ~base plan)
+
+let clause_attrs clause =
+  Attr.Set.of_list
+    (List.concat_map
+       (function
+         | Predicate.Cmp_const (a, _, _)
+         | Predicate.In_list (a, _)
+         | Predicate.Like (a, _) ->
+             [ a ]
+         | Predicate.Cmp_attr (a, _, b) -> [ a; b ])
+       clause)
+
+let clause_has_pair clause =
+  List.exists (function Predicate.Cmp_attr _ -> true | _ -> false) clause
+
+(* flatten a maximal join region into blocks + the union of clauses *)
+let rec blocks_of plan =
+  match Plan.node plan with
+  | Plan.Join (pred, l, r) ->
+      let bl, cl = blocks_of l and br, cr = blocks_of r in
+      (bl @ br, cl @ cr @ pred)
+  | _ -> ([ plan ], [])
+
+let rec reorder ~base plan =
+  match Plan.node plan with
+  | Plan.Join _ -> (
+      let blocks, clauses = blocks_of plan in
+      let blocks = List.map (reorder ~base) blocks in
+      if List.length blocks < 2 || List.length blocks > max_blocks then
+        rebuild_untouched ~base plan
+      else dp ~base blocks clauses)
+  | Plan.Base s -> Plan.base s
+  | Plan.Project (a, c) -> Plan.project a (reorder ~base c)
+  | Plan.Select (p, c) -> Plan.select p (reorder ~base c)
+  | Plan.Product (l, r) -> Plan.product (reorder ~base l) (reorder ~base r)
+  | Plan.Group_by (k, ag, c) -> Plan.group_by k ag (reorder ~base c)
+  | Plan.Udf (n, i, o, c) -> Plan.udf n i o (reorder ~base c)
+  | Plan.Order_by (k, c) -> Plan.order_by k (reorder ~base c)
+  | Plan.Limit (n, c) -> Plan.limit n (reorder ~base c)
+  | Plan.Encrypt (a, c) -> Plan.encrypt a (reorder ~base c)
+  | Plan.Decrypt (a, c) -> Plan.decrypt a (reorder ~base c)
+
+and rebuild_untouched ~base plan =
+  match Plan.node plan with
+  | Plan.Join (p, l, r) -> Plan.join p (reorder ~base l) (reorder ~base r)
+  | _ -> assert false
+
+(* System R DP, left-deep, over <= max_blocks inputs. State per subset
+   bitmask: best (cost, plan, card, applied clause indexes). *)
+and dp ~base blocks clauses =
+  let n = List.length blocks in
+  let block = Array.of_list blocks in
+  let bstats = Array.map (fun b -> stats_of ~base b) block in
+  let bschema = Array.map Plan.schema block in
+  let nclauses = List.length clauses in
+  let clause = Array.of_list clauses in
+  let cattrs = Array.map clause_attrs clause in
+  (* subset -> (cost, plan, card, applied bitmask) *)
+  let best : (float * Plan.t * float * int) option array =
+    Array.make (1 lsl n) None
+  in
+  for i = 0 to n - 1 do
+    best.(1 lsl i) <- Some (0.0, block.(i), bstats.(i).Estimate.card, 0)
+  done;
+  let schema_of_mask mask =
+    let s = ref Attr.Set.empty in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then s := Attr.Set.union !s bschema.(i)
+    done;
+    !s
+  in
+  let consider mask =
+    (* extend every strict subset missing exactly one block *)
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 && mask <> 1 lsl i then begin
+        let rest = mask lxor (1 lsl i) in
+        match best.(rest) with
+        | None -> ()
+        | Some (cost, left, lcard, applied) ->
+            let combined = Attr.Set.union (schema_of_mask rest) bschema.(i) in
+            (* clauses that become applicable here *)
+            let newly =
+              List.filter
+                (fun k ->
+                  applied land (1 lsl k) = 0
+                  && Attr.Set.subset cattrs.(k) combined)
+                (List.init nclauses Fun.id)
+            in
+            let pair_clauses, filter_clauses =
+              List.partition (fun k -> clause_has_pair clause.(k)) newly
+            in
+            let rcard = bstats.(i).Estimate.card in
+            let card =
+              if pair_clauses <> [] then
+                Float.max 1.0 (lcard *. rcard /. Float.max lcard rcard)
+              else lcard *. rcard
+            in
+            (* residual constant clauses reduce cardinality *)
+            let card =
+              List.fold_left
+                (fun c k ->
+                  Float.max 1.0
+                    (c *. Estimate.predicate_selectivity [ clause.(k) ]))
+                card filter_clauses
+            in
+            let node () =
+              let right = block.(i) in
+              let joined =
+                if pair_clauses <> [] then
+                  Plan.join (List.map (fun k -> clause.(k)) pair_clauses) left
+                    right
+                else Plan.product left right
+              in
+              if filter_clauses = [] then joined
+              else
+                Plan.select (List.map (fun k -> clause.(k)) filter_clauses)
+                  joined
+            in
+            let cost' = cost +. card in
+            let applied' =
+              List.fold_left (fun a k -> a lor (1 lsl k)) applied newly
+            in
+            (match best.(mask) with
+            | Some (c, _, _, _) when c <= cost' -> ()
+            | _ -> best.(mask) <- Some (cost', node (), card, applied'))
+      end
+    done
+  in
+  for mask = 1 to (1 lsl n) - 1 do
+    consider mask
+  done;
+  match best.((1 lsl n) - 1) with
+  | Some (_, plan, _, applied) ->
+      (* any clause never applied (attrs outside all blocks — impossible
+         for well-formed regions) would be dropped; guard: *)
+      let leftover =
+        List.filter
+          (fun k -> applied land (1 lsl k) = 0)
+          (List.init nclauses Fun.id)
+      in
+      if leftover = [] then plan
+      else Plan.select (List.map (fun k -> clause.(k)) leftover) plan
+  | None -> assert false
+
+let cout ~base plan =
+  let stats = Estimate.annotate ~base plan in
+  Plan.fold
+    (fun acc n ->
+      match Plan.node n with
+      | Plan.Join _ | Plan.Product _ ->
+          acc +. (Authz.Imap.find (Plan.id n) stats).Estimate.card
+      | _ -> acc)
+    0.0 plan

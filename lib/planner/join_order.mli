@@ -1,0 +1,22 @@
+(** Classical join-order optimization (System R style).
+
+    The paper assumes input plans "produced with classical optimization
+    criteria" (Sec. 1); our SQL front end, like any naive translator,
+    joins relations in FROM order. This pass rewrites every maximal
+    region of conjunctive equi-joins into the cheapest left-deep order
+    under the C_out metric (sum of intermediate cardinalities), using
+    the same cardinality model as {!Estimate}. Join predicates are placed
+    at the earliest join where both sides are available; disconnected
+    regions fall back to cartesian products, ordered last. *)
+
+open Relalg
+
+val reorder : base:Estimate.base_stats -> Plan.t -> Plan.t
+(** Rewrites join regions; every other operator is preserved in place.
+    The result computes the same relation (joins are commutative and
+    associative over bags). Regions with more than 12 inputs are left
+    untouched (exhaustive DP would blow up). *)
+
+val cout : base:Estimate.base_stats -> Plan.t -> float
+(** The C_out objective: the sum of estimated cardinalities of all join
+    and product nodes (used by tests and the ablation bench). *)

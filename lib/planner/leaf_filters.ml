@@ -1,0 +1,59 @@
+open Relalg
+
+let const_only pred =
+  List.for_all
+    (fun clause ->
+      List.for_all
+        (function
+          | Predicate.Cmp_const _ | Predicate.In_list _ | Predicate.Like _ ->
+              true
+          | Predicate.Cmp_attr _ -> false)
+        clause)
+    pred
+
+let rec source_relation plan =
+  match Plan.node plan with
+  | Plan.Base s -> Some s.Schema.name
+  | Plan.Project (_, c) -> source_relation c
+  | _ -> None
+
+let foldable plan =
+  match Plan.node plan with
+  | Plan.Select (pred, c) -> const_only pred && source_relation c <> None
+  | _ -> false
+
+let fold plan =
+  let factors = ref [] in
+  let note rel sel =
+    let prev = try List.assoc rel !factors with Not_found -> 1.0 in
+    factors := (rel, prev *. sel) :: List.remove_assoc rel !factors
+  in
+  let rec go p =
+    match Plan.node p with
+    | Plan.Base s -> Plan.base s
+    | Plan.Select (pred, c) when foldable p ->
+        (match source_relation c with
+        | Some rel ->
+            note rel (Estimate.predicate_selectivity pred)
+        | None -> ());
+        go c
+    | Plan.Project (a, c) -> Plan.project a (go c)
+    | Plan.Select (pred, c) -> Plan.select pred (go c)
+    | Plan.Product (l, r) -> Plan.product (go l) (go r)
+    | Plan.Join (pred, l, r) -> Plan.join pred (go l) (go r)
+    | Plan.Group_by (k, ag, c) -> Plan.group_by k ag (go c)
+    | Plan.Udf (n, i, o, c) -> Plan.udf n i o (go c)
+    | Plan.Order_by (k, c) -> Plan.order_by k (go c)
+    | Plan.Limit (n, c) -> Plan.limit n (go c)
+    | Plan.Encrypt (a, c) -> Plan.encrypt a (go c)
+    | Plan.Decrypt (a, c) -> Plan.decrypt a (go c)
+  in
+  let plan' = go plan in
+  (plan', !factors)
+
+let scale_stats base factors name =
+  match base name with
+  | None -> None
+  | Some s ->
+      let f = try List.assoc name factors with Not_found -> 1.0 in
+      Some { s with Estimate.card = Float.max 1.0 (s.Estimate.card *. f) }

@@ -1,0 +1,30 @@
+(** Folding source-side constant filters into leaves.
+
+    The paper draws leaves as boxes containing "(the projection of) a
+    source relation", with empty implicit content — and reads its input
+    plans off the PostgreSQL optimizer, where constant predicates appear
+    as filters {e on the scan nodes}, i.e. inside those boxes. A
+    selection kept as an explicit plan node instead leaves an implicit
+    trace (Fig. 2) that, when its evaluation needs plaintext (LIKE, or a
+    scheme-less range), locks every ancestor to plaintext-authorized
+    subjects.
+
+    [fold] rewrites a plan to the PostgreSQL-mapped reading: selections
+    sitting directly on a (projected) base relation whose atoms only
+    compare attributes with constants are removed, and their selectivity
+    is returned so that base statistics can be scaled accordingly. The
+    filter still runs — at the data authority, on its own data, before
+    release — it just is not a delegable plan node anymore, and the
+    released relation is profiled as a plain (sub-)relation. *)
+
+open Relalg
+
+val fold : Plan.t -> Plan.t * (string * float) list
+(** [(plan', factors)]: the rewritten plan and, per base-relation name,
+    the cardinality multiplier of the folded filters. *)
+
+val scale_stats :
+  Estimate.base_stats -> (string * float) list -> Estimate.base_stats
+
+val foldable : Plan.t -> bool
+(** Is this node a source-side constant selection? *)

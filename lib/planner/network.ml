@@ -1,0 +1,13 @@
+type t = { backbone_bps : float; client_bps : float }
+
+let make ?(backbone_gbps = 10.0) ?(client_mbps = 100.0) () =
+  { backbone_bps = backbone_gbps *. 1e9; client_bps = client_mbps *. 1e6 }
+
+let is_user (s : Authz.Subject.t) = s.Authz.Subject.role = Authz.Subject.User
+
+let bandwidth_bps t a b =
+  if is_user a || is_user b then t.client_bps else t.backbone_bps
+
+let transfer_seconds t a b bytes =
+  if Authz.Subject.equal a b then 0.0
+  else 8.0 *. bytes /. bandwidth_bps t a b

@@ -1,0 +1,50 @@
+(** End-to-end authorization-aware planning (Sec. 6's five steps).
+
+    Given a query plan, a policy, the participating subjects, prices and
+    network: resolve scheme conflicts, compute candidates (step 1),
+    choose a minimum-cost assignment (step 2, DP), inject minimal
+    encryption/decryption (step 3), derive the plan keys (step 4), and
+    build the dispatch requests (step 5). *)
+
+open Relalg
+
+type result = {
+  config : Authz.Opreq.config;  (** after conflict resolution *)
+  candidates : Authz.Candidates.t;
+  assignment : Authz.Subject.t Authz.Imap.t;
+  extended : Authz.Extend.t;
+  clusters : Authz.Plan_keys.cluster list;
+  requests : Authz.Dispatch.request list;
+  cost : Cost.breakdown;
+  scheme_of : Attr.t -> Mpq_crypto.Scheme.t;
+}
+
+exception No_candidate of string
+(** Raised when some operation admits no authorized executor — the query
+    cannot run under the policy. *)
+
+exception User_not_authorized of string
+(** Raised when [deliver_to] is given but that subject is not authorized
+    for some base relation the query reads (Sec. 6: "a user requesting
+    query execution is required to be authorized to access all data that
+    are input to the query"). *)
+
+val plan :
+  policy:Authz.Authorization.t ->
+  subjects:Authz.Subject.t list ->
+  ?config:Authz.Opreq.config ->
+  ?pricing:Pricing.t ->
+  ?network:Network.t ->
+  ?base:Estimate.base_stats ->
+  ?deliver_to:Authz.Subject.t ->
+  ?max_latency:float ->
+  Plan.t ->
+  result
+(** [max_latency] (seconds) is the paper's performance threshold: among
+    the explored assignments, the cheapest whose critical-path latency
+    stays under the bound wins; when none qualifies, the lowest-latency
+    one is returned (cost is secondary at that point). *)
+
+val report : result -> string
+(** Human-readable planning report: annotated plan, keys, requests,
+    cost. *)

@@ -1,0 +1,42 @@
+type rates = {
+  cpu_per_min : float;
+  io_per_gb : float;
+  net_out_per_gb : float;
+}
+
+type t = {
+  provider_multipliers : (string * float) list;
+  authority_factor : float;
+  user_factor : float;
+}
+
+let base_provider_rates =
+  { cpu_per_min = 0.01; io_per_gb = 0.001; net_out_per_gb = 0.02 }
+
+let make ?(provider_multipliers = []) ?(authority_factor = 3.0)
+    ?(user_factor = 10.0) () =
+  { provider_multipliers; authority_factor; user_factor }
+
+let scale f r =
+  { cpu_per_min = r.cpu_per_min *. f;
+    io_per_gb = r.io_per_gb *. f;
+    net_out_per_gb = r.net_out_per_gb *. f }
+
+let rates_for t (s : Authz.Subject.t) =
+  match s.Authz.Subject.role with
+  | Authz.Subject.Provider ->
+      let f =
+        match List.assoc_opt s.Authz.Subject.name t.provider_multipliers with
+        | Some f -> f
+        | None -> 1.0
+      in
+      scale f base_provider_rates
+  | Authz.Subject.Authority ->
+      { (scale 1.0 base_provider_rates) with
+        cpu_per_min = base_provider_rates.cpu_per_min *. t.authority_factor }
+  | Authz.Subject.User ->
+      { (scale 1.0 base_provider_rates) with
+        cpu_per_min = base_provider_rates.cpu_per_min *. t.user_factor }
+
+let cheapest_provider_factor t =
+  List.fold_left (fun acc (_, f) -> Float.min acc f) 1.0 t.provider_multipliers

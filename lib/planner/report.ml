@@ -1,0 +1,94 @@
+open Relalg
+
+let attr_set_json s =
+  Json.List (List.map (fun a -> Json.String (Attr.name a)) (Attr.Set.elements s))
+
+let profile_json (p : Authz.Profile.t) =
+  Json.Obj
+    [ ("visible_plaintext", attr_set_json p.Authz.Profile.vp);
+      ("visible_encrypted", attr_set_json p.Authz.Profile.ve);
+      ("implicit_plaintext", attr_set_json p.Authz.Profile.ip);
+      ("implicit_encrypted", attr_set_json p.Authz.Profile.ie);
+      ( "equivalence_sets",
+        Json.List
+          (List.map attr_set_json (Authz.Partition.sets p.Authz.Profile.eq)) )
+    ]
+
+let rec plan_json ?profiles ?assignment plan =
+  let base =
+    [ ("id", Json.Int (Plan.id plan));
+      ("operator", Json.String (Plan.operator_name plan));
+      ("label", Json.String (Plan_printer.node_label plan)) ]
+  in
+  let annot =
+    (match assignment with
+    | Some m -> (
+        match Authz.Imap.find_opt (Plan.id plan) m with
+        | Some s -> [ ("executor", Json.String (Authz.Subject.name s)) ]
+        | None -> [])
+    | None -> [])
+    @
+    match profiles with
+    | Some tbl -> (
+        match Hashtbl.find_opt tbl (Plan.id plan) with
+        | Some p -> [ ("profile", profile_json p) ]
+        | None -> [])
+    | None -> []
+  in
+  let children =
+    match Plan.children plan with
+    | [] -> []
+    | cs ->
+        [ ( "children",
+            Json.List (List.map (plan_json ?profiles ?assignment) cs) ) ]
+  in
+  Json.Obj (base @ annot @ children)
+
+let cluster_json (c : Authz.Plan_keys.cluster) =
+  Json.Obj
+    [ ("id", Json.String c.Authz.Plan_keys.id);
+      ("attributes", attr_set_json c.Authz.Plan_keys.attrs);
+      ( "scheme",
+        Json.String (Mpq_crypto.Scheme.name c.Authz.Plan_keys.scheme) );
+      ( "holders",
+        Json.List
+          (List.map
+             (fun s -> Json.String (Authz.Subject.name s))
+             (Authz.Subject.Set.elements c.Authz.Plan_keys.holders)) ) ]
+
+let request_json (r : Authz.Dispatch.request) =
+  Json.Obj
+    [ ("name", Json.String r.Authz.Dispatch.name);
+      ("subject", Json.String (Authz.Subject.name r.Authz.Dispatch.subject));
+      ("expression", Json.String r.Authz.Dispatch.expression);
+      ( "keys",
+        Json.List
+          (List.map (fun k -> Json.String k) r.Authz.Dispatch.key_clusters) );
+      ( "calls",
+        Json.List (List.map (fun c -> Json.String c) r.Authz.Dispatch.calls) )
+    ]
+
+let cost_json (c : Cost.breakdown) =
+  Json.Obj
+    [ ("total_usd", Json.Float (Cost.total c));
+      ("cpu_usd", Json.Float c.Cost.cpu);
+      ("io_usd", Json.Float c.Cost.io);
+      ("net_usd", Json.Float c.Cost.net);
+      ("latency_seconds", Json.Float c.Cost.latency);
+      ( "per_subject",
+        Json.Obj
+          (List.map
+             (fun (s, v) -> (Authz.Subject.name s, Json.Float v))
+             c.Cost.per_subject) ) ]
+
+let result_json (r : Optimizer.result) =
+  Json.Obj
+    [ ( "plan",
+        plan_json ~profiles:r.Optimizer.extended.Authz.Extend.profiles
+          ~assignment:r.Optimizer.extended.Authz.Extend.assignment
+          r.Optimizer.extended.Authz.Extend.plan );
+      ("keys", Json.List (List.map cluster_json r.Optimizer.clusters));
+      ("dispatch", Json.List (List.map request_json r.Optimizer.requests));
+      ("cost", cost_json r.Optimizer.cost) ]
+
+let to_string r = Json.to_string (result_json r)

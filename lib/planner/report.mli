@@ -1,0 +1,16 @@
+(** Machine-readable planning reports.
+
+    JSON export of an {!Optimizer.result}: the extended plan tree with
+    per-node executor and profile, the key clusters with schemes and
+    holders, the dispatch requests, and the cost breakdown. Consumed by
+    external visualization or audit tooling (and by `mpqcli --json`). *)
+
+val plan_json :
+  ?profiles:(int, Authz.Profile.t) Hashtbl.t ->
+  ?assignment:Authz.Subject.t Authz.Imap.t ->
+  Relalg.Plan.t ->
+  Relalg.Json.t
+(** Plan tree with optional per-node annotations. *)
+
+val result_json : Optimizer.result -> Relalg.Json.t
+val to_string : Optimizer.result -> string

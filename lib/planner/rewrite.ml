@@ -1,0 +1,116 @@
+open Relalg
+
+(* --- selection pushdown ----------------------------------------------- *)
+
+let clause_attrs clause =
+  Attr.Set.of_list
+    (List.concat_map
+       (function
+         | Predicate.Cmp_const (a, _, _)
+         | Predicate.In_list (a, _)
+         | Predicate.Like (a, _) ->
+             [ a ]
+         | Predicate.Cmp_attr (a, _, b) -> [ a; b ])
+       clause)
+
+(* push the clauses of [pending] as deep as possible over [plan] *)
+let rec push pending plan =
+  let wrap clauses node =
+    match clauses with [] -> node | _ -> Plan.select clauses node
+  in
+  match Plan.node plan with
+  | Plan.Select (pred, c) -> push (pending @ pred) c
+  | Plan.Project (a, c) ->
+      let inside, outside =
+        List.partition (fun cl -> Attr.Set.subset (clause_attrs cl) a) pending
+      in
+      (* clauses over projected-away attributes cannot exist (they came
+         from selections above the projection), but keep the guard *)
+      wrap outside (Plan.project a (push inside c))
+  | Plan.Join (pred, l, r) ->
+      let ls = Plan.schema l and rs = Plan.schema r in
+      let to_l, rest =
+        List.partition (fun cl -> Attr.Set.subset (clause_attrs cl) ls) pending
+      in
+      let to_r, keep =
+        List.partition (fun cl -> Attr.Set.subset (clause_attrs cl) rs) rest
+      in
+      wrap keep (Plan.join pred (push to_l l) (push to_r r))
+  | Plan.Product (l, r) ->
+      let ls = Plan.schema l and rs = Plan.schema r in
+      let to_l, rest =
+        List.partition (fun cl -> Attr.Set.subset (clause_attrs cl) ls) pending
+      in
+      let to_r, keep =
+        List.partition (fun cl -> Attr.Set.subset (clause_attrs cl) rs) rest
+      in
+      wrap keep (Plan.product (push to_l l) (push to_r r))
+  | Plan.Base s -> wrap pending (Plan.base s)
+  | Plan.Group_by (k, ag, c) ->
+      (* selections over group keys could commute, but a clause over an
+         aggregate output cannot; stay conservative *)
+      wrap pending (Plan.group_by k ag (push [] c))
+  | Plan.Udf (n, i, o, c) -> wrap pending (Plan.udf n i o (push [] c))
+  | Plan.Order_by (k, c) ->
+      (* selection commutes with sorting *)
+      Plan.order_by k (push pending c)
+  | Plan.Limit (n, c) -> wrap pending (Plan.limit n (push [] c))
+  | Plan.Encrypt (a, c) -> wrap pending (Plan.encrypt a (push [] c))
+  | Plan.Decrypt (a, c) -> wrap pending (Plan.decrypt a (push [] c))
+
+let push_selections plan = push [] plan
+
+(* --- projection pruning ------------------------------------------------ *)
+
+let rec prune needed plan =
+  let needed = Attr.Set.inter needed (Plan.schema plan) in
+  let needed =
+    (* never produce an empty relation schema *)
+    if Attr.Set.is_empty needed then
+      Attr.Set.singleton (Attr.Set.min_elt (Plan.schema plan))
+    else needed
+  in
+  match Plan.node plan with
+  | Plan.Base s ->
+      if Attr.Set.equal needed (Schema.attrs s) then Plan.base s
+      else Plan.project needed (Plan.base s)
+  | Plan.Project (_, c) ->
+      (* collapse: the narrower requirement wins *)
+      let c' = prune needed c in
+      if Attr.Set.equal (Plan.schema c') needed then c'
+      else Plan.project needed c'
+  | Plan.Select (p, c) ->
+      Plan.select p (prune (Attr.Set.union needed (Predicate.attrs p)) c)
+  | Plan.Join (p, l, r) ->
+      let want = Attr.Set.union needed (Predicate.attrs p) in
+      Plan.join p
+        (prune (Attr.Set.inter want (Plan.schema l)) l)
+        (prune (Attr.Set.inter want (Plan.schema r)) r)
+  | Plan.Product (l, r) ->
+      Plan.product
+        (prune (Attr.Set.inter needed (Plan.schema l)) l)
+        (prune (Attr.Set.inter needed (Plan.schema r)) r)
+  | Plan.Group_by (keys, aggs, c) ->
+      let operands =
+        List.fold_left
+          (fun acc (agg : Aggregate.t) ->
+            match Aggregate.operand agg with
+            | Some a -> Attr.Set.add a acc
+            | None -> acc)
+          Attr.Set.empty aggs
+      in
+      Plan.group_by keys aggs (prune (Attr.Set.union keys operands) c)
+  | Plan.Udf (n, i, o, c) ->
+      let pass_through = Attr.Set.diff needed (Attr.Set.singleton o) in
+      Plan.udf n i o (prune (Attr.Set.union pass_through i) c)
+  | Plan.Order_by (k, c) ->
+      let keys = Attr.Set.of_list (List.map fst k) in
+      Plan.order_by k (prune (Attr.Set.union needed keys) c)
+  | Plan.Limit (n, c) -> Plan.limit n (prune needed c)
+  | Plan.Encrypt (a, c) ->
+      Plan.encrypt a (prune (Attr.Set.union needed a) c)
+  | Plan.Decrypt (a, c) ->
+      Plan.decrypt a (prune (Attr.Set.union needed a) c)
+
+let prune_projections plan = prune (Plan.schema plan) plan
+let normalize plan = prune_projections (push_selections plan)

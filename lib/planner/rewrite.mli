@@ -1,0 +1,25 @@
+(** Classical plan normalization.
+
+    The paper assumes plans "produced with classical optimization
+    criteria and, in particular, projections pushed down to avoid
+    retrieving data that are not of interest" (Sec. 1). This pass
+    supplies that normal form for arbitrary plans:
+
+    - {b selection pushdown}: conjunct clauses of a selection move below
+      joins/products into the side covering their attributes (and
+      through projections); adjacent selections merge;
+    - {b projection pruning}: every subtree is narrowed to the
+      attributes its ancestors actually consume, with projections
+      re-inserted directly over base relations.
+
+    Both transformations preserve the computed relation (bag
+    semantics). Crypto operators are left untouched — normalization is
+    meant for original plans, before authorization-aware planning. *)
+
+open Relalg
+
+val push_selections : Plan.t -> Plan.t
+val prune_projections : Plan.t -> Plan.t
+
+val normalize : Plan.t -> Plan.t
+(** [prune_projections ∘ push_selections]. *)

@@ -1,0 +1,32 @@
+(** Aggregate functions for group-by nodes.
+
+    Following the paper's convention, the attribute produced by [f(a)]
+    keeps the name of [a] (Sec. 3.2, footnote 1); [Count_star] produces a
+    fresh attribute whose name the caller supplies. *)
+
+type func =
+  | Count_star
+  | Count of Attr.t
+  | Sum of Attr.t
+  | Avg of Attr.t
+  | Min of Attr.t
+  | Max of Attr.t
+
+type t = { func : func; output : Attr.t }
+
+val make : func -> t
+(** [make f] names the output after the operand attribute; for
+    [Count_star] the output is the attribute ["count"]. *)
+
+val make_named : func -> string -> t
+
+val operand : t -> Attr.t option
+(** The attribute the aggregate reads, if any ([Count_star] reads none). *)
+
+val needs_plaintext : t -> bool
+(** [Sum] and [Avg] can run over additively homomorphic ciphertext;
+    [Min]/[Max] over OPE; [Count]/[Count_star] over anything. Returns
+    [true] only for aggregates no available scheme supports (none here,
+    the planner refines this per scheme). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,29 @@
+type t = string
+
+let make name =
+  if String.length name = 0 then invalid_arg "Attr.make: empty name";
+  name
+
+let name a = a
+let compare = String.compare
+let equal = String.equal
+let hash = Hashtbl.hash
+let pp fmt a = Format.pp_print_string fmt a
+
+module Set = struct
+  include Stdlib.Set.Make (String)
+
+  let of_names names = of_list (List.map make names)
+
+  (* Single-letter attribute sets print as in the paper ("SDT"); longer
+     names fall back to comma separation. *)
+  let to_string s =
+    let names = elements s in
+    if names <> [] && List.for_all (fun n -> String.length n = 1) names then
+      String.concat "" names
+    else String.concat "," names
+
+  let pp fmt s = Format.pp_print_string fmt (to_string s)
+end
+
+module Map = Stdlib.Map.Make (String)

@@ -1,0 +1,36 @@
+(** Attribute identifiers.
+
+    Attributes are globally-named columns of base or derived relations.
+    The paper's running example uses one-letter names (S, B, D, T, C, P);
+    TPC-H uses qualified names such as [l_extendedprice]. An attribute is
+    just an interned name with total ordering, plus finite sets thereof. *)
+
+type t
+
+val make : string -> t
+(** [make name] is the attribute named [name]. Names are case-sensitive
+    and must be non-empty. *)
+
+val name : t -> string
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+
+val pp : Format.formatter -> t -> unit
+
+(** Finite sets of attributes, with the paper's compact rendering
+    (attribute names concatenated when they are single letters,
+    comma-separated otherwise). *)
+module Set : sig
+  include Stdlib.Set.S with type elt = t
+
+  val of_names : string list -> t
+  (** [of_names ["S"; "D"; "T"]] builds the set {S, D, T}. *)
+
+  val pp : Format.formatter -> t -> unit
+
+  val to_string : t -> string
+end
+
+module Map : Stdlib.Map.S with type key = t

@@ -1,0 +1,18 @@
+(** Minimal JSON document construction and serialization.
+
+    Just enough to export plans, profiles and planning reports to
+    external tooling without adding a dependency; no parser. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** Serialize; [pretty] (default true) indents with two spaces. Strings
+    are escaped per RFC 8259 (including control characters); non-finite
+    floats serialize as [null]. *)

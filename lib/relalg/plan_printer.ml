@@ -1,0 +1,89 @@
+let node_label (t : Plan.t) =
+  match Plan.node t with
+  | Base s -> Format.asprintf "%a" Schema.pp s
+  | Project (attrs, _) -> Printf.sprintf "π %s" (Attr.Set.to_string attrs)
+  | Select (pred, _) -> Printf.sprintf "σ %s" (Predicate.to_string pred)
+  | Product _ -> "×"
+  | Join (pred, _, _) -> Printf.sprintf "⋈ %s" (Predicate.to_string pred)
+  | Group_by (keys, aggs, _) ->
+      Printf.sprintf "γ %s%s"
+        (Attr.Set.to_string keys)
+        (match aggs with
+        | [] -> ""
+        | _ ->
+            "," ^ String.concat ","
+              (List.map (Format.asprintf "%a" Aggregate.pp) aggs))
+  | Udf (name, inputs, output, _) ->
+      Printf.sprintf "µ %s(%s)->%s" name
+        (Attr.Set.to_string inputs)
+        (Attr.name output)
+  | Order_by (keys, _) ->
+      Printf.sprintf "τ %s"
+        (String.concat ","
+           (List.map
+              (fun (a, d) ->
+                Attr.name a ^ match d with Plan.Asc -> "" | Plan.Desc -> "↓")
+              keys))
+  | Limit (n, _) -> Printf.sprintf "limit %d" n
+  | Encrypt (attrs, _) -> Printf.sprintf "encrypt %s" (Attr.Set.to_string attrs)
+  | Decrypt (attrs, _) -> Printf.sprintf "decrypt %s" (Attr.Set.to_string attrs)
+
+let to_ascii ?(annot = fun _ -> None) plan =
+  let buf = Buffer.create 256 in
+  let rec go prefix is_last t =
+    let branch = if prefix = "" then "" else if is_last then "└─ " else "├─ " in
+    Buffer.add_string buf prefix;
+    Buffer.add_string buf branch;
+    Buffer.add_string buf (node_label t);
+    (match annot t with
+    | Some a ->
+        Buffer.add_string buf "   ";
+        Buffer.add_string buf a
+    | None -> ());
+    Buffer.add_char buf '\n';
+    let cs = Plan.children t in
+    let n = List.length cs in
+    let child_prefix =
+      if prefix = "" then "  "
+      else prefix ^ (if is_last then "   " else "│  ")
+    in
+    List.iteri (fun i c -> go child_prefix (i = n - 1) c) cs
+  in
+  go "" true plan;
+  Buffer.contents buf
+
+let dot_escape s =
+  String.concat ""
+    (List.map
+       (function
+         | '"' -> "\\\"" | '\\' -> "\\\\" | '\n' -> "\\n" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let to_dot ?(annot = fun _ -> None) plan =
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "digraph plan {\n  node [fontname=\"monospace\"];\n";
+  Plan.iter
+    (fun n ->
+      let label =
+        match annot n with
+        | Some a -> node_label n ^ "\\n" ^ a
+        | None -> node_label n
+      in
+      let shape, style =
+        match Plan.node n with
+        | Base _ -> ("box", "")
+        | Encrypt _ -> ("box", ",style=filled,fillcolor=gray80")
+        | Decrypt _ -> ("box", ",style=filled,fillcolor=white")
+        | _ -> ("ellipse", "")
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\",shape=%s%s];\n" (Plan.id n)
+           (dot_escape label) shape style);
+      List.iter
+        (fun c ->
+          Buffer.add_string buf
+            (Printf.sprintf "  n%d -> n%d;\n" (Plan.id n) (Plan.id c)))
+        (Plan.children n))
+    plan;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

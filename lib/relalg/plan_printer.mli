@@ -1,0 +1,15 @@
+(** Rendering of query plans as ASCII trees and Graphviz dot.
+
+    Both renderers accept an optional [annot] callback producing an extra
+    per-node label (used by [authz] to attach profiles, candidate sets, or
+    assignments to each node). *)
+
+val to_ascii : ?annot:(Plan.t -> string option) -> Plan.t -> string
+(** Indented tree, one node per line, children below their parent. *)
+
+val to_dot : ?annot:(Plan.t -> string option) -> Plan.t -> string
+(** Graphviz digraph with leaves as boxes, operations as ellipses,
+    encryption as grey boxes (paper's visual convention). *)
+
+val node_label : Plan.t -> string
+(** One-line description of a node's operation, e.g. ["σ D='stroke'"]. *)

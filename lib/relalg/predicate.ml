@@ -1,0 +1,102 @@
+type op = Eq | Neq | Lt | Le | Gt | Ge
+type capability = Needs_equality | Needs_order | Needs_plaintext
+
+type atom =
+  | Cmp_const of Attr.t * op * Value.t
+  | Cmp_attr of Attr.t * op * Attr.t
+  | In_list of Attr.t * Value.t list
+  | Like of Attr.t * string
+
+type clause = atom list
+type t = clause list
+
+let conj atoms = List.map (fun a -> [ a ]) atoms
+let atoms t = List.concat t
+
+let attrs_of_atom = function
+  | Cmp_const (a, _, _) | In_list (a, _) | Like (a, _) -> [ a ]
+  | Cmp_attr (a, _, b) -> [ a; b ]
+
+let attrs t = Attr.Set.of_list (List.concat_map attrs_of_atom (atoms t))
+
+let attr_pairs t =
+  List.filter_map
+    (function Cmp_attr (a, _, b) -> Some (a, b) | _ -> None)
+    (atoms t)
+
+let const_attrs t =
+  Attr.Set.of_list
+    (List.filter_map
+       (function
+         | Cmp_const (a, _, _) | In_list (a, _) | Like (a, _) -> Some a
+         | Cmp_attr _ -> None)
+       (atoms t))
+
+let capability_of_op = function
+  | Eq | Neq -> Needs_equality
+  | Lt | Le | Gt | Ge -> Needs_order
+
+let capability_of_atom = function
+  | Cmp_const (_, op, _) | Cmp_attr (_, op, _) -> capability_of_op op
+  | In_list _ -> Needs_equality
+  | Like _ -> Needs_plaintext
+
+let negate_op = function
+  | Eq -> Neq
+  | Neq -> Eq
+  | Lt -> Ge
+  | Le -> Gt
+  | Gt -> Le
+  | Ge -> Lt
+
+let op_string = function
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_op fmt op = Format.pp_print_string fmt (op_string op)
+
+let pp_atom fmt = function
+  | Cmp_const (a, op, v) ->
+      Format.fprintf fmt "%a%s%a" Attr.pp a (op_string op) Value.pp v
+  | Cmp_attr (a, op, b) ->
+      Format.fprintf fmt "%a%s%a" Attr.pp a (op_string op) Attr.pp b
+  | In_list (a, vs) ->
+      Format.fprintf fmt "%a IN (%s)" Attr.pp a
+        (String.concat "," (List.map Value.to_string vs))
+  | Like (a, pat) -> Format.fprintf fmt "%a LIKE %S" Attr.pp a pat
+
+let pp_clause fmt = function
+  | [ a ] -> pp_atom fmt a
+  | c ->
+      Format.fprintf fmt "(%s)"
+        (String.concat " OR "
+           (List.map (Format.asprintf "%a" pp_atom) c))
+
+let pp fmt t =
+  match t with
+  | [] -> Format.pp_print_string fmt "true"
+  | _ ->
+      Format.pp_print_string fmt
+        (String.concat " AND "
+           (List.map (Format.asprintf "%a" pp_clause) t))
+
+let to_string t = Format.asprintf "%a" pp t
+
+(* Classic two-pointer LIKE matcher with backtracking on '%'. *)
+let like_matches ~pattern s =
+  let np = String.length pattern and ns = String.length s in
+  let rec go pi si star_p star_s =
+    if si = ns then
+      let rec only_pct i = i >= np || (pattern.[i] = '%' && only_pct (i + 1)) in
+      only_pct pi
+    else if pi < np && pattern.[pi] = '%' then go (pi + 1) si (pi + 1) si
+    else if pi < np && (pattern.[pi] = '_' || pattern.[pi] = s.[si]) then
+      go (pi + 1) (si + 1) star_p star_s
+    else if star_p >= 0 then go star_p (star_s + 1) star_p (star_s + 1)
+    else false
+  in
+  go 0 0 (-1) (-1)

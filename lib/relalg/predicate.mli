@@ -1,0 +1,53 @@
+(** Selection and join conditions.
+
+    Conditions are Boolean formulas over basic comparisons, kept in
+    conjunctive normal form: a predicate is a conjunction of clauses, each
+    clause a disjunction of atoms. The paper's two atom shapes are
+    [a op x] (attribute versus constant) and [a_i op a_j] (attribute versus
+    attribute, which induces an equivalence between the two attributes in
+    relation profiles). *)
+
+type op = Eq | Neq | Lt | Le | Gt | Ge
+
+(** Capability an encryption scheme must offer to evaluate an atom over
+    ciphertext (see {!Scheme} in [mpq_crypto]): equality tests need
+    deterministic encryption, order tests need OPE, pattern matching and
+    arithmetic need plaintext. *)
+type capability = Needs_equality | Needs_order | Needs_plaintext
+
+type atom =
+  | Cmp_const of Attr.t * op * Value.t  (** [a op x] *)
+  | Cmp_attr of Attr.t * op * Attr.t  (** [a_i op a_j] *)
+  | In_list of Attr.t * Value.t list  (** [a IN (v1, ..., vn)] *)
+  | Like of Attr.t * string  (** SQL LIKE with [%] and [_] wildcards *)
+
+(** A clause is a disjunction of atoms; [[]] is false. *)
+type clause = atom list
+
+(** A predicate is a conjunction of clauses; [[]] is true. *)
+type t = clause list
+
+val conj : atom list -> t
+(** A pure conjunction of atoms (each atom its own clause). *)
+
+val atoms : t -> atom list
+val attrs : t -> Attr.Set.t
+
+val attr_pairs : t -> (Attr.t * Attr.t) list
+(** All [(a_i, a_j)] pairs compared by some atom; these become equivalence
+    sets in the result profile (Fig. 2). *)
+
+val const_attrs : t -> Attr.Set.t
+(** Attributes compared with a constant (they become implicit attributes
+    in the result profile). *)
+
+val capability_of_atom : atom -> capability
+
+val negate_op : op -> op
+val pp_op : Format.formatter -> op -> unit
+val pp_atom : Format.formatter -> atom -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val like_matches : pattern:string -> string -> bool
+(** SQL LIKE matching ([%] = any sequence, [_] = any single char). *)

@@ -1,0 +1,102 @@
+type cipher = { scheme : string; key_id : string; payload : string }
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of int
+  | Enc of cipher
+
+exception Incomparable of t * t
+
+let equal a b =
+  match (a, b) with
+  | Null, Null -> true
+  | Bool x, Bool y -> x = y
+  | Int x, Int y -> x = y
+  | Float x, Float y -> Float.equal x y
+  | Int x, Float y | Float y, Int x -> Float.equal (float_of_int x) y
+  | Str x, Str y -> String.equal x y
+  | Date x, Date y -> x = y
+  | Enc x, Enc y ->
+      String.equal x.scheme y.scheme
+      && String.equal x.key_id y.key_id
+      && String.equal x.payload y.payload
+  | _ -> false
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ | Float _ -> 2
+  | Str _ -> 3
+  | Date _ -> 4
+  | Enc _ -> 5
+
+let compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Null, _ -> -1
+  | _, Null -> 1
+  | Bool x, Bool y -> Stdlib.compare x y
+  | Int x, Int y -> Stdlib.compare x y
+  | Float x, Float y -> Float.compare x y
+  | Int x, Float y -> Float.compare (float_of_int x) y
+  | Float x, Int y -> Float.compare x (float_of_int y)
+  | Str x, Str y -> String.compare x y
+  | Date x, Date y -> Stdlib.compare x y
+  | Enc x, Enc y when String.equal x.scheme y.scheme ->
+      String.compare x.payload y.payload
+  | _ ->
+      if rank a <> rank b then raise (Incomparable (a, b))
+      else raise (Incomparable (a, b))
+
+let is_encrypted = function Enc _ -> true | _ -> false
+
+let to_float = function
+  | Int i -> Some (float_of_int i)
+  | Float f -> Some f
+  | Bool b -> Some (if b then 1.0 else 0.0)
+  | Date d -> Some (float_of_int d)
+  | Null | Str _ | Enc _ -> None
+
+(* Days since epoch from an ISO yyyy-mm-dd date, using the standard civil
+   calendar conversion (Howard Hinnant's days_from_civil algorithm). *)
+let days_from_civil y m d =
+  let y = if m <= 2 then y - 1 else y in
+  let era = (if y >= 0 then y else y - 399) / 400 in
+  let yoe = y - (era * 400) in
+  let mp = (m + 9) mod 12 in
+  let doy = (((153 * mp) + 2) / 5) + d - 1 in
+  let doe = (yoe * 365) + (yoe / 4) - (yoe / 100) + doy in
+  (era * 146097) + doe - 719468
+
+let date_of_string s =
+  match String.split_on_char '-' s with
+  | [ y; m; d ] -> (
+      match (int_of_string_opt y, int_of_string_opt m, int_of_string_opt d)
+      with
+      | Some y, Some m, Some d -> Date (days_from_civil y m d)
+      | _ -> invalid_arg ("Value.date_of_string: " ^ s))
+  | _ -> invalid_arg ("Value.date_of_string: " ^ s)
+
+let hex_prefix s n =
+  let n = min n (String.length s) in
+  let buf = Buffer.create (2 * n) in
+  for i = 0 to n - 1 do
+    Buffer.add_string buf (Printf.sprintf "%02x" (Char.code s.[i]))
+  done;
+  Buffer.contents buf
+
+let pp fmt = function
+  | Null -> Format.pp_print_string fmt "NULL"
+  | Bool b -> Format.pp_print_bool fmt b
+  | Int i -> Format.pp_print_int fmt i
+  | Float f -> Format.fprintf fmt "%g" f
+  | Str s -> Format.fprintf fmt "%S" s
+  | Date d -> Format.fprintf fmt "date(%d)" d
+  | Enc c -> Format.fprintf fmt "<%s/%s:%s>" c.scheme c.key_id
+               (hex_prefix c.payload 6)
+
+let to_string v = Format.asprintf "%a" pp v

@@ -1,0 +1,45 @@
+(** Runtime values flowing through the execution engine.
+
+    Plaintext values are the usual SQL scalars. Ciphertext values carry the
+    scheme that produced them and the identifier of the key cluster used
+    (Def. 6.1 derives one key per equivalence cluster), so that the engine
+    can check operation compatibility at run time. *)
+
+type cipher = {
+  scheme : string;  (** ["det"], ["rnd"], ["ope"] or ["phe"] *)
+  key_id : string;  (** key-cluster identifier the value was encrypted under *)
+  payload : string; (** opaque ciphertext; OPE payloads are order-preserving
+                        fixed-width big-endian so byte comparison works *)
+}
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Date of int  (** days since 1970-01-01 *)
+  | Enc of cipher
+
+val equal : t -> t -> bool
+(** Structural equality. Two [Enc] values are equal iff scheme, key and
+    payload coincide (meaningful for deterministic and OPE schemes). *)
+
+val compare : t -> t -> int
+(** SQL-flavoured ordering: [Null] first, numeric types compared by value
+    (Int/Float mix allowed), [Enc] compared by payload bytes (meaningful
+    for OPE ciphertexts). Raises [Incomparable] when the two runtime types
+    cannot be meaningfully ordered. *)
+
+exception Incomparable of t * t
+
+val is_encrypted : t -> bool
+
+val to_float : t -> float option
+(** Numeric view of a plaintext value, if any. *)
+
+val date_of_string : string -> t
+(** [date_of_string "1995-03-15"] parses an ISO date. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,84 @@
+type constant =
+  | Cint of int
+  | Cfloat of float
+  | Cstring of string
+  | Cdate of string
+  | Cbool of bool
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type condition =
+  | Cmp_const of string * comparison * constant
+  | Cmp_attr of string * comparison * string
+  | In of string * constant list
+  | Like of string * string
+  | Between of string * constant * constant
+  | Or of condition list
+
+type select_item = Col of string | Agg of string * string option
+
+type t = {
+  distinct : bool;
+  select : select_item list;
+  from : string list;
+  join_on : condition list;
+  where : condition list;
+  group_by : string list;
+  having : condition list;
+  order_by : (string * bool) list;
+  limit : int option;
+}
+
+let pp_constant fmt = function
+  | Cint i -> Format.pp_print_int fmt i
+  | Cfloat f -> Format.fprintf fmt "%g" f
+  | Cstring s -> Format.fprintf fmt "'%s'" s
+  | Cdate d -> Format.fprintf fmt "date '%s'" d
+  | Cbool b -> Format.pp_print_bool fmt b
+
+let comparison_string = function
+  | Eq -> "=" | Neq -> "<>" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+
+let rec pp_condition fmt = function
+  | Cmp_const (a, op, c) ->
+      Format.fprintf fmt "%s %s %a" a (comparison_string op) pp_constant c
+  | Cmp_attr (a, op, b) ->
+      Format.fprintf fmt "%s %s %s" a (comparison_string op) b
+  | In (a, cs) ->
+      Format.fprintf fmt "%s in (%s)" a
+        (String.concat ", " (List.map (Format.asprintf "%a" pp_constant) cs))
+  | Like (a, p) -> Format.fprintf fmt "%s like '%s'" a p
+  | Between (a, lo, hi) ->
+      Format.fprintf fmt "%s between %a and %a" a pp_constant lo pp_constant hi
+  | Or cs ->
+      Format.fprintf fmt "(%s)"
+        (String.concat " or "
+           (List.map (Format.asprintf "%a" pp_condition) cs))
+
+let pp_item fmt = function
+  | Col c -> Format.pp_print_string fmt c
+  | Agg (f, Some a) -> Format.fprintf fmt "%s(%s)" f a
+  | Agg (f, None) -> Format.fprintf fmt "%s(*)" f
+
+let pp fmt t =
+  Format.fprintf fmt "select %s%s from %s"
+    (if t.distinct then "distinct " else "")
+    (String.concat ", " (List.map (Format.asprintf "%a" pp_item) t.select))
+    (String.concat ", " t.from);
+  if t.where <> [] then
+    Format.fprintf fmt " where %s"
+      (String.concat " and "
+         (List.map (Format.asprintf "%a" pp_condition) t.where));
+  if t.group_by <> [] then
+    Format.fprintf fmt " group by %s" (String.concat ", " t.group_by);
+  if t.having <> [] then
+    Format.fprintf fmt " having %s"
+      (String.concat " and "
+         (List.map (Format.asprintf "%a" pp_condition) t.having));
+  if t.order_by <> [] then
+    Format.fprintf fmt " order by %s"
+      (String.concat ", "
+         (List.map (fun (c, d) -> if d then c ^ " desc" else c) t.order_by));
+  (match t.limit with
+  | Some n -> Format.fprintf fmt " limit %d" n
+  | None -> ())

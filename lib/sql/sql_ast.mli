@@ -1,0 +1,40 @@
+(** Abstract syntax for the supported SQL subset.
+
+    The paper frames queries as "select from where group by having" with
+    joins between relations of different authorities (Sec. 1); this AST
+    covers exactly that subset, plus IN/LIKE/BETWEEN sugar. *)
+
+type constant =
+  | Cint of int
+  | Cfloat of float
+  | Cstring of string
+  | Cdate of string  (** ISO yyyy-mm-dd *)
+  | Cbool of bool
+
+type comparison = Eq | Neq | Lt | Le | Gt | Ge
+
+type condition =
+  | Cmp_const of string * comparison * constant
+  | Cmp_attr of string * comparison * string
+  | In of string * constant list
+  | Like of string * string
+  | Between of string * constant * constant
+  | Or of condition list  (** disjunction of simple conditions *)
+
+type select_item =
+  | Col of string
+  | Agg of string * string option  (** function name, operand ([None] = [*]) *)
+
+type t = {
+  distinct : bool;
+  select : select_item list;
+  from : string list;  (** relation names, joined left to right *)
+  join_on : condition list;  (** explicit JOIN ... ON conditions *)
+  where : condition list;  (** conjunction *)
+  group_by : string list;
+  having : condition list;
+  order_by : (string * bool) list;  (** column, descending? *)
+  limit : int option;
+}
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+(** Tokenizer for the SQL subset. *)
+
+type token =
+  | Ident of string  (** identifiers, lowercased *)
+  | Int of int
+  | Float of float
+  | String of string  (** single-quoted; [''] escapes a quote *)
+  | Symbol of string  (** punctuation and operators *)
+  | Eof
+
+exception Lex_error of string * int  (** message, position *)
+
+val tokenize : string -> token list
+(** Keywords come back as [Ident] (lowercased); the parser decides. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,231 @@
+open Sql_ast
+open Sql_lexer
+
+exception Parse_error of string
+
+type state = { mutable tokens : token list }
+
+let fail fmt = Format.kasprintf (fun s -> raise (Parse_error s)) fmt
+
+let peek st = match st.tokens with [] -> Eof | t :: _ -> t
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let next st =
+  let t = peek st in
+  advance st;
+  t
+
+let expect_symbol st s =
+  match next st with
+  | Symbol s' when s' = s -> ()
+  | t -> fail "expected '%s', got %a" s pp_token t
+
+let expect_kw st kw =
+  match next st with
+  | Ident s when s = kw -> ()
+  | t -> fail "expected '%s', got %a" kw pp_token t
+
+let accept_kw st kw =
+  match peek st with
+  | Ident s when s = kw ->
+      advance st;
+      true
+  | _ -> false
+
+let ident st =
+  match next st with
+  | Ident s -> s
+  | t -> fail "expected identifier, got %a" pp_token t
+
+let aggregate_functions = [ "sum"; "avg"; "min"; "max"; "count" ]
+
+let constant st =
+  match next st with
+  | Int i -> Cint i
+  | Float f -> Cfloat f
+  | String s -> Cstring s
+  | Ident "true" -> Cbool true
+  | Ident "false" -> Cbool false
+  | Ident "date" -> (
+      match next st with
+      | String s -> Cdate s
+      | t -> fail "expected date literal, got %a" pp_token t)
+  | t -> fail "expected constant, got %a" pp_token t
+
+let comparison_of = function
+  | "=" -> Some Eq
+  | "<>" | "!=" -> Some Neq
+  | "<" -> Some Lt
+  | "<=" -> Some Le
+  | ">" -> Some Gt
+  | ">=" -> Some Ge
+  | _ -> None
+
+let rec simple_condition st =
+  let attr = ident st in
+  match peek st with
+  | Symbol s when comparison_of s <> None -> (
+      advance st;
+      let op = Option.get (comparison_of s) in
+      match peek st with
+      | Ident id
+        when id <> "date" && id <> "true" && id <> "false" ->
+          advance st;
+          Cmp_attr (attr, op, id)
+      | _ -> Cmp_const (attr, op, constant st))
+  | Ident "in" ->
+      advance st;
+      expect_symbol st "(";
+      let rec consts acc =
+        let c = constant st in
+        match next st with
+        | Symbol "," -> consts (c :: acc)
+        | Symbol ")" -> List.rev (c :: acc)
+        | t -> fail "expected ',' or ')', got %a" pp_token t
+      in
+      In (attr, consts [])
+  | Ident "like" -> (
+      advance st;
+      match next st with
+      | String p -> Like (attr, p)
+      | t -> fail "expected pattern, got %a" pp_token t)
+  | Ident "between" ->
+      advance st;
+      let lo = constant st in
+      expect_kw st "and";
+      let hi = constant st in
+      Between (attr, lo, hi)
+  | t -> fail "expected condition operator after %s, got %a" attr pp_token t
+
+and condition st =
+  match peek st with
+  | Symbol "(" ->
+      advance st;
+      let rec ors acc =
+        let c = simple_condition st in
+        if accept_kw st "or" then ors (c :: acc)
+        else begin
+          expect_symbol st ")";
+          match acc with [] -> c | _ -> Or (List.rev (c :: acc))
+        end
+      in
+      ors []
+  | _ -> simple_condition st
+
+let conditions st =
+  let rec go acc =
+    let c = condition st in
+    if accept_kw st "and" then go (c :: acc) else List.rev (c :: acc)
+  in
+  go []
+
+let select_item st =
+  let name = ident st in
+  if List.mem name aggregate_functions && peek st = Symbol "(" then begin
+    advance st;
+    let operand =
+      match next st with
+      | Symbol "*" -> None
+      | Ident a -> Some a
+      | t -> fail "expected column or '*', got %a" pp_token t
+    in
+    expect_symbol st ")";
+    Agg (name, operand)
+  end
+  else Col name
+
+let parse input =
+  let st = { tokens = tokenize input } in
+  expect_kw st "select";
+  let distinct = accept_kw st "distinct" in
+  let rec items acc =
+    let item = select_item st in
+    if peek st = Symbol "," then begin
+      advance st;
+      items (item :: acc)
+    end
+    else List.rev (item :: acc)
+  in
+  let select = items [] in
+  expect_kw st "from";
+  let rec from_rels rels ons =
+    let rel = ident st in
+    match peek st with
+    | Symbol "," ->
+        advance st;
+        from_rels (rel :: rels) ons
+    | Ident "join" ->
+        advance st;
+        let rel2 = ident st in
+        expect_kw st "on";
+        let conds = conditions st in
+        from_more (rel2 :: rel :: rels) (ons @ conds)
+    | _ -> (List.rev (rel :: rels), ons)
+  and from_more rels ons =
+    match peek st with
+    | Symbol "," ->
+        advance st;
+        let rel = ident st in
+        from_more (rel :: rels) ons
+    | Ident "join" ->
+        advance st;
+        let rel = ident st in
+        expect_kw st "on";
+        let conds = conditions st in
+        from_more (rel :: rels) (ons @ conds)
+    | _ -> (List.rev rels, ons)
+  in
+  let from, join_on = from_rels [] [] in
+  let where = if accept_kw st "where" then conditions st else [] in
+  let group_by =
+    if accept_kw st "group" then begin
+      expect_kw st "by";
+      let rec cols acc =
+        let c = ident st in
+        if peek st = Symbol "," then begin
+          advance st;
+          cols (c :: acc)
+        end
+        else List.rev (c :: acc)
+      in
+      cols []
+    end
+    else []
+  in
+  let having = if accept_kw st "having" then conditions st else [] in
+  let order_by =
+    if accept_kw st "order" then begin
+      expect_kw st "by";
+      let rec cols acc =
+        let c = ident st in
+        let desc =
+          if accept_kw st "desc" then true
+          else begin
+            ignore (accept_kw st "asc");
+            false
+          end
+        in
+        if peek st = Symbol "," then begin
+          advance st;
+          cols ((c, desc) :: acc)
+        end
+        else List.rev ((c, desc) :: acc)
+      in
+      cols []
+    end
+    else []
+  in
+  let limit =
+    if accept_kw st "limit" then
+      match next st with
+      | Int n -> Some n
+      | t -> fail "expected limit count, got %a" pp_token t
+    else None
+  in
+  (match next st with
+  | Eof -> ()
+  | t -> fail "trailing input: %a" pp_token t);
+  { distinct; select; from; join_on; where; group_by; having; order_by;
+    limit }

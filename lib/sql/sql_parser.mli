@@ -1,0 +1,15 @@
+(** Recursive-descent parser for the SQL subset.
+
+    Supported shape (the paper's "select from where group by having"):
+    {v
+    SELECT item, ...            -- columns and aggregates
+    FROM rel [JOIN rel ON a = b [AND ...]] [, rel ...]
+    [WHERE cond AND ...]        -- =, <>, <, <=, >, >=, IN, LIKE,
+                                -- BETWEEN, parenthesized OR groups
+    [GROUP BY col, ...]
+    [HAVING cond AND ...]
+    v} *)
+
+exception Parse_error of string
+
+val parse : string -> Sql_ast.t

@@ -1,0 +1,19 @@
+(** SQL → query plan translation.
+
+    Produces plans with the paper's conventions: projections pushed into
+    the leaves, per-relation selections directly above them, a join tree
+    folded left-to-right over the FROM list (equi-conditions drawn from
+    ON and WHERE; a cartesian product when none connects), then group-by
+    and having. Aggregate outputs keep their operand's name, so HAVING
+    refers to e.g. [avg(p) > 100] as [p > 100] on the grouped relation. *)
+
+open Relalg
+
+exception Plan_error of string
+
+val to_plan : catalog:Schema.t list -> Sql_ast.t -> Plan.t
+(** Raises {!Plan_error} on unknown relations/columns, ambiguous column
+    ownership, or aggregates mixed incorrectly with plain columns. *)
+
+val parse_and_plan : catalog:Schema.t list -> string -> Plan.t
+(** Compose {!Sql_parser.parse} and {!to_plan}. *)

@@ -1,0 +1,158 @@
+open Relalg
+module Prng = Mpq_crypto.Prng
+
+let start_date = Value.date_of_string "1992-01-01"
+let end_date = Value.date_of_string "1998-08-02"
+
+let day_of = function Value.Date d -> d | _ -> assert false
+
+let region_names = [| "AFRICA"; "AMERICA"; "ASIA"; "EUROPE"; "MIDDLE EAST" |]
+
+let nation_names =
+  [| "ALGERIA"; "ARGENTINA"; "BRAZIL"; "CANADA"; "EGYPT"; "ETHIOPIA";
+     "FRANCE"; "GERMANY"; "INDIA"; "INDONESIA"; "IRAN"; "IRAQ"; "JAPAN";
+     "JORDAN"; "KENYA"; "MOROCCO"; "MOZAMBIQUE"; "PERU"; "CHINA";
+     "ROMANIA"; "SAUDI ARABIA"; "VIETNAM"; "RUSSIA"; "UNITED KINGDOM";
+     "UNITED STATES" |]
+
+(* region of each nation, per the TPC-H seed data *)
+let nation_region =
+  [| 0; 1; 1; 1; 4; 0; 3; 3; 2; 2; 4; 4; 2; 4; 0; 0; 0; 1; 2; 3; 4; 2; 3;
+     3; 1 |]
+
+let segments = [| "AUTOMOBILE"; "BUILDING"; "FURNITURE"; "MACHINERY"; "HOUSEHOLD" |]
+let priorities = [| "1-URGENT"; "2-HIGH"; "3-MEDIUM"; "4-NOT SPECIFIED"; "5-LOW" |]
+let ship_modes = [| "REG AIR"; "AIR"; "RAIL"; "SHIP"; "TRUCK"; "MAIL"; "FOB" |]
+let ship_instr = [| "DELIVER IN PERSON"; "COLLECT COD"; "NONE"; "TAKE BACK RETURN" |]
+
+let type_syl1 = [| "STANDARD"; "SMALL"; "MEDIUM"; "LARGE"; "ECONOMY"; "PROMO" |]
+let type_syl2 = [| "ANODIZED"; "BURNISHED"; "PLATED"; "POLISHED"; "BRUSHED" |]
+let type_syl3 = [| "TIN"; "NICKEL"; "BRASS"; "STEEL"; "COPPER" |]
+
+let containers1 = [| "SM"; "LG"; "MED"; "JUMBO"; "WRAP" |]
+let containers2 = [| "CASE"; "BOX"; "BAG"; "JAR"; "PKG"; "PACK"; "CAN"; "DRUM" |]
+
+let part_name_words =
+  [| "almond"; "antique"; "aquamarine"; "azure"; "beige"; "bisque"; "black";
+     "blanched"; "blue"; "blush"; "brown"; "burlywood"; "chartreuse";
+     "chiffon"; "chocolate"; "coral"; "cornflower"; "cream"; "cyan";
+     "dark"; "deep"; "dim"; "dodger"; "drab"; "firebrick"; "floral";
+     "forest"; "frosted"; "gainsboro"; "ghost"; "goldenrod"; "green" |]
+
+let comment_words =
+  [| "carefully"; "quickly"; "furiously"; "slyly"; "blithely"; "deposits";
+     "requests"; "packages"; "accounts"; "instructions"; "theodolites";
+     "pinto"; "beans"; "foxes"; "ideas"; "dependencies"; "platelets" |]
+
+let pick rng arr = arr.(Prng.int rng (Array.length arr))
+
+let words rng n =
+  String.concat " " (List.init n (fun _ -> pick rng comment_words))
+
+let money rng lo hi =
+  float_of_int (lo * 100 + Prng.int rng ((hi - lo) * 100)) /. 100.0
+
+let counts sf =
+  let scale base = max 1 (int_of_float (float_of_int base *. sf)) in
+  ( scale 10_000 (* supplier *), scale 200_000 (* part *),
+    scale 150_000 (* customer *), scale 1_500_000 (* orders *) )
+
+let generate ?(seed = 20170817L) ~sf () =
+  let rng = Prng.create seed in
+  let n_supp, n_part, n_cust, n_ord = counts sf in
+  let v_i i = Value.Int i
+  and v_f f = Value.Float f
+  and v_s s = Value.Str s in
+  let regions =
+    List.init 5 (fun k ->
+        [| v_i k; v_s region_names.(k); v_s (words rng 5) |])
+  in
+  let nations =
+    List.init 25 (fun k ->
+        [| v_i k; v_s nation_names.(k); v_i nation_region.(k);
+           v_s (words rng 6) |])
+  in
+  let suppliers =
+    List.init n_supp (fun j ->
+        let k = j + 1 in
+        [| v_i k; v_s (Printf.sprintf "Supplier#%09d" k);
+           v_s (words rng 2); v_i (Prng.int rng 25);
+           v_s (Printf.sprintf "%02d-%03d-%03d-%04d" (10 + Prng.int rng 25)
+                  (Prng.int rng 1000) (Prng.int rng 1000) (Prng.int rng 10000));
+           v_f (money rng (-999) 9999); v_s (words rng 5) |])
+  in
+  let parts =
+    List.init n_part (fun j ->
+        let k = j + 1 in
+        [| v_i k;
+           v_s (pick rng part_name_words ^ " " ^ pick rng part_name_words);
+           v_s (Printf.sprintf "Manufacturer#%d" (1 + Prng.int rng 5));
+           v_s (Printf.sprintf "Brand#%d%d" (1 + Prng.int rng 5) (1 + Prng.int rng 5));
+           v_s (pick rng type_syl1 ^ " " ^ pick rng type_syl2 ^ " " ^ pick rng type_syl3);
+           v_i (1 + Prng.int rng 50);
+           v_s (pick rng containers1 ^ " " ^ pick rng containers2);
+           v_f (money rng 900 2000); v_s (words rng 2) |])
+  in
+  let partsupps =
+    List.concat
+      (List.init n_part (fun j ->
+           let pk = j + 1 in
+           List.init 4 (fun s ->
+               [| v_i pk;
+                  v_i (1 + ((pk + (s * ((n_supp / 4) + 1))) mod n_supp));
+                  v_i (1 + Prng.int rng 9999); v_f (money rng 1 1000);
+                  v_s (words rng 10) |])))
+  in
+  let customers =
+    List.init n_cust (fun j ->
+        let k = j + 1 in
+        [| v_i k; v_s (Printf.sprintf "Customer#%09d" k);
+           v_s (words rng 2); v_i (Prng.int rng 25);
+           v_s (Printf.sprintf "%02d-%03d-%03d-%04d" (10 + Prng.int rng 25)
+                  (Prng.int rng 1000) (Prng.int rng 1000) (Prng.int rng 10000));
+           v_f (money rng (-999) 9999); v_s (pick rng segments);
+           v_s (words rng 6) |])
+  in
+  let d0 = day_of start_date and d1 = day_of end_date in
+  let orders = ref [] and lineitems = ref [] in
+  for j = 0 to n_ord - 1 do
+    let ok = j + 1 in
+    let odate = d0 + Prng.int rng (d1 - d0 - 151) in
+    let nlines = 1 + Prng.int rng 7 in
+    let status = ref 'F' in
+    let total = ref 0.0 in
+    for line = 1 to nlines do
+      let qty = float_of_int (1 + Prng.int rng 50) in
+      (* spec: extendedprice = qty * partprice; keep it at exact cents so
+         homomorphic (cent-scaled) and plaintext aggregation agree *)
+      let price = money rng 90 1000 *. qty in
+      let disc = float_of_int (Prng.int rng 11) /. 100.0 in
+      let tax = float_of_int (Prng.int rng 9) /. 100.0 in
+      let sdate = odate + 1 + Prng.int rng 121 in
+      let cdate = odate + 30 + Prng.int rng 61 in
+      let rdate = sdate + 1 + Prng.int rng 30 in
+      let linestatus = if sdate > d1 - 200 then 'O' else 'F' in
+      if linestatus = 'O' then status := 'O';
+      let returnflag =
+        if rdate <= d1 - 300 then (if Prng.bool rng then "R" else "A")
+        else "N"
+      in
+      total := !total +. (price *. (1.0 +. tax) *. (1.0 -. disc));
+      lineitems :=
+        [| v_i ok; v_i (1 + Prng.int rng n_part); v_i (1 + Prng.int rng n_supp);
+           v_i line; v_f qty; v_f price; v_f disc; v_f tax; v_s returnflag;
+           v_s (String.make 1 linestatus); Value.Date sdate; Value.Date cdate;
+           Value.Date rdate; v_s (pick rng ship_instr); v_s (pick rng ship_modes);
+           v_s (words rng 3) |]
+        :: !lineitems
+    done;
+    orders :=
+      [| v_i ok; v_i (1 + Prng.int rng n_cust); v_s (String.make 1 !status);
+         v_f !total; Value.Date odate; v_s (pick rng priorities);
+         v_s (Printf.sprintf "Clerk#%09d" (1 + Prng.int rng 1000));
+         v_i 0; v_s (words rng 4) |]
+      :: !orders
+  done;
+  [ ("region", regions); ("nation", nations); ("supplier", suppliers);
+    ("part", parts); ("partsupp", partsupps); ("customer", customers);
+    ("orders", List.rev !orders); ("lineitem", List.rev !lineitems) ]

@@ -1,0 +1,21 @@
+(** Deterministic TPC-H data generator.
+
+    A compact reimplementation of dbgen's essential distributions:
+    sequential keys, uniform foreign keys, spec value domains (flags,
+    priorities, ship modes, types, containers), order dates in
+    [1992-01-01, 1998-08-02], and per-order lineitem fan-out of 1-7.
+    Deterministic in the seed so every test and benchmark is
+    reproducible. Use small scale factors (0.001-0.01) for in-memory
+    execution; the cost model reads {!Tpch_schema.base_stats} instead and
+    can be pointed at [sf = 1.0] (the paper's 1 GB configuration). *)
+
+open Relalg
+
+val generate : ?seed:int64 -> sf:float -> unit -> (string * Value.t array list) list
+(** All 8 tables (name → rows, in schema column order). *)
+
+val start_date : Value.t
+(** 1992-01-01, the first order date. *)
+
+val end_date : Value.t
+(** 1998-08-02, the last order date. *)

@@ -1,0 +1,519 @@
+open Relalg
+module S = Tpch_schema
+
+let a = Attr.make
+let set = Attr.Set.of_names
+let date = Value.date_of_string
+let vi i = Value.Int i
+let vf f = Value.Float f
+let vs s = Value.Str s
+
+let leaf schema cols = Plan.project (set cols) (Plan.base schema)
+
+let eq x y = Predicate.Cmp_attr (a x, Predicate.Eq, a y)
+let lt_attr x y = Predicate.Cmp_attr (a x, Predicate.Lt, a y)
+let gt_attr x y = Predicate.Cmp_attr (a x, Predicate.Gt, a y)
+let ceq x v = Predicate.Cmp_const (a x, Predicate.Eq, v)
+let clt x v = Predicate.Cmp_const (a x, Predicate.Lt, v)
+let cle x v = Predicate.Cmp_const (a x, Predicate.Le, v)
+let cgt x v = Predicate.Cmp_const (a x, Predicate.Gt, v)
+let cge x v = Predicate.Cmp_const (a x, Predicate.Ge, v)
+let like x p = Predicate.Like (a x, p)
+let inl x vs = Predicate.In_list (a x, vs)
+let conj = Predicate.conj
+
+let join cond l r = Plan.join (conj cond) l r
+let sel cond child = Plan.select (conj cond) child
+let group keys aggs child = Plan.group_by (set keys) aggs child
+let sum x = Aggregate.make (Aggregate.Sum (a x))
+let avg x = Aggregate.make (Aggregate.Avg (a x))
+let cnt x = Aggregate.make (Aggregate.Count (a x))
+let cnt_star = Aggregate.make Aggregate.Count_star
+let min_ x = Aggregate.make (Aggregate.Min (a x))
+
+let udf name inputs output child = Plan.udf name (set inputs) (a output) child
+let order keys child = Plan.order_by (List.map (fun (n, d) -> (a n, d)) keys) child
+let top n child = Plan.limit n child
+
+(* The paper's algebra admits only single-attribute aggregates
+   gamma_{A,f(a)}; TPC-H expression aggregates are abstracted to their
+   primary attribute (see mli). [revenue_udf]/[year_udf] build the
+   udf-based variants used by the ablation benchmarks. *)
+let revenue_udf child =
+  udf "expr:revenue" [ "l_extendedprice"; "l_discount" ] "l_extendedprice" child
+
+let year_udf attr child = udf "expr:year" [ attr ] attr child
+
+(* --- Q1: pricing summary report.
+   Simplification: the expression aggregates (disc_price, charge) are
+   abstracted to single-attribute aggregates, as the paper's algebra
+   gamma_{A,f(a)} requires. *)
+let q1 () =
+  leaf S.lineitem
+    [ "l_returnflag"; "l_linestatus"; "l_quantity"; "l_extendedprice";
+      "l_discount"; "l_shipdate" ]
+  |> sel [ cle "l_shipdate" (date "1998-09-02") ]
+  |> group
+       [ "l_returnflag"; "l_linestatus" ]
+       [ sum "l_quantity"; sum "l_extendedprice"; avg "l_quantity";
+         avg "l_discount"; cnt_star ]
+  |> order [ ("l_returnflag", Plan.Asc); ("l_linestatus", Plan.Asc) ]
+
+(* --- Q2: minimum-cost supplier.
+   Decorrelated: the correlated min(ps_supplycost) subquery becomes the
+   final group-by (no join-back, which would need a second partsupp). *)
+let q2 () =
+  let p =
+    leaf S.part [ "p_partkey"; "p_size"; "p_type"; "p_mfgr" ]
+    |> sel [ ceq "p_size" (vi 15); like "p_type" "%BRASS" ]
+  in
+  let ps = leaf S.partsupp [ "ps_partkey"; "ps_suppkey"; "ps_supplycost" ] in
+  let s = leaf S.supplier [ "s_suppkey"; "s_nationkey"; "s_acctbal" ] in
+  let n = leaf S.nation [ "n_nationkey"; "n_regionkey"; "n_name" ] in
+  let r = leaf S.region [ "r_regionkey"; "r_name" ] |> sel [ ceq "r_name" (vs "EUROPE") ] in
+  join [ eq "p_partkey" "ps_partkey" ] p ps
+  |> fun pps ->
+  join [ eq "ps_suppkey" "s_suppkey" ] pps s
+  |> fun x ->
+  join [ eq "s_nationkey" "n_nationkey" ] x n
+  |> fun x ->
+  join [ eq "n_regionkey" "r_regionkey" ] x r
+  |> group [ "p_partkey"; "p_mfgr" ] [ min_ "ps_supplycost" ]
+  |> order [ ("ps_supplycost", Plan.Asc); ("p_partkey", Plan.Asc) ]
+  |> top 100
+
+(* --- Q3: shipping priority. *)
+let q3 () =
+  let c =
+    leaf S.customer [ "c_custkey"; "c_mktsegment" ]
+    |> sel [ ceq "c_mktsegment" (vs "BUILDING") ]
+  in
+  let o =
+    leaf S.orders [ "o_orderkey"; "o_custkey"; "o_orderdate"; "o_shippriority" ]
+    |> sel [ clt "o_orderdate" (date "1995-03-15") ]
+  in
+  let l =
+    leaf S.lineitem [ "l_orderkey"; "l_extendedprice"; "l_discount"; "l_shipdate" ]
+    |> sel [ cgt "l_shipdate" (date "1995-03-15") ]
+  in
+  join [ eq "c_custkey" "o_custkey" ] c o
+  |> fun co ->
+  join [ eq "o_orderkey" "l_orderkey" ] co l
+  |> group [ "l_orderkey"; "o_orderdate"; "o_shippriority" ] [ sum "l_extendedprice" ]
+  |> order [ ("l_extendedprice", Plan.Desc); ("o_orderdate", Plan.Asc) ]
+  |> top 10
+
+(* --- Q4: order priority checking.
+   The EXISTS becomes a plain join (may overcount duplicates). *)
+let q4 () =
+  let o =
+    leaf S.orders [ "o_orderkey"; "o_orderdate"; "o_orderpriority" ]
+    |> sel [ cge "o_orderdate" (date "1993-07-01");
+             clt "o_orderdate" (date "1993-10-01") ]
+  in
+  let l =
+    leaf S.lineitem [ "l_orderkey"; "l_commitdate"; "l_receiptdate" ]
+    |> sel [ lt_attr "l_commitdate" "l_receiptdate" ]
+  in
+  join [ eq "o_orderkey" "l_orderkey" ] o l
+  |> group [ "o_orderpriority" ] [ cnt_star ]
+
+(* --- Q5: local supplier volume. *)
+let q5 () =
+  let c = leaf S.customer [ "c_custkey"; "c_nationkey" ] in
+  let o =
+    leaf S.orders [ "o_orderkey"; "o_custkey"; "o_orderdate" ]
+    |> sel [ cge "o_orderdate" (date "1994-01-01");
+             clt "o_orderdate" (date "1995-01-01") ]
+  in
+  let l = leaf S.lineitem [ "l_orderkey"; "l_suppkey"; "l_extendedprice"; "l_discount" ] in
+  let s = leaf S.supplier [ "s_suppkey"; "s_nationkey" ] in
+  let n = leaf S.nation [ "n_nationkey"; "n_regionkey"; "n_name" ] in
+  let r =
+    leaf S.region [ "r_regionkey"; "r_name" ] |> sel [ ceq "r_name" (vs "ASIA") ]
+  in
+  join [ eq "c_custkey" "o_custkey" ] c o
+  |> fun co ->
+  join [ eq "o_orderkey" "l_orderkey" ] co l
+  |> fun col ->
+  join [ eq "l_suppkey" "s_suppkey"; eq "c_nationkey" "s_nationkey" ] col s
+  |> fun cols ->
+  join [ eq "s_nationkey" "n_nationkey" ] cols n
+  |> fun x ->
+  join [ eq "n_regionkey" "r_regionkey" ] x r
+  |> group [ "n_name" ] [ sum "l_extendedprice" ]
+
+(* --- Q6: forecasting revenue change. *)
+let q6 () =
+  leaf S.lineitem [ "l_shipdate"; "l_discount"; "l_quantity"; "l_extendedprice" ]
+  |> sel
+       [ cge "l_shipdate" (date "1994-01-01");
+         clt "l_shipdate" (date "1995-01-01");
+         cge "l_discount" (vf 0.05); cle "l_discount" (vf 0.07);
+         clt "l_quantity" (vf 24.0) ]
+  |> group [] [ sum "l_extendedprice" ]
+
+(* --- Q7: volume shipping.
+   Simplification: one nation dimension (the n1/n2 self-join collapses to
+   the supplier side; the customer side keeps the date filter). *)
+let q7 () =
+  let s = leaf S.supplier [ "s_suppkey"; "s_nationkey" ] in
+  let l =
+    leaf S.lineitem
+      [ "l_orderkey"; "l_suppkey"; "l_extendedprice"; "l_discount"; "l_shipdate" ]
+    |> sel [ cge "l_shipdate" (date "1995-01-01");
+             cle "l_shipdate" (date "1996-12-31") ]
+  in
+  let o = leaf S.orders [ "o_orderkey"; "o_custkey" ] in
+  let c = leaf S.customer [ "c_custkey" ] in
+  let n =
+    leaf S.nation [ "n_nationkey"; "n_name" ]
+    |> sel [ inl "n_name" [ vs "FRANCE"; vs "GERMANY" ] ]
+  in
+  join [ eq "s_suppkey" "l_suppkey" ] s l
+  |> fun sl ->
+  join [ eq "l_orderkey" "o_orderkey" ] sl o
+  |> fun slo ->
+  join [ eq "o_custkey" "c_custkey" ] slo c
+  |> fun x ->
+  join [ eq "s_nationkey" "n_nationkey" ] x n
+  |> group [ "n_name"; "l_shipdate" ] [ sum "l_extendedprice" ]
+
+(* --- Q8: national market share (share numerator only). *)
+let q8 () =
+  let p =
+    leaf S.part [ "p_partkey"; "p_type" ]
+    |> sel [ ceq "p_type" (vs "ECONOMY ANODIZED STEEL") ]
+  in
+  let l =
+    leaf S.lineitem
+      [ "l_orderkey"; "l_partkey"; "l_suppkey"; "l_extendedprice"; "l_discount" ]
+  in
+  let o =
+    leaf S.orders [ "o_orderkey"; "o_custkey"; "o_orderdate" ]
+    |> sel [ cge "o_orderdate" (date "1995-01-01");
+             cle "o_orderdate" (date "1996-12-31") ]
+  in
+  let c = leaf S.customer [ "c_custkey"; "c_nationkey" ] in
+  let n = leaf S.nation [ "n_nationkey"; "n_regionkey" ] in
+  let r =
+    leaf S.region [ "r_regionkey"; "r_name" ]
+    |> sel [ ceq "r_name" (vs "AMERICA") ]
+  in
+  let s = leaf S.supplier [ "s_suppkey" ] in
+  join [ eq "p_partkey" "l_partkey" ] p l
+  |> fun pl ->
+  join [ eq "l_orderkey" "o_orderkey" ] pl o
+  |> fun plo ->
+  join [ eq "o_custkey" "c_custkey" ] plo c
+  |> fun x ->
+  join [ eq "c_nationkey" "n_nationkey" ] x n
+  |> fun x ->
+  join [ eq "n_regionkey" "r_regionkey" ] x r
+  |> fun x ->
+  join [ eq "l_suppkey" "s_suppkey" ] x s
+  |> group [ "o_orderdate" ] [ sum "l_extendedprice" ]
+
+(* --- Q9: product type profit measure. *)
+let q9 () =
+  let p =
+    leaf S.part [ "p_partkey"; "p_name" ] |> sel [ like "p_name" "%green%" ]
+  in
+  let l =
+    leaf S.lineitem
+      [ "l_orderkey"; "l_partkey"; "l_suppkey"; "l_quantity";
+        "l_extendedprice"; "l_discount" ]
+  in
+  let s = leaf S.supplier [ "s_suppkey"; "s_nationkey" ] in
+  let ps = leaf S.partsupp [ "ps_partkey"; "ps_suppkey"; "ps_supplycost" ] in
+  let o = leaf S.orders [ "o_orderkey"; "o_orderdate" ] in
+  let n = leaf S.nation [ "n_nationkey"; "n_name" ] in
+  join [ eq "p_partkey" "l_partkey" ] p l
+  |> fun pl ->
+  join [ eq "l_suppkey" "s_suppkey" ] pl s
+  |> fun pls ->
+  join [ eq "l_partkey" "ps_partkey"; eq "l_suppkey" "ps_suppkey" ] pls ps
+  |> fun x ->
+  join [ eq "l_orderkey" "o_orderkey" ] x o
+  |> fun x ->
+  join [ eq "s_nationkey" "n_nationkey" ] x n
+  |> group [ "n_name"; "o_orderdate" ] [ sum "l_extendedprice" ]
+
+(* --- Q10: returned item reporting. *)
+let q10 () =
+  let c = leaf S.customer [ "c_custkey"; "c_name"; "c_nationkey"; "c_acctbal" ] in
+  let o =
+    leaf S.orders [ "o_orderkey"; "o_custkey"; "o_orderdate" ]
+    |> sel [ cge "o_orderdate" (date "1993-10-01");
+             clt "o_orderdate" (date "1994-01-01") ]
+  in
+  let l =
+    leaf S.lineitem [ "l_orderkey"; "l_returnflag"; "l_extendedprice"; "l_discount" ]
+    |> sel [ ceq "l_returnflag" (vs "R") ]
+  in
+  let n = leaf S.nation [ "n_nationkey"; "n_name" ] in
+  join [ eq "c_custkey" "o_custkey" ] c o
+  |> fun co ->
+  join [ eq "o_orderkey" "l_orderkey" ] co l
+  |> fun col ->
+  join [ eq "c_nationkey" "n_nationkey" ] col n
+  |> group [ "c_custkey"; "c_name"; "n_name"; "c_acctbal" ] [ sum "l_extendedprice" ]
+  |> order [ ("l_extendedprice", Plan.Desc) ]
+  |> top 20
+
+(* --- Q11: important stock identification (absolute having threshold). *)
+let q11 () =
+  let ps = leaf S.partsupp [ "ps_partkey"; "ps_suppkey"; "ps_supplycost"; "ps_availqty" ] in
+  let s = leaf S.supplier [ "s_suppkey"; "s_nationkey" ] in
+  let n =
+    leaf S.nation [ "n_nationkey"; "n_name" ]
+    |> sel [ ceq "n_name" (vs "GERMANY") ]
+  in
+  join [ eq "ps_suppkey" "s_suppkey" ] ps s
+  |> fun pss ->
+  join [ eq "s_nationkey" "n_nationkey" ] pss n
+  |> group [ "ps_partkey" ] [ sum "ps_supplycost" ]
+  |> sel [ cgt "ps_supplycost" (vf 1000.0) ]
+
+(* --- Q12: shipping mode and order priority. *)
+let q12 () =
+  let o = leaf S.orders [ "o_orderkey"; "o_orderpriority" ] in
+  let l =
+    leaf S.lineitem
+      [ "l_orderkey"; "l_shipmode"; "l_commitdate"; "l_receiptdate"; "l_shipdate" ]
+    |> sel
+         [ inl "l_shipmode" [ vs "MAIL"; vs "SHIP" ];
+           lt_attr "l_commitdate" "l_receiptdate";
+           lt_attr "l_shipdate" "l_commitdate";
+           cge "l_receiptdate" (date "1994-01-01");
+           clt "l_receiptdate" (date "1995-01-01") ]
+  in
+  join [ eq "o_orderkey" "l_orderkey" ] o l
+  |> group [ "l_shipmode" ] [ cnt "o_orderpriority"; cnt_star ]
+
+(* --- Q13: customer distribution (inner join; NOT LIKE filter dropped). *)
+let q13 () =
+  let c = leaf S.customer [ "c_custkey" ] in
+  let o = leaf S.orders [ "o_orderkey"; "o_custkey" ] in
+  join [ eq "c_custkey" "o_custkey" ] c o
+  |> group [ "c_custkey" ] [ cnt "o_orderkey" ]
+  |> group [ "o_orderkey" ] [ cnt_star ]
+
+(* --- Q14: promotion effect (numerator branch). *)
+let q14 () =
+  let l =
+    leaf S.lineitem [ "l_partkey"; "l_extendedprice"; "l_discount"; "l_shipdate" ]
+    |> sel [ cge "l_shipdate" (date "1995-09-01");
+             clt "l_shipdate" (date "1995-10-01") ]
+  in
+  let p =
+    leaf S.part [ "p_partkey"; "p_type" ] |> sel [ like "p_type" "PROMO%" ]
+  in
+  join [ eq "l_partkey" "p_partkey" ] l p
+  |> group [] [ sum "l_extendedprice" ]
+
+(* --- Q15: top supplier (max subquery approximated by the revenue view
+   joined back to supplier). *)
+let q15 () =
+  let l =
+    leaf S.lineitem [ "l_suppkey"; "l_extendedprice"; "l_discount"; "l_shipdate" ]
+    |> sel [ cge "l_shipdate" (date "1996-01-01");
+             clt "l_shipdate" (date "1996-04-01") ]
+  in
+  let view = l |> group [ "l_suppkey" ] [ sum "l_extendedprice" ] in
+  let s = leaf S.supplier [ "s_suppkey"; "s_name"; "s_phone" ] in
+  join [ eq "s_suppkey" "l_suppkey" ] s view
+
+(* --- Q16: parts/supplier relationship (NOT IN subquery dropped). *)
+let q16 () =
+  let ps = leaf S.partsupp [ "ps_partkey"; "ps_suppkey" ] in
+  let p =
+    leaf S.part [ "p_partkey"; "p_brand"; "p_type"; "p_size" ]
+    |> sel
+         [ Predicate.Cmp_const (a "p_brand", Predicate.Neq, vs "Brand#45");
+           inl "p_size" [ vi 49; vi 14; vi 23; vi 45; vi 19; vi 3; vi 36; vi 9 ] ]
+  in
+  join [ eq "p_partkey" "ps_partkey" ] p ps
+  |> group [ "p_brand"; "p_type"; "p_size" ] [ cnt "ps_suppkey" ]
+
+(* --- Q17: small-quantity-order revenue (correlated avg threshold
+   becomes a constant quantity bound). *)
+let q17 () =
+  let l = leaf S.lineitem [ "l_partkey"; "l_quantity"; "l_extendedprice" ] in
+  let p =
+    leaf S.part [ "p_partkey"; "p_brand"; "p_container" ]
+    |> sel [ ceq "p_brand" (vs "Brand#23"); ceq "p_container" (vs "MED BOX") ]
+  in
+  join [ eq "l_partkey" "p_partkey" ] l p
+  |> sel [ clt "l_quantity" (vf 5.0) ]
+  |> group [] [ sum "l_extendedprice" ]
+
+(* --- Q18: large volume customer. *)
+let q18 () =
+  let big =
+    leaf S.lineitem [ "l_orderkey"; "l_quantity" ]
+    |> group [ "l_orderkey" ] [ sum "l_quantity" ]
+    |> sel [ cgt "l_quantity" (vf 300.0) ]
+  in
+  let o = leaf S.orders [ "o_orderkey"; "o_custkey"; "o_orderdate"; "o_totalprice" ] in
+  let c = leaf S.customer [ "c_custkey"; "c_name" ] in
+  join [ eq "o_orderkey" "l_orderkey" ] o big
+  |> fun ob ->
+  join [ eq "o_custkey" "c_custkey" ] ob c
+  |> group [ "c_name"; "o_orderkey"; "o_orderdate"; "o_totalprice" ]
+       [ sum "l_quantity" ]
+  |> order [ ("o_totalprice", Plan.Desc); ("o_orderdate", Plan.Asc) ]
+  |> top 100
+
+(* --- Q19: discounted revenue — keeps a real disjunction over brands. *)
+let q19 () =
+  let l =
+    leaf S.lineitem
+      [ "l_partkey"; "l_quantity"; "l_extendedprice"; "l_discount";
+        "l_shipmode"; "l_shipinstruct" ]
+    |> Plan.select
+         [ [ Predicate.In_list (a "l_shipmode", [ vs "AIR"; vs "REG AIR" ]) ];
+           [ ceq "l_shipinstruct" (vs "DELIVER IN PERSON") ];
+           [ cge "l_quantity" (vf 1.0) ]; [ cle "l_quantity" (vf 30.0) ] ]
+  in
+  let p =
+    leaf S.part [ "p_partkey"; "p_brand"; "p_size" ]
+    |> Plan.select
+         [ [ ceq "p_brand" (vs "Brand#12"); ceq "p_brand" (vs "Brand#23");
+             ceq "p_brand" (vs "Brand#34") ];
+           [ cge "p_size" (vi 1); cle "p_size" (vi 15) ] ]
+  in
+  join [ eq "p_partkey" "l_partkey" ] p l
+  |> group [] [ sum "l_extendedprice" ]
+
+(* --- Q20: potential part promotion (lineitem availability subquery
+   dropped). *)
+let q20 () =
+  let p =
+    leaf S.part [ "p_partkey"; "p_name" ] |> sel [ like "p_name" "forest%" ]
+  in
+  let ps = leaf S.partsupp [ "ps_partkey"; "ps_suppkey"; "ps_availqty" ] in
+  let s = leaf S.supplier [ "s_suppkey"; "s_name"; "s_nationkey" ] in
+  let n =
+    leaf S.nation [ "n_nationkey"; "n_name" ]
+    |> sel [ ceq "n_name" (vs "CANADA") ]
+  in
+  join [ eq "p_partkey" "ps_partkey" ] p ps
+  |> fun pps ->
+  join [ eq "ps_suppkey" "s_suppkey" ] pps s
+  |> fun x ->
+  join [ eq "s_nationkey" "n_nationkey" ] x n
+  |> group [ "s_name" ] [ cnt "ps_availqty" ]
+
+(* --- Q21: suppliers who kept orders waiting (l2/l3 self-joins
+   dropped). *)
+let q21 () =
+  let s = leaf S.supplier [ "s_suppkey"; "s_name"; "s_nationkey" ] in
+  let l =
+    leaf S.lineitem [ "l_orderkey"; "l_suppkey"; "l_commitdate"; "l_receiptdate" ]
+    |> sel [ gt_attr "l_receiptdate" "l_commitdate" ]
+  in
+  let o =
+    leaf S.orders [ "o_orderkey"; "o_orderstatus" ]
+    |> sel [ ceq "o_orderstatus" (vs "F") ]
+  in
+  let n =
+    leaf S.nation [ "n_nationkey"; "n_name" ]
+    |> sel [ ceq "n_name" (vs "SAUDI ARABIA") ]
+  in
+  join [ eq "s_suppkey" "l_suppkey" ] s l
+  |> fun sl ->
+  join [ eq "l_orderkey" "o_orderkey" ] sl o
+  |> fun slo ->
+  join [ eq "s_nationkey" "n_nationkey" ] slo n
+  |> group [ "s_name" ] [ cnt_star ]
+  |> order [ ("s_name", Plan.Asc) ]
+  |> top 100
+
+(* --- Q22: global sales opportunity (anti-join on orders and the avg
+   balance subquery dropped; country code via udf). *)
+let q22 () =
+  leaf S.customer [ "c_phone"; "c_acctbal" ]
+  |> udf "expr:country_code" [ "c_phone" ] "c_phone"
+  |> sel
+       [ inl "c_phone" [ vs "13"; vs "31"; vs "23"; vs "29"; vs "30"; vs "18"; vs "17" ];
+         cgt "c_acctbal" (vf 0.0) ]
+  |> group [ "c_phone" ] [ cnt_star; sum "c_acctbal" ]
+
+let all =
+  [ (1, "pricing summary report", q1); (2, "minimum cost supplier", q2);
+    (3, "shipping priority", q3); (4, "order priority checking", q4);
+    (5, "local supplier volume", q5); (6, "forecasting revenue change", q6);
+    (7, "volume shipping", q7); (8, "national market share", q8);
+    (9, "product type profit", q9); (10, "returned item reporting", q10);
+    (11, "important stock identification", q11);
+    (12, "shipping modes and order priority", q12);
+    (13, "customer distribution", q13); (14, "promotion effect", q14);
+    (15, "top supplier", q15); (16, "parts/supplier relationship", q16);
+    (17, "small-quantity-order revenue", q17);
+    (18, "large volume customer", q18); (19, "discounted revenue", q19);
+    (20, "potential part promotion", q20);
+    (21, "suppliers who kept orders waiting", q21);
+    (22, "global sales opportunity", q22) ]
+
+let query n =
+  match List.find_opt (fun (i, _, _) -> i = n) all with
+  | Some (_, _, b) -> b ()
+  | None -> invalid_arg (Printf.sprintf "Tpch_queries.query: Q%d" n)
+
+(* year from epoch day (inverse of Value.date_of_string's civil encoding) *)
+let year_of_day z =
+  let z = z + 719468 in
+  let era = (if z >= 0 then z else z - 146096) / 146097 in
+  let doe = z - (era * 146097) in
+  let yoe = (doe - (doe / 1460) + (doe / 36524) - (doe / 146096)) / 365 in
+  let y = yoe + (era * 400) in
+  let doy = doe - ((365 * yoe) + (yoe / 4) - (yoe / 100)) in
+  let mp = ((5 * doy) + 2) / 153 in
+  let m = if mp < 10 then mp + 3 else mp - 9 in
+  if m <= 2 then y + 1 else y
+
+let fnum = function
+  | Value.Int i -> float_of_int i
+  | Value.Float f -> f
+  | Value.Null -> 0.0
+  | v -> invalid_arg ("expr udf: non-numeric input " ^ Value.to_string v)
+
+(* Inputs arrive in alphabetical attribute-name order. *)
+let udf_impls =
+  [ ( "expr:revenue",
+      (* l_discount, l_extendedprice *)
+      function
+      | [ d; p ] -> Value.Float (fnum p *. (1.0 -. fnum d))
+      | _ -> invalid_arg "expr:revenue arity" );
+    ( "expr:disc_revenue",
+      function
+      | [ d; p ] -> Value.Float (fnum p *. fnum d)
+      | _ -> invalid_arg "expr:disc_revenue arity" );
+    ( "expr:charge",
+      (* l_discount, l_extendedprice, l_tax *)
+      function
+      | [ d; p; t ] -> Value.Float (fnum p *. (1.0 -. fnum d) *. (1.0 +. fnum t))
+      | _ -> invalid_arg "expr:charge arity" );
+    ( "expr:profit",
+      (* l_discount, l_extendedprice, l_quantity, ps_supplycost *)
+      function
+      | [ d; p; q; c ] ->
+          Value.Float ((fnum p *. (1.0 -. fnum d)) -. (fnum c *. fnum q))
+      | _ -> invalid_arg "expr:profit arity" );
+    ( "expr:stock_value",
+      (* ps_availqty, ps_supplycost *)
+      function
+      | [ q; c ] -> Value.Float (fnum q *. fnum c)
+      | _ -> invalid_arg "expr:stock_value arity" );
+    ( "expr:year",
+      function
+      | [ Value.Date d ] -> Value.Int (year_of_day d)
+      | [ v ] -> v
+      | _ -> invalid_arg "expr:year arity" );
+    ( "expr:country_code",
+      function
+      | [ Value.Str phone ] ->
+          Value.Str (if String.length phone >= 2 then String.sub phone 0 2 else phone)
+      | [ v ] -> v
+      | _ -> invalid_arg "expr:country_code arity" ) ]

@@ -1,0 +1,36 @@
+(** TPC-H schema (8 tables), split between two data authorities.
+
+    The paper's evaluation distributes the TPC-H tables between two
+    authorities; we give the order-side tables (customer, orders,
+    nation, region) to authority [A1] and the item-side tables
+    (lineitem, supplier, part, partsupp) to authority [A2], so that the
+    large lineitem joins cross the authority boundary as in any
+    federation worth the name. Column widths
+    follow the TPC-H specification's average lengths and feed the cost
+    model's size estimates. *)
+
+open Relalg
+
+val authority1 : string
+val authority2 : string
+
+val region : Schema.t
+val nation : Schema.t
+val supplier : Schema.t
+val part : Schema.t
+val partsupp : Schema.t
+val customer : Schema.t
+val orders : Schema.t
+val lineitem : Schema.t
+
+val all : Schema.t list
+
+val width_of : string -> string -> float
+(** [width_of table column]: average bytes (spec-derived). *)
+
+val base_cardinality : sf:float -> string -> float
+(** Row count of a table at a given scale factor ([sf = 1.0] is the 1 GB
+    configuration used in the paper). *)
+
+val base_stats : sf:float -> Planner.Estimate.base_stats
+(** Statistics callback for the cost model at a given scale factor. *)

@@ -1,0 +1,177 @@
+(* QCheck generators for random plans and policies, shared by property
+   tests of the theorems (Thm. 3.1, 5.1, 5.2, 5.3). Plans are built
+   bottom-up over a fixed two-authority catalog; generated policies give
+   each subject random plaintext/encrypted slices of each relation. *)
+
+open Relalg
+open Authz
+
+let rel1 =
+  Schema.make ~name:"R1" ~owner:"A1"
+    [ ("a", Schema.Tint); ("b", Schema.Tint); ("c", Schema.Tstring);
+      ("d", Schema.Tint) ]
+
+let rel2 =
+  Schema.make ~name:"R2" ~owner:"A2"
+    [ ("e", Schema.Tint); ("f", Schema.Tint); ("g", Schema.Tstring) ]
+
+let rel3 =
+  Schema.make ~name:"R3" ~owner:"A2" [ ("h", Schema.Tint); ("k", Schema.Tint) ]
+
+let schemas = [ rel1; rel2; rel3 ]
+
+let user = Subject.user "U"
+let providers = List.map Subject.provider [ "X"; "Y"; "Z" ]
+
+let subjects =
+  (user :: List.map (fun s -> Subject.authority s.Schema.owner) [ rel1; rel2 ])
+  @ providers
+
+(* --- random plans ---------------------------------------------------- *)
+
+(* pick a subset of a set, at least [min] elements *)
+let pick_subset ?(min = 1) st set =
+  let elements = Attr.Set.elements set in
+  let chosen =
+    List.filter (fun _ -> QCheck.Gen.bool st) elements
+  in
+  let chosen = if List.length chosen >= min then chosen else elements in
+  Attr.Set.of_list chosen
+
+let pick_one st set =
+  let elements = Attr.Set.elements set in
+  List.nth elements (QCheck.Gen.int_bound (List.length elements - 1) st)
+
+(* columns c and g are strings in the catalog above; everything else is
+   an int — generated atoms must be type-consistent or execution would
+   compare apples with 67 *)
+let is_string a = List.mem (Attr.name a) [ "c"; "g" ]
+
+let string_pool = [| "ga"; "bu"; "zo"; "meu" |]
+
+let gen_const_atom st schema =
+  let a = pick_one st schema in
+  let ops = [| Predicate.Eq; Predicate.Lt; Predicate.Ge |] in
+  let op = ops.(QCheck.Gen.int_bound 2 st) in
+  let v =
+    if is_string a then
+      Value.Str string_pool.(QCheck.Gen.int_bound 3 st)
+    else Value.Int (QCheck.Gen.int_bound 100 st)
+  in
+  Predicate.Cmp_const (a, op, v)
+
+let gen_pair_atom st schema =
+  let a = pick_one st schema in
+  let b = pick_one st schema in
+  if Attr.equal a b || is_string a <> is_string b then None
+  else Some (Predicate.Cmp_attr (a, Predicate.Eq, b))
+
+(* A random plan: leaves (projected base relations), then 1-6 random
+   unary/binary operators. *)
+let gen_plan : Plan.t QCheck.Gen.t =
+ fun st ->
+  let leaf schema =
+    let cols = pick_subset ~min:2 st (Schema.attrs schema) in
+    Plan.project cols (Plan.base schema)
+  in
+  let rec grow plan fuel other_leaves =
+    if fuel = 0 then plan
+    else
+      let schema = Plan.schema plan in
+      let choice = QCheck.Gen.int_bound 6 st in
+      let next, other_leaves =
+        match choice with
+        | 0 when Attr.Set.cardinal schema > 1 ->
+            (Plan.project (pick_subset st schema) plan, other_leaves)
+        | 1 -> (Plan.select (Predicate.conj [ gen_const_atom st schema ]) plan, other_leaves)
+        | 2 -> (
+            match gen_pair_atom st schema with
+            | Some atom -> (Plan.select [ [ atom ] ] plan, other_leaves)
+            | None -> (plan, other_leaves))
+        | 3 -> (
+            match other_leaves with
+            | next :: rest ->
+                let right = leaf next in
+                let numeric s = Attr.Set.filter (fun a -> not (is_string a)) s in
+                let la = numeric schema and ra = numeric (Plan.schema right) in
+                if Attr.Set.is_empty la || Attr.Set.is_empty ra then
+                  (plan, other_leaves)
+                else
+                  let a = pick_one st la and b = pick_one st ra in
+                  ( Plan.join
+                      (Predicate.conj
+                         [ Predicate.Cmp_attr (a, Predicate.Eq, b) ])
+                      plan right,
+                    rest )
+            | [] -> (plan, []))
+        | 4 ->
+            let keys = pick_subset st schema in
+            let rest =
+              Attr.Set.filter
+                (fun a -> not (is_string a))
+                (Attr.Set.diff schema keys)
+            in
+            let aggs =
+              if Attr.Set.is_empty rest then []
+              else [ Aggregate.make (Aggregate.Sum (pick_one st rest)) ]
+            in
+            (Plan.group_by keys aggs plan, other_leaves)
+        | 5 ->
+            let numeric = Attr.Set.filter (fun a -> not (is_string a)) schema in
+            if Attr.Set.is_empty numeric then (plan, other_leaves)
+            else
+              let inputs = pick_subset st numeric in
+              (Plan.udf "f" inputs (pick_one st inputs) plan, other_leaves)
+        | _ ->
+            let dir = if QCheck.Gen.bool st then Plan.Asc else Plan.Desc in
+            (Plan.order_by [ (pick_one st schema, dir) ] plan, other_leaves)
+      in
+      grow next (fuel - 1) other_leaves
+  in
+  let plan = leaf rel1 in
+  grow plan (1 + QCheck.Gen.int_bound 5 st) [ rel2; rel3 ]
+
+(* --- random policies -------------------------------------------------- *)
+
+let gen_policy : Authorization.t QCheck.Gen.t =
+ fun st ->
+  let rule_for schema subject =
+    let attrs = Schema.attr_list schema in
+    let classify _a =
+      (* the querying user is fully plaintext-authorized (the paper's
+         premise: it must read the response and the query inputs);
+         providers get encrypted-biased random slices *)
+      let r = QCheck.Gen.int_bound 99 st in
+      match subject.Subject.role with
+      | Subject.User -> `Plain
+      | _ -> if r < 30 then `Plain else if r < 80 then `Enc else `None
+    in
+    let plain, enc =
+      List.fold_left
+        (fun (p, e) a ->
+          match classify a with
+          | `Plain -> (Attr.name a :: p, e)
+          | `Enc -> (p, Attr.name a :: e)
+          | `None -> (p, e))
+        ([], []) attrs
+    in
+    if plain = [] && enc = [] then None
+    else
+      Some
+        (Authorization.rule ~rel:schema.Schema.name ~plain ~enc
+           (To subject))
+  in
+  let rules =
+    List.concat_map
+      (fun schema ->
+        List.filter_map (rule_for schema) (user :: providers))
+      schemas
+  in
+  Authorization.make ~schemas rules
+
+let arbitrary_plan = QCheck.make ~print:Plan_printer.to_ascii gen_plan
+
+let arbitrary_plan_policy =
+  QCheck.make
+    ~print:(fun (p, _) -> Plan_printer.to_ascii p)
+    (QCheck.Gen.pair gen_plan gen_policy)

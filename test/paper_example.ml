@@ -1,0 +1,103 @@
+(* The paper's running example (Sec. 1): hospital H with Hosp(S,B,D,T),
+   insurer I with Ins(C,P), user U, providers X, Y, Z, and the query
+     select T, avg(P) from Hosp join Ins on S=C
+     where D='stroke' group by T having avg(P)>100
+   with the authorizations of Fig. 1(b) / Fig. 4. Shared by tests,
+   examples and benchmarks. *)
+
+open Relalg
+open Authz
+
+let hosp =
+  Schema.make ~name:"Hosp" ~owner:"H"
+    [ ("S", Schema.Tstring); ("B", Schema.Tdate); ("D", Schema.Tstring);
+      ("T", Schema.Tstring) ]
+
+let ins =
+  Schema.make ~name:"Ins" ~owner:"I"
+    [ ("C", Schema.Tstring); ("P", Schema.Tint) ]
+
+let u = Subject.user "U"
+let h = Subject.authority "H"
+let i = Subject.authority "I"
+let x = Subject.provider "X"
+let y = Subject.provider "Y"
+let z = Subject.provider "Z"
+
+let subjects = [ u; h; i; x; y; z ]
+
+let policy =
+  Authorization.make ~schemas:[ hosp; ins ]
+    [ Authorization.rule ~rel:"Hosp" ~plain:[ "S"; "B"; "D"; "T" ] (To h);
+      Authorization.rule ~rel:"Ins" ~plain:[ "C" ] ~enc:[ "P" ] (To h);
+      Authorization.rule ~rel:"Hosp" ~plain:[ "B" ]
+        ~enc:[ "S"; "D"; "T" ] (To i);
+      Authorization.rule ~rel:"Ins" ~plain:[ "C"; "P" ] (To i);
+      Authorization.rule ~rel:"Hosp" ~plain:[ "S"; "D"; "T" ] (To u);
+      Authorization.rule ~rel:"Ins" ~plain:[ "C"; "P" ] (To u);
+      Authorization.rule ~rel:"Hosp" ~plain:[ "D"; "T" ] ~enc:[ "S" ] (To x);
+      Authorization.rule ~rel:"Ins" ~enc:[ "C"; "P" ] (To x);
+      Authorization.rule ~rel:"Hosp" ~plain:[ "B"; "D"; "T" ] ~enc:[ "S" ]
+        (To y);
+      Authorization.rule ~rel:"Ins" ~plain:[ "P" ] ~enc:[ "C" ] (To y);
+      Authorization.rule ~rel:"Hosp" ~plain:[ "S"; "T" ] ~enc:[ "D" ] (To z);
+      Authorization.rule ~rel:"Ins" ~plain:[ "C" ] ~enc:[ "P" ] (To z);
+      Authorization.rule ~rel:"Hosp" ~plain:[ "D"; "T" ] Any;
+      Authorization.rule ~rel:"Ins" ~enc:[ "P" ] Any ]
+
+let a n = Attr.make n
+let attrs ns = Attr.Set.of_names ns
+
+(* Fig. 1(a): σ_avg(P)>100 ∘ γ_T,avg(P) ∘ ⋈_S=C(σ_D=stroke(π_SDT(Hosp)), Ins) *)
+type nodes = {
+  plan : Plan.t;
+  n_proj : Plan.t;
+  n_sel : Plan.t;
+  n_join : Plan.t;
+  n_group : Plan.t;
+  n_having : Plan.t;
+}
+
+let build_plan () =
+  let n_proj = Plan.project (attrs [ "S"; "D"; "T" ]) (Plan.base hosp) in
+  let n_sel =
+    Plan.select
+      (Predicate.conj
+         [ Predicate.Cmp_const (a "D", Predicate.Eq, Value.Str "stroke") ])
+      n_proj
+  in
+  let n_join =
+    Plan.join
+      (Predicate.conj [ Predicate.Cmp_attr (a "S", Predicate.Eq, a "C") ])
+      n_sel (Plan.base ins)
+  in
+  let n_group =
+    Plan.group_by (attrs [ "T" ])
+      [ Aggregate.make (Aggregate.Avg (a "P")) ]
+      n_join
+  in
+  let n_having =
+    Plan.select
+      (Predicate.conj
+         [ Predicate.Cmp_const (a "P", Predicate.Gt, Value.Int 100) ])
+      n_group
+  in
+  { plan = n_having; n_proj; n_sel; n_join; n_group; n_having }
+
+(* Fig. 7(a): σD→H, ⋈→X, γ→X, σavg→Y. *)
+let assignment_7a n =
+  Imap.(
+    empty
+    |> add (Plan.id n.n_sel) h
+    |> add (Plan.id n.n_join) x
+    |> add (Plan.id n.n_group) x
+    |> add (Plan.id n.n_having) y)
+
+(* Fig. 7(b): σD→H, ⋈→Z, γ→Z, σavg→Y. *)
+let assignment_7b n =
+  Imap.(
+    empty
+    |> add (Plan.id n.n_sel) h
+    |> add (Plan.id n.n_join) z
+    |> add (Plan.id n.n_group) z
+    |> add (Plan.id n.n_having) y)

@@ -1,0 +1,137 @@
+(* Authorization policies (Def. 2.1): validation, per-relation views,
+   the 'any' default, implicit owner rules, and Def. 4.1 corner cases. *)
+
+open Relalg
+open Authz
+
+let hosp = Paper_example.hosp
+let ins = Paper_example.ins
+
+let test_rule_disjointness () =
+  match Authorization.rule ~rel:"Hosp" ~plain:[ "S" ] ~enc:[ "S" ] Any with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "P and E overlap accepted"
+
+let test_unknown_relation_rejected () =
+  match
+    Authorization.make ~schemas:[ hosp ]
+      [ Authorization.rule ~rel:"Nope" ~plain:[ "S" ] Any ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown relation accepted"
+
+let test_unknown_attribute_rejected () =
+  match
+    Authorization.make ~schemas:[ hosp ]
+      [ Authorization.rule ~rel:"Hosp" ~plain:[ "Z" ] Any ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "unknown attribute accepted"
+
+let test_duplicate_rule_rejected () =
+  let u = Subject.user "U" in
+  match
+    Authorization.make ~schemas:[ hosp ]
+      [ Authorization.rule ~rel:"Hosp" ~plain:[ "S" ] (To u);
+        Authorization.rule ~rel:"Hosp" ~enc:[ "D" ] (To u) ]
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "two rules for one (relation, subject) accepted"
+
+let test_any_fallback () =
+  let u = Subject.user "U" and p = Subject.provider "P" in
+  let policy =
+    Authorization.make ~schemas:[ hosp ]
+      [ Authorization.rule ~rel:"Hosp" ~plain:[ "S"; "D" ] (To u);
+        Authorization.rule ~rel:"Hosp" ~plain:[ "T" ] ~enc:[ "D" ] Any ]
+  in
+  (* explicit rule wins over 'any' entirely (no merging) *)
+  let vu = Authorization.relation_view policy "Hosp" u in
+  Alcotest.(check string) "U plain" "DS" (Attr.Set.to_string vu.Authorization.plain);
+  Alcotest.(check string) "U enc" "" (Attr.Set.to_string vu.Authorization.enc);
+  (* unlisted subjects get the 'any' rule *)
+  let vp = Authorization.relation_view policy "Hosp" p in
+  Alcotest.(check string) "P plain" "T" (Attr.Set.to_string vp.Authorization.plain);
+  Alcotest.(check string) "P enc" "D" (Attr.Set.to_string vp.Authorization.enc)
+
+let test_no_rule_no_visibility () =
+  let policy = Authorization.make ~schemas:[ hosp ] [] in
+  let v = Authorization.relation_view policy "Hosp" (Subject.provider "P") in
+  Alcotest.(check bool) "closed policy" true
+    (Attr.Set.is_empty v.Authorization.plain
+    && Attr.Set.is_empty v.Authorization.enc)
+
+let test_implicit_owner_rule () =
+  let policy = Authorization.make ~schemas:[ hosp; ins ] [] in
+  let vh = Authorization.view policy (Subject.authority "H") in
+  Alcotest.(check string) "H sees its own relation plaintext" "BDST"
+    (Attr.Set.to_string vh.Authorization.plain);
+  (* ... and nothing of the other authority's *)
+  Alcotest.(check bool) "nothing of Ins" true
+    (Attr.Set.is_empty (Attr.Set.inter vh.Authorization.plain (Attr.Set.of_names [ "C"; "P" ])))
+
+let test_explicit_owner_rule_overrides () =
+  (* an authority can restrict even itself with an explicit rule *)
+  let policy =
+    Authorization.make ~schemas:[ hosp ]
+      [ Authorization.rule ~rel:"Hosp" ~plain:[ "D"; "T" ]
+          (To (Subject.authority "H")) ]
+  in
+  let vh = Authorization.view policy (Subject.authority "H") in
+  Alcotest.(check string) "restricted owner" "DT"
+    (Attr.Set.to_string vh.Authorization.plain)
+
+(* --- Def. 4.1 corner cases ------------------------------------------- *)
+
+let test_plaintext_implies_encrypted_ok () =
+  (* condition 2: plaintext rights satisfy encrypted requirements *)
+  let view =
+    { Authorization.plain = Attr.Set.of_names [ "A" ]; enc = Attr.Set.empty }
+  in
+  let p = Profile.make ~ve:[ "A" ] () in
+  Alcotest.(check bool) "ve covered by P" true (Authorized.is_authorized view p)
+
+let test_implicit_encrypted_needs_any_visibility () =
+  let view =
+    { Authorization.plain = Attr.Set.empty; enc = Attr.Set.of_names [ "A" ] }
+  in
+  Alcotest.(check bool) "ie ⊆ E ok" true
+    (Authorized.is_authorized view (Profile.make ~ie:[ "A" ] ()));
+  Alcotest.(check bool) "ip ⊆ E not ok" false
+    (Authorized.is_authorized view (Profile.make ~ip:[ "A" ] ()))
+
+let test_uniformity_over_invisible_attrs () =
+  (* condition 3 applies to equivalence classes even when neither member
+     is in the relation's schema *)
+  let view =
+    { Authorization.plain = Attr.Set.of_names [ "X"; "A" ];
+      enc = Attr.Set.of_names [ "B" ] }
+  in
+  let p = Profile.make ~vp:[ "X" ] ~eq:[ [ "A"; "B" ] ] () in
+  Alcotest.(check bool) "mixed class rejected" false
+    (Authorized.is_authorized view p);
+  let uniform =
+    { Authorization.plain = Attr.Set.of_names [ "X" ];
+      enc = Attr.Set.of_names [ "A"; "B" ] }
+  in
+  Alcotest.(check bool) "uniformly encrypted class ok" true
+    (Authorized.is_authorized uniform p)
+
+let () =
+  Alcotest.run "authorization"
+    [ ( "policy-validation",
+        [ ("P/E disjoint", `Quick, test_rule_disjointness);
+          ("unknown relation", `Quick, test_unknown_relation_rejected);
+          ("unknown attribute", `Quick, test_unknown_attribute_rejected);
+          ("one rule per subject", `Quick, test_duplicate_rule_rejected) ] );
+      ( "views",
+        [ ("any fallback", `Quick, test_any_fallback);
+          ("closed policy", `Quick, test_no_rule_no_visibility);
+          ("implicit owner rule", `Quick, test_implicit_owner_rule);
+          ("explicit owner rule overrides", `Quick, test_explicit_owner_rule_overrides)
+        ] );
+      ( "def-4.1-corners",
+        [ ("plaintext implies encrypted", `Quick, test_plaintext_implies_encrypted_ok);
+          ("implicit forms", `Quick, test_implicit_encrypted_needs_any_visibility);
+          ("uniformity over invisible attrs", `Quick, test_uniformity_over_invisible_attrs)
+        ] ) ]

@@ -1,0 +1,160 @@
+(* Minimum required views (Def. 5.2) and candidate sets (Def. 5.3),
+   including Thm. 5.1's monotonicity as a property over random plans and
+   policies. *)
+
+open Relalg
+open Authz
+
+let profile = Alcotest.testable Profile.pp Profile.equal
+let set = Attr.Set.of_names
+
+(* --- Def. 5.2 unit tests --------------------------------------------- *)
+
+let test_minview_all_encrypted () =
+  (* no plaintext requirement: every visible attribute gets encrypted *)
+  let p = Profile.make ~vp:[ "a"; "b" ] ~ip:[ "c" ] ~eq:[ [ "a"; "d" ] ] () in
+  Alcotest.check profile "min view"
+    (Profile.make ~ve:[ "a"; "b" ] ~ip:[ "c" ] ~eq:[ [ "a"; "d" ] ] ())
+    (Minview.of_profile ~ap:Attr.Set.empty p)
+
+let test_minview_keeps_ap_plain () =
+  let p = Profile.make ~vp:[ "a"; "b" ] () in
+  Alcotest.check profile "ap stays plaintext"
+    (Profile.make ~vp:[ "a" ] ~ve:[ "b" ] ())
+    (Minview.of_profile ~ap:(set [ "a" ]) p)
+
+let test_minview_decrypts_ap () =
+  (* an attribute already encrypted but needed in plaintext is decrypted *)
+  let p = Profile.make ~vp:[ "a" ] ~ve:[ "b" ] () in
+  Alcotest.check profile "ap decrypted"
+    (Profile.make ~vp:[ "b" ] ~ve:[ "a" ] ())
+    (Minview.of_profile ~ap:(set [ "b" ]) p)
+
+let test_minview_implicit_plaintext_untouched () =
+  (* implicit plaintext cannot be hidden by later encryption *)
+  let p = Profile.make ~vp:[ "a" ] ~ip:[ "d" ] () in
+  let v = Minview.of_profile ~ap:Attr.Set.empty p in
+  Alcotest.(check bool) "d still implicit plaintext" true
+    (Attr.Set.mem (Attr.make "d") v.Profile.ip)
+
+(* --- Thm. 5.1: candidate monotonicity -------------------------------- *)
+
+(* Premise: the node's plaintext-required attributes (visible plaintext of
+   its minimum required operand views) all land in the implicit component
+   of its result — true for constant selections, vacuously true for
+   fully-encryptable operations, false for udfs (which is exactly the
+   theorem's carve-out). *)
+let prop_thm_5_1 =
+  QCheck.Test.make ~count:400 ~name:"Thm 5.1: candidates shrink going up"
+    Gen.arbitrary_plan_policy (fun (plan, policy) ->
+      let config = Opreq.resolve_conflicts Opreq.default plan in
+      let lam =
+        Candidates.compute ~policy ~subjects:Gen.subjects ~config plan
+      in
+      let table = Minview.annotate_min ~config plan in
+      let operand_view_union f n =
+        List.fold_left
+          (fun acc c ->
+            match Hashtbl.find_opt table (-Plan.id c) with
+            | Some v -> Attr.Set.union acc (f v)
+            | None -> acc)
+          Attr.Set.empty (Plan.children n)
+      in
+      (* The theorem presumes the paper's normalized plans: no operand
+         attribute vanishes at any node (leaf projections keep only
+         consumed columns). A group-by dropping a never-used column
+         lowers its own bar relative to its descendants, so we restrict
+         the property to plans with the nothing-vanishes shape. *)
+      let normalized =
+        Plan.fold
+          (fun acc n ->
+            acc
+            && (Plan.is_leaf n
+               ||
+               let result = Hashtbl.find table (Plan.id n) in
+               Attr.Set.subset
+                 (operand_view_union Profile.visible n)
+                 (Profile.all_attrs result)))
+          true plan
+      in
+      QCheck.assume normalized;
+      let ok = ref true in
+      Plan.iter
+        (fun n ->
+          if not (Candidates.is_source_side n) then begin
+            let operand_vp = operand_view_union (fun v -> v.Profile.vp) n in
+            let result = Hashtbl.find table (Plan.id n) in
+            (* premise: attributes read in plaintext leave a plaintext
+               implicit trace (σ with a constant does; a udf — leaving
+               only an equivalence trace — is the theorem's carve-out) *)
+            let premise = Attr.Set.subset operand_vp result.Profile.ip in
+            if premise then
+              let cand_n = Candidates.candidates_of lam n in
+              Plan.iter
+                (fun anc ->
+                  if
+                    Plan.id anc <> Plan.id n
+                    && Plan.descendants anc n
+                    && not (Candidates.is_source_side anc)
+                  then
+                    let cand_anc = Candidates.candidates_of lam anc in
+                    if not (Subject.Set.subset cand_anc cand_n) then
+                      ok := false)
+                plan
+          end)
+        plan;
+      !ok)
+
+(* the user with full plaintext visibility is always a candidate *)
+let prop_full_plaintext_always_candidate =
+  QCheck.Test.make ~count:200 ~name:"omniscient user is candidate everywhere"
+    Gen.arbitrary_plan (fun plan ->
+      let policy =
+        Authorization.make ~schemas:Gen.schemas
+          (List.map
+             (fun s ->
+               Authorization.rule ~rel:s.Schema.name
+                 ~plain:(List.map Attr.name (Schema.attr_list s))
+                 (To Gen.user))
+             Gen.schemas)
+      in
+      let config = Opreq.resolve_conflicts Opreq.default plan in
+      let lam =
+        Candidates.compute ~policy ~subjects:Gen.subjects ~config plan
+      in
+      Plan.fold
+        (fun acc n ->
+          acc
+          && (Candidates.is_source_side n
+             || Subject.Set.mem Gen.user (Candidates.candidates_of lam n)))
+        true plan)
+
+(* a subject with no authorizations is never a candidate *)
+let prop_unauthorized_never_candidate =
+  QCheck.Test.make ~count:200 ~name:"subject with no grants is never candidate"
+    Gen.arbitrary_plan_policy (fun (plan, policy) ->
+      let stranger = Subject.provider "W" in
+      let config = Opreq.resolve_conflicts Opreq.default plan in
+      let lam =
+        Candidates.compute ~policy ~subjects:(stranger :: Gen.subjects)
+          ~config plan
+      in
+      Plan.fold
+        (fun acc n ->
+          acc
+          && not (Subject.Set.mem stranger (Candidates.candidates_of lam n)))
+        true plan)
+
+let () =
+  Alcotest.run "candidates"
+    [ ( "minview-def5.2",
+        [ ("all encrypted by default", `Quick, test_minview_all_encrypted);
+          ("Ap stays plaintext", `Quick, test_minview_keeps_ap_plain);
+          ("Ap gets decrypted", `Quick, test_minview_decrypts_ap);
+          ( "implicit plaintext is sticky",
+            `Quick,
+            test_minview_implicit_plaintext_untouched ) ] );
+      ( "thm-5.1",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_thm_5_1; prop_full_plaintext_always_candidate;
+            prop_unauthorized_never_candidate ] ) ]

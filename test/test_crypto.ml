@@ -1,0 +1,356 @@
+(* Crypto substrate: bignum arithmetic laws, block-cipher and mode
+   round trips, tamper detection, OPE order preservation, Paillier
+   homomorphism, PRF determinism, keyring derivation. *)
+
+open Mpq_crypto
+
+let rng () = Prng.create 0xC0FFEEL
+let key16 seed = Prng.bytes (Prng.create seed) 16
+
+(* --- Bignum ----------------------------------------------------------- *)
+
+let bn = Alcotest.testable Bignum.pp Bignum.equal
+
+let test_bignum_string_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check string) s s (Bignum.to_string (Bignum.of_string s)))
+    [ "0"; "1"; "-1"; "123456789"; "123456789012345678901234567890";
+      "-98765432109876543210987654321" ]
+
+let test_bignum_int_roundtrip () =
+  List.iter
+    (fun i ->
+      Alcotest.(check (option int))
+        (string_of_int i) (Some i)
+        (Bignum.to_int_opt (Bignum.of_int i)))
+    [ 0; 1; -1; max_int / 2; min_int / 2; 42 ]
+
+let test_bignum_add_sub () =
+  let a = Bignum.of_string "999999999999999999999999" in
+  let b = Bignum.of_string "1" in
+  Alcotest.check bn "a+b"
+    (Bignum.of_string "1000000000000000000000000")
+    (Bignum.add a b);
+  Alcotest.check bn "a-a" Bignum.zero (Bignum.sub a a);
+  Alcotest.check bn "a + (-a)" Bignum.zero (Bignum.add a (Bignum.neg a))
+
+let test_bignum_mul_pow () =
+  Alcotest.check bn "10^24"
+    (Bignum.of_string "1000000000000000000000000")
+    (Bignum.pow (Bignum.of_int 10) 24);
+  Alcotest.check bn "(2^62)^2 = 2^124"
+    (Bignum.shift_left Bignum.one 124)
+    (Bignum.mul (Bignum.shift_left Bignum.one 62) (Bignum.shift_left Bignum.one 62))
+
+let test_bignum_divmod_euclidean () =
+  let check a b =
+    let a = Bignum.of_int a and b = Bignum.of_int b in
+    let q, r = Bignum.divmod a b in
+    Alcotest.(check bool) "a = q*b + r" true
+      (Bignum.equal a (Bignum.add (Bignum.mul q b) r));
+    Alcotest.(check bool) "0 <= r < |b|" true
+      (Bignum.sign r >= 0 && Bignum.compare r (Bignum.abs b) < 0)
+  in
+  List.iter
+    (fun (a, b) -> check a b)
+    [ (17, 5); (-17, 5); (17, -5); (-17, -5); (0, 3); (4, 4) ]
+
+let test_bignum_gcd_invmod () =
+  Alcotest.check bn "gcd(54,24)" (Bignum.of_int 6)
+    (Bignum.gcd (Bignum.of_int 54) (Bignum.of_int 24));
+  let n = Bignum.of_int 97 in
+  for a = 1 to 96 do
+    match Bignum.invmod (Bignum.of_int a) n with
+    | Some inv ->
+        Alcotest.check bn
+          (Printf.sprintf "%d * inv mod 97" a)
+          Bignum.one
+          (Bignum.rem (Bignum.mul (Bignum.of_int a) inv) n)
+    | None -> Alcotest.failf "no inverse for %d mod 97" a
+  done
+
+let test_bignum_mod_pow_fermat () =
+  (* Fermat: a^(p-1) = 1 mod p for prime p *)
+  let p = Bignum.of_int 1000003 in
+  List.iter
+    (fun a ->
+      Alcotest.check bn
+        (Printf.sprintf "%d^(p-1) mod p" a)
+        Bignum.one
+        (Bignum.mod_pow ~base:(Bignum.of_int a) ~exp:(Bignum.pred p) ~modulus:p))
+    [ 2; 3; 65537 ]
+
+let test_bignum_primality () =
+  let r = rng () in
+  List.iter
+    (fun (n, expect) ->
+      Alcotest.(check bool)
+        (string_of_int n) expect
+        (Bignum.is_probable_prime r (Bignum.of_int n)))
+    [ (2, true); (3, true); (4, false); (561, false) (* Carmichael *);
+      (7919, true); (7917, false); (1000003, true) ]
+
+let test_bignum_random_prime_bits () =
+  let r = rng () in
+  List.iter
+    (fun bits ->
+      let p = Bignum.random_prime r bits in
+      Alcotest.(check int) "bit length" bits (Bignum.bit_length p);
+      Alcotest.(check bool) "prime" true (Bignum.is_probable_prime r p))
+    [ 16; 32; 64 ]
+
+let test_bignum_bytes_roundtrip () =
+  let r = rng () in
+  for _ = 1 to 50 do
+    let v = Bignum.random_bits r (1 + Prng.int r 200) in
+    Alcotest.check bn "bytes roundtrip" v
+      (Bignum.of_bytes_be (Bignum.to_bytes_be v))
+  done
+
+let prop_bignum_ring =
+  QCheck.Test.make ~count:500 ~name:"ring laws on 128-bit values"
+    QCheck.(make Gen.(pair (pair int int) (pair int int)))
+    (fun ((a, b), (c, _)) ->
+      let x = Bignum.mul (Bignum.of_int a) (Bignum.of_int c) in
+      let y = Bignum.of_int b in
+      let z = Bignum.of_int c in
+      (* (x + y) + z = x + (y + z), x*(y+z) = x*y + x*z *)
+      Bignum.equal
+        (Bignum.add (Bignum.add x y) z)
+        (Bignum.add x (Bignum.add y z))
+      && Bignum.equal
+           (Bignum.mul x (Bignum.add y z))
+           (Bignum.add (Bignum.mul x y) (Bignum.mul x z)))
+
+let prop_bignum_divmod =
+  QCheck.Test.make ~count:500 ~name:"divmod invariant on random values"
+    QCheck.(make Gen.(pair (int_range 0 300) (int_range 1 200)))
+    (fun (abits, bbits) ->
+      let r = Prng.create (Int64.of_int ((abits * 1000) + bbits)) in
+      let a = Bignum.random_bits r abits in
+      let b = Bignum.succ (Bignum.random_bits r bbits) in
+      let q, rm = Bignum.divmod a b in
+      Bignum.equal a (Bignum.add (Bignum.mul q b) rm)
+      && Bignum.sign rm >= 0
+      && Bignum.compare rm b < 0)
+
+(* --- Speck / PRF ------------------------------------------------------ *)
+
+let test_speck_roundtrip () =
+  let k = Speck.expand_key (key16 1L) in
+  List.iter
+    (fun v ->
+      Alcotest.(check int64) (Int64.to_string v) v
+        (Speck.decrypt_block k (Speck.encrypt_block k v)))
+    [ 0L; 1L; -1L; 0x0123456789ABCDEFL; Int64.min_int; Int64.max_int ]
+
+let test_speck_key_sensitivity () =
+  let k1 = Speck.expand_key (key16 1L) in
+  let k2 = Speck.expand_key (key16 2L) in
+  Alcotest.(check bool) "different keys differ" false
+    (Speck.encrypt_block k1 42L = Speck.encrypt_block k2 42L)
+
+let test_prf_deterministic () =
+  let p = Prf.create (key16 3L) in
+  Alcotest.(check int64) "same input same mac" (Prf.mac p "hello")
+    (Prf.mac p "hello");
+  Alcotest.(check bool) "prefix-free" false
+    (Prf.mac p "ab" = Prf.mac p "ab\x00")
+
+let test_prf_expand_length () =
+  let p = Prf.create (key16 4L) in
+  List.iter
+    (fun n ->
+      Alcotest.(check int) (string_of_int n) n
+        (String.length (Prf.expand p "label" n)))
+    [ 1; 8; 16; 33; 100 ]
+
+(* --- Det / Rnd -------------------------------------------------------- *)
+
+let test_det_roundtrip_and_determinism () =
+  let k = Det.key_of_string (key16 5L) in
+  List.iter
+    (fun m -> Alcotest.(check string) "roundtrip" m (Det.decrypt k (Det.encrypt k m)))
+    [ ""; "x"; "hello world"; String.make 1000 'z' ];
+  Alcotest.(check string) "deterministic" (Det.encrypt k "abc") (Det.encrypt k "abc");
+  Alcotest.(check bool) "key separation" false
+    (Det.encrypt k "abc" = Det.encrypt (Det.key_of_string (key16 6L)) "abc")
+
+let test_det_tamper_detected () =
+  let k = Det.key_of_string (key16 5L) in
+  let c = Det.encrypt k "attack at dawn" in
+  let c' = Bytes.of_string c in
+  Bytes.set c' (String.length c - 1)
+    (Char.chr (Char.code (Bytes.get c' (String.length c - 1)) lxor 1));
+  Alcotest.check_raises "tamper" (Failure "Det.decrypt: authentication failure")
+    (fun () -> ignore (Det.decrypt k (Bytes.to_string c')))
+
+let test_rnd_roundtrip_and_randomness () =
+  let k = Rnd.key_of_string (key16 7L) in
+  let r = rng () in
+  List.iter
+    (fun m ->
+      Alcotest.(check string) "roundtrip" m (Rnd.decrypt k (Rnd.encrypt k r m)))
+    [ ""; "x"; "some plaintext"; String.make 500 'q' ];
+  Alcotest.(check bool) "two encryptions differ" false
+    (Rnd.encrypt k r "same" = Rnd.encrypt k r "same")
+
+let test_rnd_tamper_detected () =
+  let k = Rnd.key_of_string (key16 7L) in
+  let c = Rnd.encrypt k (rng ()) "money" in
+  let c' = Bytes.of_string c in
+  Bytes.set c' 9 (Char.chr (Char.code (Bytes.get c' 9) lxor 0x80));
+  Alcotest.check_raises "tamper" (Failure "Rnd.decrypt: authentication failure")
+    (fun () -> ignore (Rnd.decrypt k (Bytes.to_string c')))
+
+(* --- OPE --------------------------------------------------------------- *)
+
+let prop_ope_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"OPE decrypt inverts encrypt"
+    QCheck.(int_range (-1_000_000_000) 1_000_000_000)
+    (fun v ->
+      let k = Ope.key_of_string (key16 8L) in
+      Ope.decrypt k (Ope.encrypt k v) = v)
+
+let prop_ope_order =
+  QCheck.Test.make ~count:300 ~name:"OPE preserves strict order"
+    QCheck.(pair (int_range (-1_000_000) 1_000_000) (int_range (-1_000_000) 1_000_000))
+    (fun (a, b) ->
+      let k = Ope.key_of_string (key16 8L) in
+      if a = b then Ope.encrypt k a = Ope.encrypt k b
+      else if a < b then Ope.encrypt k a < Ope.encrypt k b
+      else Ope.encrypt k a > Ope.encrypt k b)
+
+let prop_ope_bytes_order =
+  QCheck.Test.make ~count:300 ~name:"OPE byte encoding compares like values"
+    QCheck.(pair (int_range (-100000) 100000) (int_range (-100000) 100000))
+    (fun (a, b) ->
+      let k = Ope.key_of_string (key16 8L) in
+      compare a b = compare (Ope.encrypt_bytes k a) (Ope.encrypt_bytes k b))
+
+let test_ope_domain_check () =
+  let k = Ope.key_of_string (key16 8L) in
+  Alcotest.check_raises "out of domain"
+    (Invalid_argument "Ope.encrypt: 1099511627776 out of domain") (fun () ->
+      ignore (Ope.encrypt k (1 lsl 40)))
+
+(* --- Paillier ----------------------------------------------------------- *)
+
+let test_paillier_roundtrip () =
+  let r = rng () in
+  let pk, sk = Paillier.keygen ~bits:192 r in
+  List.iter
+    (fun m ->
+      let m = Bignum.of_int m in
+      Alcotest.check bn "roundtrip" m
+        (Paillier.decrypt_signed pk sk (Paillier.encrypt pk r m)))
+    [ 0; 1; -1; 123456; -987654; 100000000 ]
+
+let prop_paillier_additive =
+  let r = rng () in
+  let pk, sk = Paillier.keygen ~bits:192 r in
+  QCheck.Test.make ~count:50 ~name:"Paillier: dec(c1*c2) = m1+m2"
+    QCheck.(pair (int_range (-100000) 100000) (int_range (-100000) 100000))
+    (fun (m1, m2) ->
+      let c1 = Paillier.encrypt pk r (Bignum.of_int m1) in
+      let c2 = Paillier.encrypt pk r (Bignum.of_int m2) in
+      Bignum.equal
+        (Paillier.decrypt_signed pk sk (Paillier.add pk c1 c2))
+        (Bignum.of_int (m1 + m2)))
+
+let prop_paillier_scalar =
+  let r = rng () in
+  let pk, sk = Paillier.keygen ~bits:192 r in
+  QCheck.Test.make ~count:50 ~name:"Paillier: dec(c^k) = m*k"
+    QCheck.(pair (int_range (-10000) 10000) (int_range 0 50))
+    (fun (m, k) ->
+      let c = Paillier.encrypt pk r (Bignum.of_int m) in
+      Bignum.equal
+        (Paillier.decrypt_signed pk sk (Paillier.mul_scalar pk c (Bignum.of_int k)))
+        (Bignum.of_int (m * k)))
+
+let test_paillier_probabilistic () =
+  let r = rng () in
+  let pk, _ = Paillier.keygen ~bits:192 r in
+  Alcotest.(check bool) "ciphertexts differ" false
+    (Bignum.equal
+       (Paillier.encrypt pk r (Bignum.of_int 5))
+       (Paillier.encrypt pk r (Bignum.of_int 5)))
+
+(* --- Keyring / scheme --------------------------------------------------- *)
+
+let test_keyring_cluster_separation () =
+  let kr = Keyring.create ~seed:11L () in
+  Alcotest.(check bool) "clusters get distinct secrets" false
+    (Keyring.cluster_secret kr "SC" = Keyring.cluster_secret kr "P");
+  Alcotest.(check string) "derivation is stable"
+    (Keyring.cluster_secret kr "SC")
+    (Keyring.cluster_secret kr "SC")
+
+let test_wrong_keyring_rejected () =
+  let k1 = Keyring.create ~seed:100L () and k2 = Keyring.create ~seed:200L () in
+  let d1 = Keyring.det_key k1 "c" and d2 = Keyring.det_key k2 "c" in
+  let c = Det.encrypt d1 "secret" in
+  (match Det.decrypt d2 c with
+  | exception Failure _ -> ()
+  | _ -> Alcotest.fail "foreign keyring decrypted");
+  (* OPE under different keyrings produces incomparable orderings: at
+     least the decryption disagrees *)
+  let o1 = Keyring.ope_key k1 "c" and o2 = Keyring.ope_key k2 "c" in
+  Alcotest.(check bool) "ope keys differ" true
+    (Ope.decrypt o2 (Ope.encrypt o1 12345) <> 12345
+    || Ope.encrypt o1 12345 <> Ope.encrypt o2 12345)
+
+let test_scheme_selection () =
+  let open Scheme in
+  Alcotest.(check (option string)) "no ops -> rnd" (Some "rnd")
+    (Option.map name (strongest_supporting []));
+  Alcotest.(check (option string)) "equality -> det" (Some "det")
+    (Option.map name (strongest_supporting [ Cap_equality ]));
+  Alcotest.(check (option string)) "order -> ope" (Some "ope")
+    (Option.map name (strongest_supporting [ Cap_order ]));
+  Alcotest.(check (option string)) "addition -> phe" (Some "phe")
+    (Option.map name (strongest_supporting [ Cap_addition ]));
+  Alcotest.(check (option string)) "eq+order -> ope" (Some "ope")
+    (Option.map name (strongest_supporting [ Cap_equality; Cap_order ]));
+  Alcotest.(check (option string)) "order+addition impossible" None
+    (Option.map name (strongest_supporting [ Cap_order; Cap_addition ]))
+
+let q = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "crypto"
+    [ ( "bignum",
+        [ ("string roundtrip", `Quick, test_bignum_string_roundtrip);
+          ("int roundtrip", `Quick, test_bignum_int_roundtrip);
+          ("add/sub", `Quick, test_bignum_add_sub);
+          ("mul/pow", `Quick, test_bignum_mul_pow);
+          ("euclidean divmod", `Quick, test_bignum_divmod_euclidean);
+          ("gcd/invmod", `Quick, test_bignum_gcd_invmod);
+          ("mod_pow (Fermat)", `Quick, test_bignum_mod_pow_fermat);
+          ("primality", `Quick, test_bignum_primality);
+          ("random primes", `Quick, test_bignum_random_prime_bits);
+          ("bytes roundtrip", `Quick, test_bignum_bytes_roundtrip);
+          q prop_bignum_ring; q prop_bignum_divmod ] );
+      ( "speck-prf",
+        [ ("speck roundtrip", `Quick, test_speck_roundtrip);
+          ("speck key sensitivity", `Quick, test_speck_key_sensitivity);
+          ("prf deterministic and prefix-free", `Quick, test_prf_deterministic);
+          ("prf expand length", `Quick, test_prf_expand_length) ] );
+      ( "det-rnd",
+        [ ("det roundtrip/determinism", `Quick, test_det_roundtrip_and_determinism);
+          ("det tamper detection", `Quick, test_det_tamper_detected);
+          ("rnd roundtrip/randomness", `Quick, test_rnd_roundtrip_and_randomness);
+          ("rnd tamper detection", `Quick, test_rnd_tamper_detected) ] );
+      ( "ope",
+        [ q prop_ope_roundtrip; q prop_ope_order; q prop_ope_bytes_order;
+          ("domain check", `Quick, test_ope_domain_check) ] );
+      ( "paillier",
+        [ ("roundtrip incl. negatives", `Quick, test_paillier_roundtrip);
+          q prop_paillier_additive; q prop_paillier_scalar;
+          ("probabilistic encryption", `Quick, test_paillier_probabilistic) ] );
+      ( "keyring-scheme",
+        [ ("cluster separation", `Quick, test_keyring_cluster_separation);
+          ("foreign keyring rejected", `Quick, test_wrong_keyring_rejected);
+          ("scheme selection rule", `Quick, test_scheme_selection) ] ) ]

@@ -1,0 +1,171 @@
+(* CSV import/export and the policy DSL. *)
+
+open Relalg
+open Engine
+
+let schema =
+  Schema.make ~name:"T" ~owner:"A"
+    [ ("id", Schema.Tint); ("name", Schema.Tstring); ("bal", Schema.Tfloat);
+      ("day", Schema.Tdate); ("ok", Schema.Tbool) ]
+
+let test_roundtrip () =
+  let t =
+    Table.of_schema schema
+      [ [| Value.Int 1; Value.Str "plain"; Value.Float 1.5;
+           Value.date_of_string "2001-02-03"; Value.Bool true |];
+        [| Value.Int 2; Value.Str "with,comma"; Value.Float (-2.0);
+           Value.date_of_string "1999-12-31"; Value.Bool false |];
+        [| Value.Int 3; Value.Str "with \"quotes\""; Value.Null;
+           Value.date_of_string "1970-01-01"; Value.Bool true |] ]
+  in
+  (* dates render as date(n): not re-importable; compare the other cols *)
+  let text =
+    "id,name,bal,ok\n1,plain,1.5,true\n2,\"with,comma\",-2,false\n3,\"with \
+     \"\"quotes\"\"\",,true\n"
+  in
+  let small =
+    Schema.make ~name:"T2" ~owner:"A"
+      [ ("id", Schema.Tint); ("name", Schema.Tstring); ("bal", Schema.Tfloat);
+        ("ok", Schema.Tbool) ]
+  in
+  let parsed = Csv.parse small text in
+  Alcotest.(check int) "rows" 3 (Table.cardinality parsed);
+  Alcotest.(check bool) "null bal" true
+    (Value.equal Value.Null
+       (Table.value parsed (List.nth (Table.rows parsed) 2) (Attr.make "bal")));
+  Alcotest.(check bool) "comma preserved" true
+    (Value.equal (Value.Str "with,comma")
+       (Table.value parsed (List.nth (Table.rows parsed) 1) (Attr.make "name")));
+  ignore t
+
+let test_header_reorder () =
+  let small =
+    Schema.make ~name:"T3" ~owner:"A" [ ("x", Schema.Tint); ("y", Schema.Tint) ]
+  in
+  let parsed = Csv.parse small "y,x\n2,1\n" in
+  let row = List.hd (Table.rows parsed) in
+  Alcotest.(check bool) "x=1" true
+    (Value.equal (Value.Int 1) (Table.value parsed row (Attr.make "x")));
+  Alcotest.(check bool) "y=2" true
+    (Value.equal (Value.Int 2) (Table.value parsed row (Attr.make "y")))
+
+let test_errors () =
+  let small =
+    Schema.make ~name:"T4" ~owner:"A" [ ("x", Schema.Tint) ]
+  in
+  let expect_fail text =
+    match Csv.parse small text with
+    | exception Csv.Csv_error _ -> ()
+    | _ -> Alcotest.failf "expected failure on %S" text
+  in
+  expect_fail "x\nnot_an_int\n";
+  expect_fail "wrong_col\n1\n";
+  expect_fail "x\n\"unterminated\n"
+
+let test_export_then_import () =
+  let small =
+    Schema.make ~name:"T5" ~owner:"A"
+      [ ("x", Schema.Tint); ("s", Schema.Tstring) ]
+  in
+  let t =
+    Table.of_schema small
+      [ [| Value.Int 7; Value.Str "a,b\"c" |]; [| Value.Int 8; Value.Str "" |] ]
+  in
+  let back = Csv.parse small (Csv.to_string t) in
+  Alcotest.(check bool) "roundtrip" true
+    (let r0 = List.hd (Table.rows back) in
+     Value.equal (Value.Str "a,b\"c") (Table.value back r0 (Attr.make "s")))
+
+(* --- policy DSL -------------------------------------------------------- *)
+
+let test_dsl_example () =
+  let env = Authz.Policy_dsl.parse Authz.Policy_dsl.example in
+  Alcotest.(check int) "two relations" 2
+    (List.length env.Authz.Policy_dsl.schemas);
+  Alcotest.(check int) "six subjects" 6
+    (List.length env.Authz.Policy_dsl.subjects);
+  (* views match Fig. 4 *)
+  let x = Authz.Subject.provider "X" in
+  let v = Authz.Authorization.view env.Authz.Policy_dsl.policy x in
+  Alcotest.(check string) "P_X" "DT" (Attr.Set.to_string v.Authz.Authorization.plain);
+  Alcotest.(check string) "E_X" "CPS" (Attr.Set.to_string v.Authz.Authorization.enc)
+
+let test_dsl_hosted () =
+  let env =
+    Authz.Policy_dsl.parse
+      "relation R owner H hosted W enc a,b (a int, b int, c string)\nuser U\nauthorize R to U plain a,b,c\n"
+  in
+  let r = List.hd env.Authz.Policy_dsl.schemas in
+  Alcotest.(check string) "host" "W" (Schema.host_name r);
+  Alcotest.(check string) "at-rest enc" "ab"
+    (Attr.Set.to_string (Schema.stored_encrypted r));
+  Alcotest.(check bool) "host subject declared" true
+    (List.exists
+       (fun s -> Authz.Subject.name s = "W")
+       env.Authz.Policy_dsl.subjects)
+
+let test_dsl_errors () =
+  let expect_fail text =
+    match Authz.Policy_dsl.parse text with
+    | exception Authz.Policy_dsl.Syntax_error _ -> ()
+    | _ -> Alcotest.failf "expected syntax error on %S" text
+  in
+  expect_fail "relation R owner";
+  expect_fail "authorize R to U plain a";
+  expect_fail "relation R owner H (a int\n";
+  expect_fail "frobnicate"
+
+(* --- JSON export -------------------------------------------------------- *)
+
+let test_json_escaping () =
+  let j =
+    Json.Obj
+      [ ("k\"ey", Json.String "line\nbreak \"quoted\" tab\t");
+        ("nums", Json.List [ Json.Int 1; Json.Float 2.5; Json.Float nan ]);
+        ("empty", Json.Obj []) ]
+  in
+  let s = Json.to_string ~pretty:false j in
+  Alcotest.(check bool) "escapes quote" true
+    (String.length s > 0
+    && (try ignore (Str.search_forward (Str.regexp_string "\\\"") s 0); true
+        with Not_found -> false))
+
+let test_json_report () =
+  let env = Authz.Policy_dsl.parse Authz.Policy_dsl.example in
+  let plan =
+    Mpq_sql.Sql_plan.parse_and_plan ~catalog:env.Authz.Policy_dsl.schemas
+      "select T, avg(P) from Hosp join Ins on S = C where D = 'stroke' \
+       group by T having P > 100"
+  in
+  let u =
+    List.find
+      (fun s -> s.Authz.Subject.role = Authz.Subject.User)
+      env.Authz.Policy_dsl.subjects
+  in
+  let r =
+    Planner.Optimizer.plan ~policy:env.Authz.Policy_dsl.policy
+      ~subjects:env.Authz.Policy_dsl.subjects ~deliver_to:u plan
+  in
+  let s = Planner.Report.to_string r in
+  List.iter
+    (fun key ->
+      Alcotest.(check bool) (key ^ " present") true
+        (try ignore (Str.search_forward (Str.regexp_string key) s 0); true
+         with Not_found -> false))
+    [ "\"plan\""; "\"keys\""; "\"dispatch\""; "\"cost\"";
+      "\"executor\""; "\"equivalence_sets\"" ]
+
+let () =
+  Alcotest.run "csv-dsl"
+    [ ( "csv",
+        [ ("parse with quotes/nulls", `Quick, test_roundtrip);
+          ("header reordering", `Quick, test_header_reorder);
+          ("errors", `Quick, test_errors);
+          ("export/import", `Quick, test_export_then_import) ] );
+      ( "json",
+        [ ("escaping", `Quick, test_json_escaping);
+          ("planning report", `Quick, test_json_report) ] );
+      ( "policy-dsl",
+        [ ("running example parses to Fig. 4", `Quick, test_dsl_example);
+          ("hosted relations", `Quick, test_dsl_hosted);
+          ("syntax errors", `Quick, test_dsl_errors) ] ) ]

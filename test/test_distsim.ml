@@ -1,0 +1,188 @@
+(* Dispatch fragments (Sec. 6, Fig. 8) and the distributed execution
+   simulator: envelope security, key distribution checks, release checks,
+   and end-to-end correctness. *)
+
+open Relalg
+open Authz
+open Paper_example
+
+let planned assignment_of =
+  let n = build_plan () in
+  let config = Opreq.resolve_conflicts Opreq.default n.plan in
+  let ext =
+    Extend.extend ~policy ~config ~assignment:(assignment_of n) ~deliver_to:u
+      n.plan
+  in
+  let clusters = Plan_keys.compute ~config ~original:n.plan ext in
+  (n, ext, clusters)
+
+(* --- fragments -------------------------------------------------------- *)
+
+let test_fragments_partition () =
+  let _, ext, _ = planned assignment_7a in
+  let roots = Dispatch.fragment_roots ext in
+  (* every node belongs to exactly one fragment: walking up from any node,
+     the first fragment root found determines its fragment; each root's
+     executor matches the node's executor within the fragment *)
+  let parent_of =
+    let tbl = Hashtbl.create 32 in
+    Plan.iter
+      (fun n ->
+        List.iter (fun c -> Hashtbl.replace tbl (Plan.id c) n) (Plan.children n))
+      ext.Extend.plan;
+    tbl
+  in
+  let rec fragment_root n =
+    if List.mem_assoc (Plan.id n) roots then Plan.id n
+    else
+      match Hashtbl.find_opt parent_of (Plan.id n) with
+      | Some p -> fragment_root p
+      | None -> Alcotest.fail "node outside every fragment"
+  in
+  Plan.iter
+    (fun n ->
+      let root = fragment_root n in
+      let root_subject = List.assoc root roots in
+      let own_subject = Imap.find (Plan.id n) ext.Extend.assignment in
+      Alcotest.(check bool)
+        (Printf.sprintf "node %d executor matches fragment root" (Plan.id n))
+        true
+        (Subject.equal root_subject own_subject))
+    ext.Extend.plan
+
+let test_requests_dependency_order () =
+  let _, ext, clusters = planned assignment_7a in
+  let requests = Dispatch.requests ext clusters in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Dispatch.request) ->
+      List.iter
+        (fun callee ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s called by %s defined before" callee
+               r.Dispatch.name)
+            true (Hashtbl.mem seen callee))
+        r.Dispatch.calls;
+      Hashtbl.replace seen r.Dispatch.name ())
+    requests;
+  (* the last request is the top fragment with no caller *)
+  let last = List.nth requests (List.length requests - 1) in
+  Alcotest.(check bool) "top fragment last" true
+    (List.for_all
+       (fun (r : Dispatch.request) ->
+         not (List.mem last.Dispatch.name r.Dispatch.calls))
+       requests)
+
+let test_request_names_unique () =
+  let _, ext, clusters = planned assignment_7a in
+  let requests = Dispatch.requests ext clusters in
+  let names = List.map (fun r -> r.Dispatch.name) requests in
+  Alcotest.(check int) "unique names" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+(* --- PKI --------------------------------------------------------------- *)
+
+let test_pki_roundtrip () =
+  let pki = Distsim.Pki.create () in
+  let sealed = Distsim.Pki.seal pki ~sender:"U" ~recipient:"X" "hello" in
+  Alcotest.(check string) "roundtrip" "hello"
+    (Distsim.Pki.open_ pki ~recipient:"X" sealed)
+
+let test_pki_wrong_recipient () =
+  let pki = Distsim.Pki.create () in
+  let sealed = Distsim.Pki.seal pki ~sender:"U" ~recipient:"X" "secret" in
+  Alcotest.check_raises "wrong recipient"
+    (Distsim.Pki.Bad_envelope "envelope addressed to a different subject")
+    (fun () -> ignore (Distsim.Pki.open_ pki ~recipient:"Y" sealed));
+  (* even claiming to be X doesn't help without X's box key *)
+  let stolen = { sealed with Distsim.Pki.recipient = "Y" } in
+  Alcotest.check_raises "re-addressed envelope fails decryption"
+    (Distsim.Pki.Bad_envelope "decryption failure") (fun () ->
+      ignore (Distsim.Pki.open_ pki ~recipient:"Y" stolen))
+
+let test_pki_forged_signature () =
+  let pki = Distsim.Pki.create () in
+  let sealed = Distsim.Pki.seal pki ~sender:"U" ~recipient:"X" "pay 100" in
+  let forged = { sealed with Distsim.Pki.sender = "Z" } in
+  (* Z's box key differs, so decryption already fails — exactly what the
+     sender-bound box gives us *)
+  Alcotest.check_raises "forged sender"
+    (Distsim.Pki.Bad_envelope "decryption failure") (fun () ->
+      ignore (Distsim.Pki.open_ pki ~recipient:"X" forged))
+
+(* --- end-to-end simulation -------------------------------------------- *)
+
+let run_sim assignment_of =
+  let _, ext, clusters = planned assignment_of in
+  Distsim.Runtime.execute ~policy ~pki:(Distsim.Pki.create ())
+    ~keyring:(Mpq_crypto.Keyring.create ~seed:5L ())
+    ~user:u
+    ~tables:(Test_engine_data.tables ())
+    ~extended:ext ~clusters ()
+
+let expected = Test_engine_data.expected
+
+let test_sim_correct_result () =
+  let outcome = run_sim assignment_7a in
+  Alcotest.(check bool) "result" true
+    (Engine.Table.equal_bag outcome.Distsim.Runtime.result (expected ()))
+
+let test_sim_trace_complete () =
+  let outcome = run_sim assignment_7a in
+  let count pred = List.length (List.filter pred outcome.Distsim.Runtime.trace) in
+  Alcotest.(check int) "four requests sent" 4
+    (count (function Distsim.Runtime.Request_sent _ -> true | _ -> false));
+  Alcotest.(check int) "four requests opened" 4
+    (count (function Distsim.Runtime.Request_opened _ -> true | _ -> false));
+  Alcotest.(check bool) "release checks happened" true
+    (count (function Distsim.Runtime.Release_check _ -> true | _ -> false) >= 3);
+  Alcotest.(check bool) "all release checks passed" true
+    (List.for_all
+       (function Distsim.Runtime.Release_check { ok; _ } -> ok | _ -> true)
+       outcome.Distsim.Runtime.trace);
+  Alcotest.(check bool) "all key checks passed" true
+    (List.for_all
+       (function Distsim.Runtime.Key_check { ok; _ } -> ok | _ -> true)
+       outcome.Distsim.Runtime.trace)
+
+let test_sim_7b_also_works () =
+  let outcome = run_sim assignment_7b in
+  Alcotest.(check bool) "7(b) result" true
+    (Engine.Table.equal_bag outcome.Distsim.Runtime.result (expected ()))
+
+let test_sim_detects_missing_key () =
+  let _, ext, clusters = planned assignment_7a in
+  (* strip Y from kP's holders: the decrypt at Y must be flagged *)
+  let clusters' =
+    List.map
+      (fun (c : Plan_keys.cluster) ->
+        if c.Plan_keys.id = "P" then
+          { c with Plan_keys.holders = Subject.Set.remove y c.Plan_keys.holders }
+        else c)
+      clusters
+  in
+  match
+    Distsim.Runtime.execute ~policy ~pki:(Distsim.Pki.create ())
+      ~keyring:(Mpq_crypto.Keyring.create ())
+      ~user:u
+      ~tables:(Test_engine_data.tables ())
+      ~extended:ext ~clusters:clusters' ()
+  with
+  | _ -> Alcotest.fail "expected Distributed_violation"
+  | exception Distsim.Runtime.Distributed_violation _ -> ()
+
+let () =
+  Alcotest.run "distsim"
+    [ ( "dispatch",
+        [ ("fragments partition the plan", `Quick, test_fragments_partition);
+          ("dependency order", `Quick, test_requests_dependency_order);
+          ("unique names", `Quick, test_request_names_unique) ] );
+      ( "pki",
+        [ ("seal/open roundtrip", `Quick, test_pki_roundtrip);
+          ("wrong recipient rejected", `Quick, test_pki_wrong_recipient);
+          ("forged sender rejected", `Quick, test_pki_forged_signature) ] );
+      ( "runtime",
+        [ ("correct result (7a)", `Quick, test_sim_correct_result);
+          ("trace is complete and clean", `Quick, test_sim_trace_complete);
+          ("correct result (7b)", `Quick, test_sim_7b_also_works);
+          ("missing key detected", `Quick, test_sim_detects_missing_key) ] ) ]

@@ -1,0 +1,136 @@
+(* The strongest end-to-end property in the suite: for random plans,
+   random policies, random data and any assignment drawn from the
+   candidate sets, executing the minimally extended plan over real
+   ciphertext — deterministic equality, OPE ranges, Paillier aggregation,
+   on-the-fly encrypt/decrypt — produces exactly the same bag of rows as
+   executing the original plan over plaintext (after decrypting the
+   delivered result). *)
+
+open Relalg
+open Authz
+open Engine
+
+(* random tables for Gen's catalog; values kept in OPE/phe-friendly
+   ranges and low-cardinality so joins and selections actually match *)
+let gen_tables st =
+  let int () = Value.Int (QCheck.Gen.int_bound 120 st) in
+  let str () =
+    Value.Str (List.nth [ "ga"; "bu"; "zo"; "meu" ] (QCheck.Gen.int_bound 3 st))
+  in
+  let rows n mk = List.init n (fun _ -> mk ()) in
+  let t1 =
+    Table.of_schema Gen.rel1
+      (rows (3 + QCheck.Gen.int_bound 12 st) (fun () ->
+           [| int (); int (); str (); int () |]))
+  in
+  let t2 =
+    Table.of_schema Gen.rel2
+      (rows (3 + QCheck.Gen.int_bound 12 st) (fun () ->
+           [| int (); int (); str () |]))
+  in
+  let t3 =
+    Table.of_schema Gen.rel3
+      (rows (3 + QCheck.Gen.int_bound 8 st) (fun () -> [| int (); int () |]))
+  in
+  [ ("R1", t1); ("R2", t2); ("R3", t3) ]
+
+let gen_case =
+  QCheck.Gen.(
+    Gen.gen_plan >>= fun plan ->
+    Gen.gen_policy >>= fun policy ->
+    fun st ->
+      let tables = gen_tables st in
+      let config = Opreq.resolve_conflicts Opreq.default plan in
+      let lam = Candidates.compute ~policy ~subjects:Gen.subjects ~config plan in
+      let assignment =
+        Plan.fold
+          (fun acc n ->
+            if Candidates.is_source_side n then acc
+            else
+              match
+                Subject.Set.elements (Candidates.candidates_of lam n)
+              with
+              | [] -> acc
+              | cands ->
+                  let i = QCheck.Gen.int_bound (List.length cands - 1) st in
+                  Imap.add (Plan.id n) (List.nth cands i) acc)
+          Imap.empty plan
+      in
+      (plan, policy, config, assignment, tables))
+
+let plannable plan assignment =
+  Plan.fold
+    (fun acc n ->
+      acc && (Candidates.is_source_side n || Imap.mem (Plan.id n) assignment))
+    true plan
+
+(* the udf used by Gen plans: an arithmetic tweak over its inputs *)
+let udf_impls =
+  [ ( "f",
+      fun vals ->
+        let total =
+          List.fold_left
+            (fun acc v ->
+              match Value.to_float v with Some f -> acc +. f | None -> acc)
+            0.0 vals
+        in
+        Value.Int (int_of_float total mod 97) ) ]
+
+let prop_encrypted_equals_plain =
+  QCheck.Test.make ~count:250
+    ~name:"extended-over-ciphertext = original-over-plaintext"
+    (QCheck.make
+       ~print:(fun (plan, _, _, _, _) -> Plan_printer.to_ascii plan)
+       gen_case)
+    (fun (plan, policy, config, assignment, tables) ->
+      QCheck.assume (plannable plan assignment);
+      (* the udf needs plaintext inputs by default; its candidates may be
+         empty under a stingy random policy — filtered by assume above *)
+      let expected =
+        Exec.run (Exec.context ~udfs:udf_impls tables) plan
+      in
+      let ext =
+        Extend.extend ~policy ~config ~assignment ~deliver_to:Gen.user plan
+      in
+      let keyring = Mpq_crypto.Keyring.create ~seed:123L () in
+      let clusters = Plan_keys.compute ~config ~original:plan ext in
+      let crypto = Enc_exec.make keyring clusters in
+      let actual =
+        Exec.run (Exec.context ~udfs:udf_impls ~crypto tables) ext.Extend.plan
+      in
+      (* deliver_to decrypts visible ciphertext; bags must coincide *)
+      if Table.equal_bag expected actual then true
+      else
+        QCheck.Test.fail_reportf
+          "results differ:\nexpected:\n%s\nactual:\n%s\nextended:\n%s"
+          (Table.to_string expected) (Table.to_string actual)
+          (Extend.to_ascii ext))
+
+let prop_monitor_clean =
+  QCheck.Test.make ~count:150
+    ~name:"monitor finds no violation on optimizer-produced plans"
+    (QCheck.make
+       ~print:(fun (plan, _, _, _, _) -> Plan_printer.to_ascii plan)
+       gen_case)
+    (fun (plan, policy, config, assignment, tables) ->
+      QCheck.assume (plannable plan assignment);
+      ignore config;
+      let config = Opreq.resolve_conflicts Opreq.default plan in
+      let ext =
+        Extend.extend ~policy ~config ~assignment ~deliver_to:Gen.user plan
+      in
+      let keyring = Mpq_crypto.Keyring.create ~seed:7L () in
+      let clusters = Plan_keys.compute ~config ~original:plan ext in
+      let crypto = Enc_exec.make keyring clusters in
+      let _, report =
+        Monitor.run ~enforce:false ~policy
+          (Exec.context ~udfs:udf_impls ~crypto tables)
+          ext
+      in
+      report.Monitor.violations = [])
+
+let () =
+  Alcotest.run "exec-equivalence"
+    [ ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_encrypted_equals_plain; prop_monitor_clean ] ) ]

@@ -1,0 +1,148 @@
+(* Unit and property tests for the equivalence-set structure (R≃). *)
+
+open Relalg
+open Authz
+
+let set = Attr.Set.of_names
+let a = Attr.make
+
+let test_empty () =
+  Alcotest.(check bool) "empty" true (Partition.is_empty Partition.empty);
+  Alcotest.(check int) "no sets" 0 (List.length (Partition.sets Partition.empty))
+
+let test_singleton_ignored () =
+  let p = Partition.union_set Partition.empty (set [ "x" ]) in
+  Alcotest.(check bool) "still empty" true (Partition.is_empty p)
+
+let test_union_disjoint () =
+  let p =
+    Partition.empty
+    |> fun p -> Partition.union_set p (set [ "a"; "b" ])
+    |> fun p -> Partition.union_set p (set [ "c"; "d" ])
+  in
+  Alcotest.(check int) "two classes" 2 (List.length (Partition.sets p));
+  Alcotest.(check bool) "a~b" true (Partition.same_class p (a "a") (a "b"));
+  Alcotest.(check bool) "a!~c" false (Partition.same_class p (a "a") (a "c"))
+
+let test_union_merges () =
+  (* {a,b} ∪ {b,c} must merge into {a,b,c} (transitivity of ≃) *)
+  let p =
+    Partition.empty
+    |> fun p -> Partition.union_set p (set [ "a"; "b" ])
+    |> fun p -> Partition.union_set p (set [ "b"; "c" ])
+  in
+  Alcotest.(check int) "one class" 1 (List.length (Partition.sets p));
+  Alcotest.(check bool) "a~c" true (Partition.same_class p (a "a") (a "c"))
+
+let test_chain_merge () =
+  (* inserting {b,d} into {a,b} {c,d} collapses everything *)
+  let p =
+    Partition.empty
+    |> fun p -> Partition.union_set p (set [ "a"; "b" ])
+    |> fun p -> Partition.union_set p (set [ "c"; "d" ])
+    |> fun p -> Partition.union_set p (set [ "b"; "d" ])
+  in
+  Alcotest.(check int) "one class" 1 (List.length (Partition.sets p));
+  Alcotest.(check int) "four attrs" 4 (Attr.Set.cardinal (Partition.attrs p))
+
+let test_find_default () =
+  let p = Partition.union_pair Partition.empty (a "x") (a "y") in
+  Alcotest.(check bool) "unknown attr is its own class" true
+    (Attr.Set.equal (Partition.find p (a "q")) (Attr.Set.singleton (a "q")))
+
+let test_merge_partitions () =
+  let p = Partition.union_pair Partition.empty (a "a") (a "b") in
+  let q = Partition.union_pair Partition.empty (a "b") (a "c") in
+  let m = Partition.merge p q in
+  Alcotest.(check bool) "a~c after merge" true
+    (Partition.same_class m (a "a") (a "c"))
+
+let names = [ "a"; "b"; "c"; "d"; "e"; "f" ]
+
+let gen_pairs =
+  QCheck.Gen.(
+    list_size (int_bound 10)
+      (pair (oneofl names) (oneofl names)))
+
+let prop_classes_disjoint =
+  QCheck.Test.make ~count:500 ~name:"classes stay pairwise disjoint"
+    (QCheck.make gen_pairs) (fun pairs ->
+      let p =
+        List.fold_left
+          (fun p (x, y) -> Partition.union_pair p (a x) (a y))
+          Partition.empty pairs
+      in
+      let sets = Partition.sets p in
+      List.for_all
+        (fun s ->
+          List.for_all
+            (fun s' ->
+              Attr.Set.equal s s'
+              || Attr.Set.is_empty (Attr.Set.inter s s'))
+            sets)
+        sets)
+
+let prop_transitive =
+  QCheck.Test.make ~count:500 ~name:"same_class is transitive and inserted pairs hold"
+    (QCheck.make gen_pairs) (fun pairs ->
+      let p =
+        List.fold_left
+          (fun p (x, y) -> Partition.union_pair p (a x) (a y))
+          Partition.empty pairs
+      in
+      let transitive =
+        List.for_all
+          (fun x ->
+            List.for_all
+              (fun y ->
+                List.for_all
+                  (fun z ->
+                    (not
+                       (Partition.same_class p (a x) (a y)
+                       && Partition.same_class p (a y) (a z)))
+                    || Partition.same_class p (a x) (a z))
+                  names)
+              names)
+          names
+      in
+      let inserted =
+        List.for_all (fun (x, y) -> Partition.same_class p (a x) (a y)) pairs
+      in
+      transitive && inserted)
+
+let prop_refines_self =
+  QCheck.Test.make ~count:200 ~name:"partition refines itself"
+    (QCheck.make gen_pairs) (fun pairs ->
+      let p =
+        List.fold_left
+          (fun p (x, y) -> Partition.union_pair p (a x) (a y))
+          Partition.empty pairs
+      in
+      Partition.refines p p)
+
+let prop_union_monotone =
+  QCheck.Test.make ~count:200 ~name:"adding a pair only coarsens"
+    (QCheck.make QCheck.Gen.(pair gen_pairs (pair (oneofl names) (oneofl names))))
+    (fun (pairs, (x, y)) ->
+      let p =
+        List.fold_left
+          (fun p (u, v) -> Partition.union_pair p (a u) (a v))
+          Partition.empty pairs
+      in
+      let q = Partition.union_pair p (a x) (a y) in
+      Partition.refines p q)
+
+let () =
+  Alcotest.run "partition"
+    [ ( "unit",
+        [ ("empty", `Quick, test_empty);
+          ("singleton ignored", `Quick, test_singleton_ignored);
+          ("disjoint classes", `Quick, test_union_disjoint);
+          ("overlapping classes merge", `Quick, test_union_merges);
+          ("chain merge", `Quick, test_chain_merge);
+          ("find defaults to singleton", `Quick, test_find_default);
+          ("merge of partitions", `Quick, test_merge_partitions) ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_classes_disjoint; prop_transitive; prop_refines_self;
+            prop_union_monotone ] ) ]

@@ -1,0 +1,216 @@
+(* Fig. 2 profile rules, operator by operator, plus Thm. 3.1 as a
+   property over random plans: (i) profile attributes only persist going
+   up the plan, (ii) equivalence classes only grow. *)
+
+open Relalg
+open Authz
+
+let profile = Alcotest.testable Profile.pp Profile.equal
+let set = Attr.Set.of_names
+let a = Attr.make
+
+(* Fig. 2's example column uses a relation R1 with profile
+   [v: BDTP (SC enc in some rows), i: D, ≃: SC]; we rebuild the same
+   inputs per row. *)
+
+let test_projection () =
+  (* π_BP over v:BDTP i:D ≃:SC  ->  v:BP i:D ≃:SC *)
+  let r = Profile.make ~vp:[ "B"; "D"; "T"; "P" ] ~ip:[ "D" ] ~eq:[ [ "S"; "C" ] ] () in
+  Alcotest.check profile "π"
+    (Profile.make ~vp:[ "B"; "P" ] ~ip:[ "D" ] ~eq:[ [ "S"; "C" ] ] ())
+    (Profile.project (set [ "B"; "P" ]) r)
+
+let test_selection_const () =
+  (* σ_D=stroke over v:BDTP i:∅ ≃:SC  ->  i gains D *)
+  let r = Profile.make ~vp:[ "B"; "D"; "T"; "P" ] ~eq:[ [ "S"; "C" ] ] () in
+  Alcotest.check profile "σ const"
+    (Profile.make ~vp:[ "B"; "D"; "T"; "P" ] ~ip:[ "D" ] ~eq:[ [ "S"; "C" ] ] ())
+    (Profile.select
+       (Predicate.conj [ Predicate.Cmp_const (a "D", Predicate.Eq, Value.Str "x") ])
+       r)
+
+let test_selection_const_encrypted () =
+  (* selecting on an encrypted attribute populates ie, not ip *)
+  let r = Profile.make ~vp:[ "B" ] ~ve:[ "D" ] () in
+  Alcotest.check profile "σ enc const"
+    (Profile.make ~vp:[ "B" ] ~ve:[ "D" ] ~ie:[ "D" ] ())
+    (Profile.select
+       (Predicate.conj [ Predicate.Cmp_const (a "D", Predicate.Eq, Value.Str "x") ])
+       r)
+
+let test_selection_attr_pair () =
+  (* σ_S=C merges S and C into an equivalence class *)
+  let r = Profile.make ~vp:[ "S"; "C"; "T"; "P" ] ~ip:[ "D" ] () in
+  Alcotest.check profile "σ pair"
+    (Profile.make ~vp:[ "S"; "C"; "T"; "P" ] ~ip:[ "D" ] ~eq:[ [ "S"; "C" ] ] ())
+    (Profile.select
+       (Predicate.conj [ Predicate.Cmp_attr (a "S", Predicate.Eq, a "C") ])
+       r)
+
+let test_selection_nonuniform_rejected () =
+  let r = Profile.make ~vp:[ "S" ] ~ve:[ "C" ] () in
+  Alcotest.check_raises "plaintext vs encrypted comparison"
+    (Profile.Not_executable
+       "select: S and C are not uniformly visible (plaintext vs encrypted)")
+    (fun () ->
+      ignore
+        (Profile.select
+           (Predicate.conj [ Predicate.Cmp_attr (a "S", Predicate.Eq, a "C") ])
+           r))
+
+let test_product () =
+  let l = Profile.make ~vp:[ "S"; "C" ] ~ve:[ "P" ] ~ip:[ "D" ] ~eq:[ [ "S"; "C" ] ] () in
+  let r = Profile.make ~vp:[ "B" ] ~ip:[ "T" ] () in
+  Alcotest.check profile "×"
+    (Profile.make ~vp:[ "S"; "C"; "B" ] ~ve:[ "P" ] ~ip:[ "D"; "T" ]
+       ~eq:[ [ "S"; "C" ] ] ())
+    (Profile.product l r)
+
+let test_join () =
+  (* Fig. 2's join row: ⋈_D=C over [v:DB] and [v:C i:P ≃:SC]
+     -> v:DCB i:P ≃:{SCD} *)
+  let l = Profile.make ~vp:[ "D"; "B" ] () in
+  let r = Profile.make ~vp:[ "C" ] ~ip:[ "P" ] ~eq:[ [ "S"; "C" ] ] () in
+  Alcotest.check profile "⋈"
+    (Profile.make ~vp:[ "D"; "C"; "B" ] ~ip:[ "P" ]
+       ~eq:[ [ "S"; "C"; "D" ] ] ())
+    (Profile.join
+       (Predicate.conj [ Predicate.Cmp_attr (a "D", Predicate.Eq, a "C") ])
+       l r)
+
+let test_group_by () =
+  (* γ_T,avg(P) over v:DTPSC i:D ≃:SC -> v:TP i:DT ≃:SC *)
+  let r =
+    Profile.make ~vp:[ "D"; "T"; "P"; "S"; "C" ] ~ip:[ "D" ]
+      ~eq:[ [ "S"; "C" ] ] ()
+  in
+  Alcotest.check profile "γ"
+    (Profile.make ~vp:[ "T"; "P" ] ~ip:[ "D"; "T" ] ~eq:[ [ "S"; "C" ] ] ())
+    (Profile.group_by (set [ "T" ]) [ Aggregate.make (Aggregate.Avg (a "P")) ] r)
+
+let test_group_by_encrypted_keys () =
+  let r = Profile.make ~vp:[ "P" ] ~ve:[ "T" ] () in
+  Alcotest.check profile "γ enc keys"
+    (Profile.make ~vp:[ "P" ] ~ve:[ "T" ] ~ie:[ "T" ] ())
+    (Profile.group_by (set [ "T" ]) [ Aggregate.make (Aggregate.Sum (a "P")) ] r)
+
+let test_udf () =
+  (* µ_SB,S over v:SBCT i:D ≃:SC -> v:SCT i:D ≃:{SBC} (Fig. 2 udf row) *)
+  let r = Profile.make ~vp:[ "S"; "B"; "C"; "T" ] ~ip:[ "D" ] ~eq:[ [ "S"; "C" ] ] () in
+  Alcotest.check profile "µ"
+    (Profile.make ~vp:[ "S"; "C"; "T" ] ~ip:[ "D" ]
+       ~eq:[ [ "S"; "B"; "C" ] ] ())
+    (Profile.udf (set [ "S"; "B" ]) (a "S") r)
+
+let test_order_by_leaks_keys () =
+  (* our Fig. 2 extension: sort keys join the implicit attributes *)
+  let r = Profile.make ~vp:[ "A" ] ~ve:[ "B" ] () in
+  Alcotest.check profile "τ"
+    (Profile.make ~vp:[ "A" ] ~ve:[ "B" ] ~ip:[ "A" ] ~ie:[ "B" ] ())
+    (Profile.order_by [ (a "A", Plan.Asc); (a "B", Plan.Desc) ] r)
+
+let test_encrypt_decrypt () =
+  let r = Profile.make ~vp:[ "S"; "B"; "T" ] ~ip:[ "D" ] () in
+  let enc = Profile.encrypt (set [ "T" ]) r in
+  Alcotest.check profile "encrypt T"
+    (Profile.make ~vp:[ "S"; "B" ] ~ve:[ "T" ] ~ip:[ "D" ] ())
+    enc;
+  Alcotest.check profile "decrypt T restores" r (Profile.decrypt (set [ "T" ]) enc)
+
+let test_encrypt_requires_plaintext () =
+  let r = Profile.make ~vp:[ "S" ] ~ve:[ "T" ] () in
+  Alcotest.check_raises "double encryption rejected"
+    (Profile.Not_executable "encrypt: attributes T are not visible plaintext")
+    (fun () -> ignore (Profile.encrypt (set [ "T" ]) r))
+
+(* --- Thm. 3.1 as a property ------------------------------------------
+
+   The theorem's full carrier-persistence claim presumes the paper's
+   normalized plans (projections pushed into leaves, group-by operands
+   containing exactly the grouped/aggregated attributes); an arbitrary
+   mid-plan projection legitimately drops plain visible attributes. The
+   load-bearing persistent core — implicit attributes and equivalence
+   classes, which Def. 6.1's key derivation reads off the root — must
+   hold on {e every} plan, and that is what we check here. *)
+
+let persistent p =
+  List.fold_left Attr.Set.union
+    (Attr.Set.union p.Profile.ip p.Profile.ie)
+    (Partition.sets p.Profile.eq)
+
+let prop_thm_3_1 =
+  QCheck.Test.make ~count:300
+    ~name:"Thm 3.1: implicit attrs and eq classes persist upward"
+    Gen.arbitrary_plan (fun plan ->
+      let profiles = Profile.annotate plan in
+      let ok = ref true in
+      Plan.iter
+        (fun nx ->
+          let px = Hashtbl.find profiles (Plan.id nx) in
+          Plan.iter
+            (fun ny ->
+              if Plan.id ny <> Plan.id nx then begin
+                let py = Hashtbl.find profiles (Plan.id ny) in
+                (* (i) implicit/equivalent attributes survive in the
+                   ancestor's full profile *)
+                if
+                  not
+                    (Attr.Set.subset (persistent py) (Profile.all_attrs px))
+                then ok := false;
+                (* (ii) classes only coarsen upward *)
+                if not (Partition.refines py.Profile.eq px.Profile.eq) then
+                  ok := false
+              end)
+            nx)
+        plan;
+      !ok)
+
+let prop_visible_matches_schema =
+  QCheck.Test.make ~count:300 ~name:"visible attributes = plan schema"
+    Gen.arbitrary_plan (fun plan ->
+      let profiles = Profile.annotate plan in
+      Plan.fold
+        (fun acc n ->
+          acc
+          && Attr.Set.equal
+               (Profile.visible (Hashtbl.find profiles (Plan.id n)))
+               (Plan.schema n))
+        true plan)
+
+let prop_base_no_implicit =
+  QCheck.Test.make ~count:100 ~name:"base profiles carry nothing implicit"
+    Gen.arbitrary_plan (fun plan ->
+      let profiles = Profile.annotate plan in
+      Plan.fold
+        (fun acc n ->
+          match Plan.node n with
+          | Plan.Base _ ->
+              let p = Hashtbl.find profiles (Plan.id n) in
+              acc
+              && Attr.Set.is_empty p.Profile.ip
+              && Attr.Set.is_empty p.Profile.ie
+              && Attr.Set.is_empty p.Profile.ve
+              && Partition.is_empty p.Profile.eq
+          | _ -> acc)
+        true plan)
+
+let () =
+  Alcotest.run "profile"
+    [ ( "fig2-rules",
+        [ ("projection", `Quick, test_projection);
+          ("selection, constant", `Quick, test_selection_const);
+          ("selection on encrypted attr", `Quick, test_selection_const_encrypted);
+          ("selection, attribute pair", `Quick, test_selection_attr_pair);
+          ("non-uniform comparison rejected", `Quick, test_selection_nonuniform_rejected);
+          ("cartesian product", `Quick, test_product);
+          ("join", `Quick, test_join);
+          ("group by", `Quick, test_group_by);
+          ("group by on encrypted keys", `Quick, test_group_by_encrypted_keys);
+          ("udf", `Quick, test_udf);
+          ("order-by leaks keys", `Quick, test_order_by_leaks_keys);
+          ("encrypt/decrypt", `Quick, test_encrypt_decrypt);
+          ("encrypt requires plaintext", `Quick, test_encrypt_requires_plaintext) ] );
+      ( "thm-3.1",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_thm_3_1; prop_visible_matches_schema; prop_base_no_implicit ]
+      ) ]

@@ -1,0 +1,271 @@
+(* End-to-end checks of the paper's running example against the published
+   figures: profiles (Fig. 3), overall views (Fig. 4), authorized
+   relations (Ex. 4.1), candidates (Figs. 5-6), minimally extended plans
+   (Fig. 7), key establishment and dispatch (Sec. 6, Fig. 8). *)
+
+open Relalg
+open Authz
+open Paper_example
+
+let attr_set = Alcotest.testable Attr.Set.pp Attr.Set.equal
+let profile = Alcotest.testable Profile.pp Profile.equal
+
+let subject_set =
+  Alcotest.testable Subject.pp_set Subject.Set.equal
+
+let set = Attr.Set.of_names
+let subjects_of l = Subject.Set.of_list l
+
+(* --- Fig. 4: overall views --------------------------------------- *)
+
+let check_view name s plain enc () =
+  let v = Authorization.view policy s in
+  Alcotest.check attr_set (name ^ " plain") (set plain)
+    v.Authorization.plain;
+  Alcotest.check attr_set (name ^ " enc") (set enc) v.Authorization.enc
+
+let view_tests =
+  [ ("P_H/E_H", `Quick, check_view "H" h [ "S"; "B"; "D"; "T"; "C" ] [ "P" ]);
+    ("P_I/E_I", `Quick, check_view "I" i [ "B"; "C"; "P" ] [ "S"; "D"; "T" ]);
+    ("P_U/E_U", `Quick, check_view "U" u [ "S"; "D"; "T"; "C"; "P" ] []);
+    ("P_X/E_X", `Quick, check_view "X" x [ "D"; "T" ] [ "S"; "C"; "P" ]);
+    ("P_Y/E_Y", `Quick, check_view "Y" y [ "B"; "D"; "T"; "P" ] [ "S"; "C" ]);
+    ("P_Z/E_Z", `Quick, check_view "Z" z [ "S"; "T"; "C" ] [ "D"; "P" ]) ]
+
+(* --- Fig. 3: profiles along the original plan --------------------- *)
+
+let profile_tests =
+  let n = build_plan () in
+  let profiles = Profile.annotate n.plan in
+  let check name node expected () =
+    Alcotest.check profile name expected
+      (Hashtbl.find profiles (Plan.id node))
+  in
+  [ ( "π S,D,T",
+      `Quick,
+      check "proj" n.n_proj (Profile.make ~vp:[ "S"; "D"; "T" ] ()) );
+    ( "σ D=stroke",
+      `Quick,
+      check "sel" n.n_sel
+        (Profile.make ~vp:[ "S"; "D"; "T" ] ~ip:[ "D" ] ()) );
+    ( "⋈ S=C",
+      `Quick,
+      check "join" n.n_join
+        (Profile.make
+           ~vp:[ "S"; "D"; "T"; "C"; "P" ]
+           ~ip:[ "D" ]
+           ~eq:[ [ "S"; "C" ] ]
+           ()) );
+    ( "γ T,avg(P)",
+      `Quick,
+      check "group" n.n_group
+        (Profile.make ~vp:[ "T"; "P" ] ~ip:[ "D"; "T" ]
+           ~eq:[ [ "S"; "C" ] ]
+           ()) );
+    ( "σ avg(P)>100",
+      `Quick,
+      check "having" n.n_having
+        (Profile.make ~vp:[ "T"; "P" ]
+           ~ip:[ "D"; "T"; "P" ]
+           ~eq:[ [ "S"; "C" ] ]
+           ()) ) ]
+
+(* --- Example 4.1: authorized relations ----------------------------- *)
+
+let example_4_1 =
+  let r =
+    Profile.make ~vp:[ "P" ] ~ve:[ "B"; "S"; "C" ] ~eq:[ [ "S"; "C" ] ] ()
+  in
+  let auth s = Authorized.is_authorized (Authorization.view policy s) r in
+  let fails s cond () =
+    match Authorized.check (Authorization.view policy s) r with
+    | Ok () -> Alcotest.failf "%s should not be authorized" (Subject.name s)
+    | Error v -> (
+        match (cond, v) with
+        | `Plain, Authorized.Plaintext_violation _
+        | `Enc, Authorized.Encrypted_violation _
+        | `Unif, Authorized.Uniformity_violation _ ->
+            ()
+        | _ ->
+            Alcotest.failf "%s fails with unexpected violation %a"
+              (Subject.name s) Authorized.pp_violation v)
+  in
+  [ ("Y is authorized", `Quick, fun () -> Alcotest.(check bool) "Y" true (auth y));
+    ("H violates condition 1 (P)", `Quick, fails h `Plain);
+    ("U violates condition 2 (B)", `Quick, fails u `Enc);
+    ("I violates condition 3 (SC)", `Quick, fails i `Unif) ]
+
+(* --- Figs. 5-6: minimum required views and candidates -------------- *)
+
+let candidate_tests =
+  let n = build_plan () in
+  let config = Opreq.resolve_conflicts Opreq.default n.plan in
+  let lam = Candidates.compute ~policy ~subjects ~config n.plan in
+  let check name node expected () =
+    Alcotest.check subject_set name
+      (subjects_of expected)
+      (Candidates.candidates_of lam node)
+  in
+  [ ( "conflict resolution forces avg(P) plaintext at having",
+      `Quick,
+      fun () ->
+        Alcotest.check attr_set "Ap(having)"
+          (set [ "P" ])
+          (Opreq.plaintext_attrs config n.n_having) );
+    ("Λ(σD) = HIUXYZ", `Quick, check "sel" n.n_sel [ h; i; u; x; y; z ]);
+    ("Λ(⋈) = HUXYZ", `Quick, check "join" n.n_join [ h; u; x; y; z ]);
+    ("Λ(γ) = HUXYZ", `Quick, check "group" n.n_group [ h; u; x; y; z ]);
+    ("Λ(σavg) = UY", `Quick, check "having" n.n_having [ u; y ]);
+    ( "explain: I excluded by uniformity at the join (Sec. 5)",
+      `Quick,
+      fun () ->
+        let n = build_plan () in
+        let config = Opreq.resolve_conflicts Opreq.default n.plan in
+        let verdicts =
+          Candidates.explain ~policy ~subjects ~config n.plan n.n_join
+        in
+        (match List.assoc i verdicts with
+        | Some (Authorized.Uniformity_violation cls) ->
+            Alcotest.check attr_set "class" (set [ "S"; "C" ]) cls
+        | _ -> Alcotest.fail "expected uniformity violation for I");
+        match List.assoc y verdicts with
+        | None -> ()
+        | Some v ->
+            Alcotest.failf "Y should be a candidate, got %a"
+              Authorized.pp_violation v );
+    ( "π is source-side",
+      `Quick,
+      fun () ->
+        Alcotest.(check bool) "source" true (Candidates.is_source_side n.n_proj)
+    ) ]
+
+(* --- Fig. 7: minimally extended plans ------------------------------ *)
+
+let encrypts_of plan =
+  Plan.fold
+    (fun acc nd ->
+      match Plan.node nd with
+      | Plan.Encrypt (a, _) -> Attr.Set.union acc a
+      | _ -> acc)
+    Attr.Set.empty plan
+
+let decrypts_of plan =
+  Plan.fold
+    (fun acc nd ->
+      match Plan.node nd with
+      | Plan.Decrypt (a, _) -> Attr.Set.union acc a
+      | _ -> acc)
+    Attr.Set.empty plan
+
+let extend_7a () =
+  let n = build_plan () in
+  let config = Opreq.resolve_conflicts Opreq.default n.plan in
+  (n, config, Extend.extend ~policy ~config ~assignment:(assignment_7a n) n.plan)
+
+let extend_7b () =
+  let n = build_plan () in
+  let config = Opreq.resolve_conflicts Opreq.default n.plan in
+  (n, config, Extend.extend ~policy ~config ~assignment:(assignment_7b n) n.plan)
+
+let extension_tests =
+  [ ( "7(a): encrypts exactly {S,C,P}",
+      `Quick,
+      fun () ->
+        let _, _, ext = extend_7a () in
+        Alcotest.check attr_set "Ak" (set [ "S"; "C"; "P" ])
+          (encrypts_of ext.Extend.plan) );
+    ( "7(a): decrypts exactly {P}",
+      `Quick,
+      fun () ->
+        let _, _, ext = extend_7a () in
+        Alcotest.check attr_set "dec" (set [ "P" ])
+          (decrypts_of ext.Extend.plan) );
+    ( "7(a): assignment is authorized on the extended plan",
+      `Quick,
+      fun () ->
+        let _, _, ext = extend_7a () in
+        match Extend.verify ~policy ext with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e );
+    ( "7(b): encrypts exactly {D,P}",
+      `Quick,
+      fun () ->
+        let _, _, ext = extend_7b () in
+        Alcotest.check attr_set "Ak" (set [ "D"; "P" ])
+          (encrypts_of ext.Extend.plan) );
+    ( "7(b): assignment is authorized on the extended plan",
+      `Quick,
+      fun () ->
+        let _, _, ext = extend_7b () in
+        match Extend.verify ~policy ext with
+        | Ok () -> ()
+        | Error e -> Alcotest.fail e ) ]
+
+(* --- Sec. 6 / Def. 6.1: keys; Fig. 8: dispatch --------------------- *)
+
+let key_tests =
+  [ ( "7(a): clusters {CS}->{H,I}, {P}->{I,Y}",
+      `Quick,
+      fun () ->
+        let n, config, ext = extend_7a () in
+        let clusters = Plan_keys.compute ~config ~original:n.plan ext in
+        let ids = List.map (fun c -> c.Plan_keys.id) clusters in
+        Alcotest.(check (list string)) "cluster ids" [ "CS"; "P" ] ids;
+        let holders id =
+          let c = List.find (fun c -> c.Plan_keys.id = id) clusters in
+          c.Plan_keys.holders
+        in
+        Alcotest.check subject_set "kCS" (subjects_of [ h; i ]) (holders "CS");
+        Alcotest.check subject_set "kP" (subjects_of [ i; y ]) (holders "P") );
+    ( "7(a): schemes det for SC, phe for P",
+      `Quick,
+      fun () ->
+        let n, config, ext = extend_7a () in
+        let clusters = Plan_keys.compute ~config ~original:n.plan ext in
+        let scheme id =
+          (List.find (fun c -> c.Plan_keys.id = id) clusters).Plan_keys.scheme
+        in
+        Alcotest.(check string) "CS" "det"
+          (Mpq_crypto.Scheme.name (scheme "CS"));
+        Alcotest.(check string) "P" "phe"
+          (Mpq_crypto.Scheme.name (scheme "P")) );
+    ( "7(b): clusters {D}->{H}, {P}->{I,Y}",
+      `Quick,
+      fun () ->
+        let n, config, ext = extend_7b () in
+        let clusters = Plan_keys.compute ~config ~original:n.plan ext in
+        let ids = List.map (fun c -> c.Plan_keys.id) clusters in
+        Alcotest.(check (list string)) "cluster ids" [ "D"; "P" ] ids;
+        let holders id =
+          (List.find (fun c -> c.Plan_keys.id = id) clusters).Plan_keys.holders
+        in
+        Alcotest.check subject_set "kD" (subjects_of [ h ]) (holders "D");
+        Alcotest.check subject_set "kP" (subjects_of [ i; y ]) (holders "P") );
+    ( "7(a): dispatch has four fragments H,I,X,Y in dependency order",
+      `Quick,
+      fun () ->
+        let n, config, ext = extend_7a () in
+        let clusters = Plan_keys.compute ~config ~original:n.plan ext in
+        let reqs = Dispatch.requests ext clusters in
+        let execs = List.map (fun r -> Subject.name r.Dispatch.subject) reqs in
+        (match execs with
+        | [ a; b; "X"; "Y" ] when (a = "H" && b = "I") || (a = "I" && b = "H")
+          ->
+            ()
+        | _ ->
+            Alcotest.failf "unexpected fragment order: %s"
+              (String.concat "," execs));
+        let top = List.nth reqs 3 in
+        Alcotest.(check (list string)) "Y's keys" [ "P" ]
+          top.Dispatch.key_clusters;
+        Alcotest.(check (list string)) "Y calls X" [ "req_X" ]
+          top.Dispatch.calls ) ]
+
+let () =
+  Alcotest.run "running-example"
+    [ ("views-fig4", view_tests);
+      ("profiles-fig3", profile_tests);
+      ("authorized-ex4.1", example_4_1);
+      ("candidates-fig6", candidate_tests);
+      ("extension-fig7", extension_tests);
+      ("keys-dispatch", key_tests) ]
