@@ -12,6 +12,45 @@
 open Cmdliner
 open Relalg
 
+(* Exit-code discipline (see EXIT STATUS in --help): 0 success, 1 usage,
+   parse or I/O errors, 2 authorization or verification failures. *)
+let exit_ok = 0
+let exit_input_error = 1
+let exit_verification = 2
+
+let guard f =
+  try f () with
+  | Authz.Policy_dsl.Syntax_error (line, msg) ->
+      Printf.eprintf "mpqcli: policy syntax error at line %d: %s\n" line msg;
+      exit_input_error
+  | Mpq_sql.Sql_lexer.Lex_error (msg, pos) ->
+      Printf.eprintf "mpqcli: SQL lexical error at %d: %s\n" pos msg;
+      exit_input_error
+  | Mpq_sql.Sql_parser.Parse_error msg | Mpq_sql.Sql_plan.Plan_error msg ->
+      Printf.eprintf "mpqcli: SQL error: %s\n" msg;
+      exit_input_error
+  | Engine.Csv.Csv_error msg ->
+      Printf.eprintf "mpqcli: CSV error: %s\n" msg;
+      exit_input_error
+  | Sys_error msg | Failure msg | Invalid_argument msg ->
+      Printf.eprintf "mpqcli: %s\n" msg;
+      exit_input_error
+  | Planner.Optimizer.No_candidate msg
+  | Planner.Optimizer.User_not_authorized msg ->
+      Printf.eprintf "mpqcli: query rejected: %s\n" msg;
+      exit_verification
+  | Planner.Optimizer.Verification_failed msg
+  | Distsim.Runtime.Distributed_violation msg ->
+      Printf.eprintf "mpqcli: %s\n" msg;
+      exit_verification
+
+let exit_status_man =
+  [ `S "EXIT STATUS";
+    `P "$(b,0) on success.";
+    `P "$(b,1) on usage, policy/SQL parse, or I/O errors.";
+    `P "$(b,2) when a query is rejected by the authorization model or \
+        the static verifier reports an Error-severity diagnostic." ]
+
 let load_policy path =
   match path with
   | Some p -> Authz.Policy_dsl.load p
@@ -48,6 +87,7 @@ let plan_cmd =
                    each operation.")
   in
   let run policy_path query explain_subject =
+    guard @@ fun () ->
     let env = load_policy policy_path in
     let plan = parse_query env query in
     let profiles = Authz.Profile.annotate plan in
@@ -100,7 +140,7 @@ let plan_cmd =
                 (Authz.Candidates.explain ~policy:env.Authz.Policy_dsl.policy
                    ~subjects:env.Authz.Policy_dsl.subjects ~config plan n))
           plan);
-    0
+    exit_ok
   in
   let doc = "show a query plan, its profiles and candidate sets" in
   Cmd.v (Cmd.info "plan" ~doc)
@@ -113,6 +153,7 @@ let optimize_cmd =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON planning report.")
   in
   let run policy_path query json =
+    guard @@ fun () ->
     let env = load_policy policy_path in
     let plan = parse_query env query in
     let user =
@@ -120,18 +161,13 @@ let optimize_cmd =
         (fun s -> s.Authz.Subject.role = Authz.Subject.User)
         env.Authz.Policy_dsl.subjects
     in
-    (match
-       Planner.Optimizer.plan ~policy:env.Authz.Policy_dsl.policy
-         ~subjects:env.Authz.Policy_dsl.subjects ?deliver_to:user plan
-     with
-    | r ->
-        if json then print_endline (Planner.Report.to_string r)
-        else print_string (Planner.Optimizer.report r)
-    | exception Planner.Optimizer.No_candidate msg ->
-        Printf.printf "query rejected: %s\n" msg
-    | exception Planner.Optimizer.User_not_authorized msg ->
-        Printf.printf "query rejected: %s\n" msg);
-    0
+    let r =
+      Planner.Optimizer.plan ~policy:env.Authz.Policy_dsl.policy
+        ~subjects:env.Authz.Policy_dsl.subjects ?deliver_to:user plan
+    in
+    if json then print_endline (Planner.Report.to_string r)
+    else print_string (Planner.Optimizer.report r);
+    exit_ok
   in
   let doc = "authorization-aware planning: assignment, encryption, keys, \
              dispatch, cost" in
@@ -153,9 +189,10 @@ let tpch_cmd =
       & info [ "s"; "scenario" ] ~doc:"Authorization scenario.")
   in
   let run n scenario =
+    guard @@ fun () ->
     let r = Tpch.Scenarios.optimize ~scenario (Tpch.Tpch_queries.query n) in
     print_string (Planner.Optimizer.report r);
-    0
+    exit_ok
   in
   let doc = "plan a TPC-H query under an authorization scenario (Sec. 7)" in
   Cmd.v (Cmd.info "tpch" ~doc) Term.(const run $ number $ scenario)
@@ -164,6 +201,7 @@ let tpch_cmd =
 
 let scenarios_cmd =
   let run () =
+    guard @@ fun () ->
     Printf.printf "%-4s %10s %10s %10s\n" "q" "UA" "UAPenc" "UAPmix";
     let totals = Hashtbl.create 3 in
     List.iter
@@ -190,7 +228,7 @@ let scenarios_cmd =
     Printf.printf "\nsavings vs UA: UAPenc %.1f%%  UAPmix %.1f%%\n"
       (100. *. (1. -. (total Tpch.Scenarios.UAPenc /. total Tpch.Scenarios.UA)))
       (100. *. (1. -. (total Tpch.Scenarios.UAPmix /. total Tpch.Scenarios.UA)));
-    0
+    exit_ok
   in
   let doc = "normalized cost of all 22 TPC-H queries under UA/UAPenc/UAPmix" in
   Cmd.v (Cmd.info "scenarios" ~doc) Term.(const run $ const ())
@@ -230,6 +268,7 @@ let run_cmd =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the dispatch/release trace.")
   in
   let run policy_path query table_specs trace =
+    guard @@ fun () ->
     let env = load_policy policy_path in
     let plan = parse_query env query in
     let user =
@@ -255,34 +294,153 @@ let run_cmd =
             | None -> failwith ("unknown relation " ^ rel))
           table_specs
     in
-    match
+    let r =
       Planner.Optimizer.plan ~policy:env.Authz.Policy_dsl.policy
         ~subjects:env.Authz.Policy_dsl.subjects ~deliver_to:user plan
-    with
-    | exception Planner.Optimizer.No_candidate msg ->
-        Printf.printf "query rejected: %s
-" msg;
-        1
-    | r ->
-        let outcome =
-          Distsim.Runtime.execute ~policy:env.Authz.Policy_dsl.policy
-            ~pki:(Distsim.Pki.create ())
-            ~keyring:(Mpq_crypto.Keyring.create ())
-            ~user ~tables ~extended:r.Planner.Optimizer.extended
-            ~clusters:r.Planner.Optimizer.clusters ()
-        in
-        if trace then begin
-          print_endline "--- trace ---";
-          List.iter
-            (fun e -> Format.printf "  %a@." Distsim.Runtime.pp_event e)
-            outcome.Distsim.Runtime.trace
-        end;
-        print_string (Engine.Csv.to_string outcome.Distsim.Runtime.result);
-        0
+    in
+    let outcome =
+      Distsim.Runtime.execute ~policy:env.Authz.Policy_dsl.policy
+        ~pki:(Distsim.Pki.create ())
+        ~keyring:(Mpq_crypto.Keyring.create ())
+        ~user ~tables ~config:r.Planner.Optimizer.config
+        ~extended:r.Planner.Optimizer.extended
+        ~clusters:r.Planner.Optimizer.clusters ()
+    in
+    if trace then begin
+      print_endline "--- trace ---";
+      List.iter
+        (fun e -> Format.printf "  %a@." Distsim.Runtime.pp_event e)
+        outcome.Distsim.Runtime.trace
+    end;
+    print_string (Engine.Csv.to_string outcome.Distsim.Runtime.result);
+    exit_ok
   in
   let doc = "execute a query end-to-end through the distributed simulator" in
-  Cmd.v (Cmd.info "run" ~doc)
+  Cmd.v (Cmd.info "run" ~doc ~man:exit_status_man)
     Term.(const run $ policy_arg $ query_arg $ tables_arg $ trace_arg)
+
+(* --- check ---------------------------------------------------------- *)
+
+let check_cmd =
+  let json_arg =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Emit the diagnostics as a JSON report.")
+  in
+  let tpch_arg =
+    Arg.(value & opt (some int) None
+         & info [ "tpch" ]
+             ~doc:"Verify a TPC-H query (1-22) under an authorization \
+                   scenario instead of $(b,-q); 0 verifies all 22.")
+  in
+  let scenario_arg =
+    Arg.(value & opt (some (enum
+            [ ("UA", Tpch.Scenarios.UA); ("UAPenc", Tpch.Scenarios.UAPenc);
+              ("UAPmix", Tpch.Scenarios.UAPmix) ])) None
+         & info [ "s"; "scenario" ]
+             ~doc:"TPC-H authorization scenario (default: all three).")
+  in
+  let run policy_path query tpch scenario json =
+    guard @@ fun () ->
+    (* collect the diagnostics ourselves rather than letting the
+       planner's own assertion gate turn them into an exception *)
+    let was = !Planner.Optimizer.self_check in
+    Planner.Optimizer.self_check := false;
+    Fun.protect ~finally:(fun () -> Planner.Optimizer.self_check := was)
+    @@ fun () ->
+    let targets =
+      match (query, tpch) with
+      | Some q, None ->
+          let env = load_policy policy_path in
+          let plan = parse_query env q in
+          let user =
+            List.find_opt
+              (fun s -> s.Authz.Subject.role = Authz.Subject.User)
+              env.Authz.Policy_dsl.subjects
+          in
+          [ ( "query",
+              fun () ->
+                let r =
+                  Planner.Optimizer.plan ~policy:env.Authz.Policy_dsl.policy
+                    ~subjects:env.Authz.Policy_dsl.subjects ?deliver_to:user
+                    plan
+                in
+                (env.Authz.Policy_dsl.policy, r) ) ]
+      | None, Some n ->
+          let numbers =
+            if n = 0 then List.map (fun (q, _, _) -> q) Tpch.Tpch_queries.all
+            else [ n ]
+          in
+          let scenarios =
+            match scenario with Some s -> [ s ] | None -> Tpch.Scenarios.all
+          in
+          List.concat_map
+            (fun q ->
+              List.map
+                (fun sc ->
+                  ( Printf.sprintf "tpch q%d %s" q (Tpch.Scenarios.name sc),
+                    fun () ->
+                      ( Tpch.Scenarios.policy sc,
+                        Tpch.Scenarios.optimize ~scenario:sc
+                          (Tpch.Tpch_queries.query q) ) ))
+                scenarios)
+            numbers
+      | Some _, Some _ -> failwith "use either -q or --tpch, not both"
+      | None, None -> failwith "nothing to check: pass -q QUERY or --tpch N"
+    in
+    let reports =
+      List.map
+        (fun (label, produce) ->
+          let policy, (r : Planner.Optimizer.result) = produce () in
+          let diags =
+            Verify.Verifier.run
+              { Verify.Verifier.policy; config = r.Planner.Optimizer.config;
+                extended = r.Planner.Optimizer.extended;
+                clusters = r.Planner.Optimizer.clusters;
+                requests = r.Planner.Optimizer.requests }
+          in
+          (label, diags))
+        targets
+    in
+    if json then
+      print_endline
+        (Json.to_string
+           (Json.Obj
+              (List.map
+                 (fun (label, diags) ->
+                   (label, Verify.Diag.report_json diags))
+                 reports)))
+    else
+      List.iter
+        (fun (label, diags) ->
+          Printf.printf "--- %s ---\n%s" label (Verify.Diag.render diags))
+        reports;
+    if List.exists (fun (_, d) -> Verify.Diag.has_errors d) reports then
+      exit_verification
+    else exit_ok
+  in
+  let doc =
+    "statically verify a plan: profiles, authorizations, minimality, \
+     keys, schemes, dispatch"
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Plans the query, then re-derives every invariant of the \
+          authorization model with the independent static verifier and \
+          prints the findings as $(b,MPQ)$(i,NNN) diagnostics: profile \
+          propagation (MPQ001-003), authorized assignees (MPQ010-012), \
+          encryption minimality (MPQ020), key distribution (MPQ030-033), \
+          scheme sufficiency (MPQ040) and dispatch well-formedness \
+          (MPQ050-055).";
+      `P "Exits with status 2 when any Error-severity diagnostic is \
+          reported; warnings alone keep the exit status at 0." ]
+    @ exit_status_man
+  in
+  Cmd.v (Cmd.info "check" ~doc ~man)
+    Term.(const run $ policy_arg
+          $ Arg.(value & opt (some string) None
+                 & info [ "q"; "query" ]
+                     ~doc:"SQL query to plan and verify.")
+          $ tpch_arg $ scenario_arg $ json_arg)
 
 (* --- example -------------------------------------------------------- *)
 
@@ -296,9 +454,13 @@ let example_cmd =
 
 let () =
   let doc = "authorization-aware planning for multi-provider queries" in
-  let info = Cmd.info "mpqcli" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [ plan_cmd; optimize_cmd; run_cmd; tpch_cmd; scenarios_cmd;
-            example_cmd ]))
+  let info = Cmd.info "mpqcli" ~version:"1.0.0" ~doc ~man:exit_status_man in
+  let status =
+    Cmd.eval'
+      (Cmd.group info
+         [ plan_cmd; optimize_cmd; run_cmd; check_cmd; tpch_cmd;
+           scenarios_cmd; example_cmd ])
+  in
+  (* cmdliner reserves 124 for CLI parse errors; fold it into our
+     documented "1 = usage/parse error" convention *)
+  exit (if status = Cmd.Exit.cli_error then exit_input_error else status)

@@ -1,0 +1,5 @@
+select T, avg(P)
+from Hosp join Ins on S=C
+where D='stroke'
+group by T
+having P>100

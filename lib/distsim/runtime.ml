@@ -22,11 +22,26 @@ exception Distributed_violation of string
 
 type outcome = { result : Engine.Table.t; trace : event list }
 
-let execute ~policy ~pki ~keyring ~user ~tables ?(udfs = []) ~extended
-    ~clusters () =
+let execute ~policy ~pki ~keyring ~user ~tables ?(udfs = [])
+    ?(config = Authz.Opreq.default) ?(self_check = true) ~extended ~clusters
+    () =
   let trace = ref [] in
   let emit e = trace := e :: !trace in
   let requests = Authz.Dispatch.requests extended clusters in
+  (* 0. pre-dispatch gate: nothing leaves the user's machine before the
+     static verifier has re-derived every invariant over the plan, the
+     clusters and the requests about to be sealed. *)
+  if self_check then begin
+    let diags =
+      Verify.Verifier.run
+        { Verify.Verifier.policy; config; extended; clusters; requests }
+    in
+    if Verify.Diag.has_errors diags then
+      raise
+        (Distributed_violation
+           ("pre-dispatch verification failed:\n"
+           ^ Verify.Diag.render (Verify.Diag.errors diags)))
+  end;
   (* 1. dispatch: the user seals a request per fragment; the executor
      opens and verifies it (the envelope discipline of Fig. 8). *)
   List.iter

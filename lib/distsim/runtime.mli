@@ -40,11 +40,21 @@ val execute :
   user:Authz.Subject.t ->
   tables:(string * Engine.Table.t) list ->
   ?udfs:(string * Engine.Exec.udf) list ->
+  ?config:Authz.Opreq.config ->
+  ?self_check:bool ->
   extended:Authz.Extend.t ->
   clusters:Authz.Plan_keys.cluster list ->
   unit ->
   outcome
 (** Raises {!Distributed_violation} when a release check fails or an
-    executor misses a key its fragment needs. *)
+    executor misses a key its fragment needs.
+
+    Unless [self_check] is [false], the static verifier
+    ([Verify.Verifier]) is run over the plan, clusters and requests
+    before any request is sealed; an [Error]-severity finding raises
+    {!Distributed_violation} with the rendered diagnostics. [config]
+    (default [Authz.Opreq.default]) is the operation-requirement
+    configuration the plan was built under — the verifier needs it to
+    know which computations may legitimately run over ciphertext. *)
 
 val pp_event : Format.formatter -> event -> unit

@@ -13,6 +13,24 @@ type result = {
 
 exception No_candidate of string
 exception User_not_authorized of string
+exception Verification_failed of string
+
+let self_check =
+  ref (match Sys.getenv_opt "MPQ_SELF_CHECK" with Some "0" -> false | _ -> true)
+
+(* Post-planning assertion gate: the independent verifier re-derives
+   every invariant over the finished artifacts. Minimality findings are
+   warnings, so only Error-severity diagnostics abort. *)
+let assert_verified ~policy ~config extended clusters requests =
+  let input =
+    { Verify.Verifier.policy; config; extended; clusters; requests }
+  in
+  let diags = Verify.Verifier.run input in
+  if Verify.Diag.has_errors diags then
+    raise
+      (Verification_failed
+         ("planner self-check failed:\n"
+         ^ Verify.Diag.render (Verify.Diag.errors diags)))
 
 let plan ~policy ~subjects ?(config = Authz.Opreq.default)
     ?(pricing = Pricing.make ()) ?(network = Network.make ())
@@ -144,6 +162,7 @@ let plan ~policy ~subjects ?(config = Authz.Opreq.default)
   let assignment, extended, scheme_of, cost = sweep (sweep seed) in
   let clusters = Authz.Plan_keys.compute ~config ~original:query extended in
   let requests = Authz.Dispatch.requests extended clusters in
+  if !self_check then assert_verified ~policy ~config extended clusters requests;
   { config; candidates; assignment; extended; clusters; requests; cost;
     scheme_of }
 

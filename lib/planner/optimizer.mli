@@ -29,6 +29,17 @@ exception User_not_authorized of string
     query execution is required to be authorized to access all data that
     are input to the query"). *)
 
+exception Verification_failed of string
+(** Raised by the post-planning self-check when the independent static
+    verifier ([Verify.Verifier]) finds an [Error]-severity diagnostic in
+    the produced plan. Indicates a planner bug, never a policy problem. *)
+
+val self_check : bool ref
+(** Whether {!plan} re-verifies its own output before returning it
+    (default [true]; initialized to [false] when the [MPQ_SELF_CHECK]
+    environment variable is ["0"]). The check is pure and adds one
+    verifier pass per planned query. *)
+
 val plan :
   policy:Authz.Authorization.t ->
   subjects:Authz.Subject.t list ->

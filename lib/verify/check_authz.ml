@@ -1,0 +1,83 @@
+open Relalg
+open Authz
+
+type violation =
+  | Needs_plain of Attr.Set.t
+  | Needs_visibility of Attr.Set.t
+  | Split_class of Attr.Set.t
+
+(* Def. 4.1, re-read from the paper rather than calling [Authorized]:
+   (1) everything the subject sees or infers in plaintext lies in P;
+   (2) everything it sees or infers at all lies in P ∪ E;
+   (3) no equivalence class straddles the P/E boundary (uniform
+   visibility, or the subject could correlate plaintext with
+   ciphertext). *)
+let check_view (view : Authorization.view) (p : Profile.t) =
+  let plain = view.Authorization.plain and enc = view.Authorization.enc in
+  let plaintext = Attr.Set.union p.Profile.vp p.Profile.ip in
+  let anything = Attr.Set.union p.Profile.ve p.Profile.ie in
+  if not (Attr.Set.subset plaintext plain) then
+    Some (Needs_plain (Attr.Set.diff plaintext plain))
+  else if not (Attr.Set.subset anything (Attr.Set.union plain enc)) then
+    Some (Needs_visibility (Attr.Set.diff anything (Attr.Set.union plain enc)))
+  else
+    List.find_map
+      (fun cls ->
+        if Attr.Set.subset cls plain || Attr.Set.subset cls enc then None
+        else Some (Split_class cls))
+      (Partition.sets p.Profile.eq)
+
+let describe_violation = function
+  | Needs_plain s ->
+      Printf.sprintf "requires plaintext visibility of %s"
+        (Attr.Set.to_string s)
+  | Needs_visibility s ->
+      Printf.sprintf "requires visibility of %s" (Attr.Set.to_string s)
+  | Split_class s ->
+      Printf.sprintf "sees equivalence class %s with non-uniform visibility"
+        (Attr.Set.to_string s)
+
+let check ~policy ~(extended : Extend.t) ~derived ~paths =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let views = Hashtbl.create 8 in
+  let view_of s =
+    match Hashtbl.find_opt views s with
+    | Some v -> v
+    | None ->
+        let v = Authorization.view policy s in
+        Hashtbl.replace views s v;
+        v
+  in
+  List.iter
+    (fun n ->
+      let id = Plan.id n in
+      let path = Hashtbl.find_opt paths id in
+      match Imap.find_opt id extended.Extend.assignment with
+      | None ->
+          emit
+            (Diag.makef ~node_id:id ?path ~code:"MPQ010" ~severity:Diag.Error
+               "%s has no executor" (Plan.operator_name n))
+      | Some subject ->
+          let view = view_of subject in
+          let against code rel p =
+            match check_view view p with
+            | None -> ()
+            | Some v ->
+                emit
+                  (Diag.makef ~node_id:id ?path ~code ~severity:Diag.Error
+                     "%s, executed by %s, %s over its %s relation"
+                     (Plan.operator_name n) (Subject.name subject)
+                     (describe_violation v) rel)
+          in
+          List.iter
+            (fun c ->
+              match Hashtbl.find_opt derived (Plan.id c) with
+              | Some p -> against "MPQ011" "operand" p
+              | None -> () (* reported as MPQ003 by the profile check *))
+            (Plan.children n);
+          (match Hashtbl.find_opt derived id with
+          | Some p -> against "MPQ012" "result" p
+          | None -> ()))
+    (Plan.nodes extended.Extend.plan);
+  List.rev !diags

@@ -1,0 +1,31 @@
+(** V2 — authorized assignees (Defs. 4.1/4.2, Thm. 5.1).
+
+    Re-checks, with the verifier's own reading of Def. 4.1, that every
+    extended-plan node has an executor ([MPQ010]) authorized for each
+    operand relation ([MPQ011]) and for the relation the node produces
+    ([MPQ012]). Profiles come from the independent re-derivation, so a
+    propagation bug cannot mask an authorization one. *)
+
+open Relalg
+open Authz
+
+type violation =
+  | Needs_plain of Attr.Set.t
+      (** visible/implicit plaintext outside the subject's [P] *)
+  | Needs_visibility of Attr.Set.t
+      (** encrypted content outside [P ∪ E] *)
+  | Split_class of Attr.Set.t
+      (** an equivalence class not uniformly within [P] or within [E] *)
+
+val check_view : Authorization.view -> Profile.t -> violation option
+(** Def. 4.1 for one relation profile against a subject's view; [None]
+    when authorized. *)
+
+val describe_violation : violation -> string
+
+val check :
+  policy:Authorization.t ->
+  extended:Extend.t ->
+  derived:(int, Profile.t) Hashtbl.t ->
+  paths:(int, string) Hashtbl.t ->
+  Diag.t list

@@ -1,0 +1,220 @@
+open Relalg
+open Authz
+
+let lbracket = "\xe2\x9f\xa6" (* ⟦ *)
+let rbracket = "\xe2\x9f\xa7" (* ⟧ *)
+
+let find_sub s sub from =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go from
+
+let references expr =
+  let rec go from acc =
+    match find_sub expr lbracket from with
+    | None -> List.rev acc
+    | Some i -> (
+        let start = i + String.length lbracket in
+        match find_sub expr rbracket start with
+        | None -> List.rev acc
+        | Some j ->
+            go (j + String.length rbracket)
+              (String.sub expr start (j - start) :: acc))
+  in
+  go 0 []
+
+(* The verifier's own fragment computation: the root and every node
+   whose executor differs from its parent's start a fragment; a fragment
+   is its root's subtree up to (excluding) foreign fragment roots. *)
+let fragment_roots (extended : Extend.t) =
+  let executor n = Imap.find_opt (Plan.id n) extended.Extend.assignment in
+  let roots = ref [] in
+  let rec go parent_exec n =
+    let e = executor n in
+    (match (e, parent_exec) with
+    | Some s, Some p when Subject.equal s p -> ()
+    | Some s, _ -> roots := (Plan.id n, s) :: !roots
+    | None, _ -> () (* MPQ010 territory *));
+    List.iter (go e) (Plan.children n)
+  in
+  go None extended.Extend.plan;
+  List.rev !roots
+
+let fragment_nodes (extended : Extend.t) root_set root_id =
+  match Plan.find extended.Extend.plan root_id with
+  | None -> []
+  | Some root ->
+      let rec collect ~top n acc =
+        if (not top) && List.mem_assoc (Plan.id n) root_set then acc
+        else
+          List.fold_left
+            (fun acc c -> collect ~top:false c acc)
+            (n :: acc) (Plan.children n)
+      in
+      collect ~top:true root []
+
+let check ~(extended : Extend.t) ~clusters ~(requests : Dispatch.request list)
+    ~paths =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  let roots = fragment_roots extended in
+  (* One-to-one correspondence between fragments and requests. *)
+  let req_of_root id =
+    List.find_opt (fun (r : Dispatch.request) -> r.Dispatch.root_id = id)
+      requests
+  in
+  List.iter
+    (fun (id, subject) ->
+      match req_of_root id with
+      | None ->
+          emit
+            (Diag.makef ~node_id:id ?path:(Hashtbl.find_opt paths id)
+               ~code:"MPQ055" ~severity:Diag.Error
+               "fragment rooted at node %d (executor %s) has no dispatch \
+                request"
+               id (Subject.name subject))
+      | Some r ->
+          if not (Subject.equal r.Dispatch.subject subject) then
+            emit
+              (Diag.makef ~node_id:id ?path:(Hashtbl.find_opt paths id)
+                 ~code:"MPQ053" ~severity:Diag.Error
+                 "request %s is addressed to %s but its fragment's \
+                  executor is %s"
+                 r.Dispatch.name
+                 (Subject.name r.Dispatch.subject)
+                 (Subject.name subject)))
+    roots;
+  List.iter
+    (fun (r : Dispatch.request) ->
+      if not (List.mem_assoc r.Dispatch.root_id roots) then
+        emit
+          (Diag.makef ~node_id:r.Dispatch.root_id ~code:"MPQ055"
+             ~severity:Diag.Error
+             "request %s claims fragment root %d, which roots no fragment"
+             r.Dispatch.name r.Dispatch.root_id))
+    requests;
+  let names = List.map (fun (r : Dispatch.request) -> r.Dispatch.name) requests in
+  let dup =
+    List.filter
+      (fun n -> List.length (List.filter (String.equal n) names) > 1)
+      names
+    |> List.sort_uniq String.compare
+  in
+  List.iter
+    (fun n ->
+      emit
+        (Diag.makef ~code:"MPQ055" ~severity:Diag.Error
+           "request name %s is used by several requests" n))
+    dup;
+  (* Reference resolution: declared calls and embedded ⟦...⟧ marks. *)
+  let known n = List.mem n names in
+  List.iter
+    (fun (r : Dispatch.request) ->
+      let refs = references r.Dispatch.expression in
+      List.iter
+        (fun callee ->
+          if not (known callee) then
+            emit
+              (Diag.makef ~code:"MPQ050" ~severity:Diag.Error
+                 "request %s references unknown sub-query %s"
+                 r.Dispatch.name callee))
+        (List.sort_uniq String.compare (refs @ r.Dispatch.calls));
+      let refset = List.sort_uniq String.compare refs in
+      let callset = List.sort_uniq String.compare r.Dispatch.calls in
+      if refset <> callset then
+        emit
+          (Diag.makef ~code:"MPQ050" ~severity:Diag.Error
+             "request %s declares calls {%s} but its expression references \
+              {%s}"
+             r.Dispatch.name
+             (String.concat "," callset)
+             (String.concat "," refset)))
+    requests;
+  (* Dependency order and acyclicity over the declared call graph. *)
+  let index =
+    List.mapi (fun i (r : Dispatch.request) -> (r.Dispatch.name, i)) requests
+  in
+  List.iteri
+    (fun i (r : Dispatch.request) ->
+      List.iter
+        (fun callee ->
+          match List.assoc_opt callee index with
+          | Some j when j >= i ->
+              emit
+                (Diag.makef ~code:"MPQ052" ~severity:Diag.Error
+                   "request %s calls %s, which is not listed before it"
+                   r.Dispatch.name callee)
+          | _ -> ())
+        r.Dispatch.calls)
+    requests;
+  let rec cyclic seen name =
+    if List.mem name seen then true
+    else
+      match
+        List.find_opt
+          (fun (r : Dispatch.request) -> String.equal r.Dispatch.name name)
+          requests
+      with
+      | None -> false
+      | Some r ->
+          List.exists (cyclic (name :: seen)) r.Dispatch.calls
+  in
+  List.iter
+    (fun (r : Dispatch.request) ->
+      if List.exists (cyclic [ r.Dispatch.name ]) r.Dispatch.calls then
+        emit
+          (Diag.makef ~code:"MPQ051" ~severity:Diag.Error
+             "request %s participates in a call cycle" r.Dispatch.name))
+    requests;
+  (* Key completeness: a request ships exactly the clusters its
+     fragment's encryption/decryption operations touch. *)
+  List.iter
+    (fun (r : Dispatch.request) ->
+      if List.mem_assoc r.Dispatch.root_id roots then begin
+        let nodes = fragment_nodes extended roots r.Dispatch.root_id in
+        let touched =
+          List.fold_left
+            (fun acc n ->
+              match Plan.node n with
+              | Plan.Encrypt (s, _) | Plan.Decrypt (s, _) ->
+                  Attr.Set.union acc s
+              | _ -> acc)
+            Attr.Set.empty nodes
+        in
+        let needed =
+          List.filter_map
+            (fun (c : Plan_keys.cluster) ->
+              if Attr.Set.is_empty (Attr.Set.inter touched c.Plan_keys.attrs)
+              then None
+              else Some c.Plan_keys.id)
+            clusters
+          |> List.sort_uniq String.compare
+        in
+        let held = List.sort_uniq String.compare r.Dispatch.key_clusters in
+        let missing = List.filter (fun k -> not (List.mem k held)) needed in
+        let extra = List.filter (fun k -> not (List.mem k needed)) held in
+        List.iter
+          (fun k ->
+            emit
+              (Diag.makef ~node_id:r.Dispatch.root_id ~code:"MPQ054"
+                 ~severity:Diag.Error
+                 "request %s needs key k%s for its encryption/decryption \
+                  operations but does not carry it"
+                 r.Dispatch.name k))
+          missing;
+        List.iter
+          (fun k ->
+            emit
+              (Diag.makef ~node_id:r.Dispatch.root_id ~code:"MPQ054"
+                 ~severity:Diag.Error
+                 "request %s carries key k%s, which none of its \
+                  encryption/decryption operations needs"
+                 r.Dispatch.name k))
+          extra
+      end)
+    requests;
+  List.rev !diags

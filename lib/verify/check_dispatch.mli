@@ -1,0 +1,23 @@
+(** V6 — sub-query dispatch well-formedness (Sec. 6, Fig. 8).
+
+    Recomputes the single-executor fragments of the extended plan with
+    its own walk and checks the request list against them: fragments and
+    requests correspond one-to-one ([MPQ055]) with matching subjects
+    ([MPQ053]); every [⟦req_...⟧] reference in an expression — and every
+    declared call — resolves to a request ([MPQ050]); the call graph is
+    acyclic ([MPQ051]) and listed in dependency order, callees before
+    callers ([MPQ052]); each request ships exactly the key clusters its
+    fragment's encryption/decryption operations touch ([MPQ054]). *)
+
+open Authz
+
+val references : string -> string list
+(** The [⟦name⟧] references embedded in an algebra expression, in
+    order of appearance. *)
+
+val check :
+  extended:Extend.t ->
+  clusters:Plan_keys.cluster list ->
+  requests:Dispatch.request list ->
+  paths:(int, string) Hashtbl.t ->
+  Diag.t list

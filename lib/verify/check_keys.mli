@@ -1,0 +1,32 @@
+(** V4/V5 — query-plan keys (Def. 6.1) and scheme sufficiency (Sec. 6).
+
+    [distribution] re-checks the key-distribution invariants: every
+    holder of a cluster key is plaintext-authorized for the cluster's
+    attributes ([MPQ030]); every encryption/decryption executor — and
+    the authority provisioning at-rest encryption — holds the keys it
+    needs ([MPQ031]); no key reaches a subject with no
+    encryption/decryption duty over it ([MPQ032], Warning); every
+    attribute that is ever encrypted belongs to a cluster ([MPQ033]).
+
+    [schemes] re-extracts, with its own scan, the computations each node
+    runs over ciphertext and checks the owning cluster's scheme supports
+    them ([MPQ040]): equality tests need Det or Ope, order tests Ope,
+    additive aggregation Phe, LIKE patterns and non-capable udfs nothing
+    at all. *)
+
+open Authz
+
+val distribution :
+  policy:Authorization.t ->
+  extended:Extend.t ->
+  clusters:Plan_keys.cluster list ->
+  paths:(int, string) Hashtbl.t ->
+  Diag.t list
+
+val schemes :
+  config:Opreq.config ->
+  extended:Extend.t ->
+  clusters:Plan_keys.cluster list ->
+  derived:(int, Authz.Profile.t) Hashtbl.t ->
+  paths:(int, string) Hashtbl.t ->
+  Diag.t list

@@ -1,0 +1,50 @@
+open Relalg
+open Authz
+
+(* Every executor authorized for operands and result under the profile
+   table [derived]? Nodes without executors are V2's business — treat
+   them as authorized here so one finding is not reported twice. *)
+let still_authorized ~policy ~(extended : Extend.t) derived =
+  let ok_node n =
+    match Imap.find_opt (Plan.id n) extended.Extend.assignment with
+    | None -> true
+    | Some subject ->
+        let view = Authorization.view policy subject in
+        let ok_rel m =
+          match Hashtbl.find_opt derived (Plan.id m) with
+          | None -> true
+          | Some p -> Check_authz.check_view view p = None
+        in
+        List.for_all ok_rel (Plan.children n) && ok_rel n
+  in
+  List.for_all ok_node (Plan.nodes extended.Extend.plan)
+
+let check ~policy ~(extended : Extend.t) ~paths =
+  let diags = ref [] in
+  List.iter
+    (fun n ->
+      match Plan.node n with
+      | Plan.Encrypt (attrs, _) ->
+          let id = Plan.id n in
+          Attr.Set.iter
+            (fun a ->
+              let removable =
+                match Derive.strict ~drop:(id, a) extended.Extend.plan with
+                | derived -> still_authorized ~policy ~extended derived
+                | exception Derive.Not_derivable _ -> false
+              in
+              if removable then
+                diags :=
+                  Diag.makef ~node_id:id
+                    ?path:(Hashtbl.find_opt paths id)
+                    ~code:"MPQ020" ~severity:Diag.Warning
+                    ~suggestion:
+                      "drop the attribute from this encryption; every \
+                       assignee stays authorized without it"
+                    "encrypting %s here is unnecessary (Thm. 5.3 minimality)"
+                    (Attr.name a)
+                  :: !diags)
+            attrs
+      | _ -> ())
+    (Plan.nodes extended.Extend.plan);
+  List.rev !diags

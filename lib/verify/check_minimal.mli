@@ -1,0 +1,17 @@
+(** V3 — minimality of injected encryption (Thm. 5.3(ii)).
+
+    For each attribute of each [Encrypt] node, simulate its removal
+    (the attribute stays plaintext from that node on; later decryptions
+    of it become no-ops) and re-derive all profiles. If the plan still
+    satisfies every operator precondition and every executor remains
+    authorized under Def. 4.1, that encryption was unnecessary —
+    [MPQ020] (Warning: the plan is safe, just over-protective, which
+    Thm. 5.3 says the extension procedure never produces). *)
+
+open Authz
+
+val check :
+  policy:Authorization.t ->
+  extended:Extend.t ->
+  paths:(int, string) Hashtbl.t ->
+  Diag.t list

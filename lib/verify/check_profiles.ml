@@ -1,0 +1,34 @@
+open Relalg
+open Authz
+
+let check ~(extended : Extend.t) ~derived ~paths =
+  let diags = ref [] in
+  let emit d = diags := d :: !diags in
+  List.iter
+    (fun n ->
+      let id = Plan.id n in
+      let path = Hashtbl.find_opt paths id in
+      match
+        (Hashtbl.find_opt extended.Extend.profiles id, Hashtbl.find_opt derived id)
+      with
+      | None, _ ->
+          emit
+            (Diag.makef ~node_id:id ?path ~code:"MPQ003" ~severity:Diag.Error
+               ~suggestion:"re-run Extend.extend to annotate the plan"
+               "%s carries no stored profile" (Plan.operator_name n))
+      | Some stored, Some fresh when not (Profile.equal stored fresh) ->
+          emit
+            (Diag.makef ~node_id:id ?path ~code:"MPQ001" ~severity:Diag.Error
+               "stored profile (%s) differs from the re-derived one (%s)"
+               (Profile.to_string stored) (Profile.to_string fresh))
+      | Some _, Some _ -> ()
+      | Some _, None ->
+          (* the derivation table covers every node of the plan it was
+             built from; a hole means the stored plan and the verified
+             plan diverged *)
+          emit
+            (Diag.makef ~node_id:id ?path ~code:"MPQ003" ~severity:Diag.Error
+               "%s is unknown to the profile re-derivation"
+               (Plan.operator_name n)))
+    (Plan.nodes extended.Extend.plan);
+  List.rev !diags

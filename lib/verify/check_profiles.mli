@@ -1,0 +1,15 @@
+(** V1 — profile propagation (Def. 3.1, Fig. 2).
+
+    Compares the profile stored on every extended-plan node against the
+    verifier's independent re-derivation ({!Derive}): [MPQ001] on
+    mismatch, [MPQ003] when a node carries no stored profile. The
+    re-derivation's own precondition findings ([MPQ002]) are produced by
+    {!Derive.lenient} and surfaced by the caller. *)
+
+open Authz
+
+val check :
+  extended:Extend.t ->
+  derived:(int, Profile.t) Hashtbl.t ->
+  paths:(int, string) Hashtbl.t ->
+  Diag.t list

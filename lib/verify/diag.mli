@@ -1,0 +1,74 @@
+(** Structured diagnostics for the static plan verifier.
+
+    Every invariant violation the verifier can report carries a stable
+    code ([MPQ001]–[MPQ055]), a severity, the offending extended-plan
+    node (id and root-to-node path) when one exists, a human-readable
+    message, and an optional suggested fix. Diagnostics render both as
+    text (one finding per block) and as JSON for external tooling. *)
+
+open Relalg
+
+type severity = Error | Warning
+
+type t = {
+  code : string;  (** stable identifier, e.g. ["MPQ011"] *)
+  severity : severity;
+  node_id : int option;  (** extended-plan node the finding anchors to *)
+  path : string option;  (** root-to-node operator path, e.g. ["join#7/encrypt#12"] *)
+  message : string;
+  suggestion : string option;  (** optional remediation hint *)
+}
+
+val make :
+  ?node_id:int ->
+  ?path:string ->
+  ?suggestion:string ->
+  code:string ->
+  severity:severity ->
+  string ->
+  t
+
+val makef :
+  ?node_id:int ->
+  ?path:string ->
+  ?suggestion:string ->
+  code:string ->
+  severity:severity ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** [makef ... fmt ...] is {!make} over a format string. *)
+
+val catalog : (string * severity * string) list
+(** Every code the verifier can emit: (code, default severity, invariant
+    checked — with the paper reference). The source of the documentation
+    table in README.md. *)
+
+val describe : string -> string option
+(** Invariant summary for a code, if known. *)
+
+(** {1 Triage} *)
+
+val errors : t list -> t list
+val warnings : t list -> t list
+val has_errors : t list -> bool
+
+val compare : t -> t -> int
+(** Order by code, then node id, then message (stable rendering). *)
+
+val sort : t list -> t list
+
+(** {1 Rendering} *)
+
+val pp : Format.formatter -> t -> unit
+
+val render : t list -> string
+(** Text report: one block per finding plus a summary line
+    ("N errors, M warnings" or "clean"). *)
+
+val to_json : t -> Json.t
+val report_json : t list -> Json.t
+(** [{ "ok": bool, "errors": n, "warnings": m, "diagnostics": [...] }] *)
+
+val path_table : Plan.t -> (int, string) Hashtbl.t
+(** Root-to-node paths ("operator#id" segments joined by [/]) for every
+    node of a plan — the [path] component of node-anchored diagnostics. *)

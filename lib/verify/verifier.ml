@@ -1,0 +1,38 @@
+open Authz
+
+type input = {
+  policy : Authorization.t;
+  config : Opreq.config;
+  extended : Extend.t;
+  clusters : Plan_keys.cluster list;
+  requests : Dispatch.request list;
+}
+
+type check = Profiles | Assignees | Minimality | Keys | Schemes | Dispatch
+
+let all_checks = [ Profiles; Assignees; Minimality; Keys; Schemes; Dispatch ]
+
+let make_input ~policy ~config ~original extended =
+  let clusters = Plan_keys.compute ~config ~original extended in
+  let requests = Dispatch.requests extended clusters in
+  { policy; config; extended; clusters; requests }
+
+let run ?(checks = all_checks) input =
+  let { policy; config; extended; clusters; requests } = input in
+  let paths = Diag.path_table extended.Extend.plan in
+  let derived, derive_diags = Derive.lenient ~paths extended.Extend.plan in
+  let one = function
+    | Profiles ->
+        derive_diags @ Check_profiles.check ~extended ~derived ~paths
+    | Assignees -> Check_authz.check ~policy ~extended ~derived ~paths
+    | Minimality -> Check_minimal.check ~policy ~extended ~paths
+    | Keys -> Check_keys.distribution ~policy ~extended ~clusters ~paths
+    | Schemes ->
+        Check_keys.schemes ~config ~extended ~clusters ~derived ~paths
+    | Dispatch -> Check_dispatch.check ~extended ~clusters ~requests ~paths
+  in
+  Diag.sort (List.concat_map one checks)
+
+let ok diags = not (Diag.has_errors diags)
+let report = Diag.render
+let report_json = Diag.report_json

@@ -133,6 +133,20 @@ let test_scenarios_plan_all () =
           | Ok () -> ()
           | Error e ->
               Alcotest.failf "Q%d %s: %s" n (Tpch.Scenarios.name sc) e);
+          (* the independent static verifier must agree: zero Error
+             diagnostics on every optimizer-produced plan *)
+          let diags =
+            Verify.Verifier.run
+              { Verify.Verifier.policy = Tpch.Scenarios.policy sc;
+                config = r.Planner.Optimizer.config;
+                extended = r.Planner.Optimizer.extended;
+                clusters = r.Planner.Optimizer.clusters;
+                requests = r.Planner.Optimizer.requests }
+          in
+          if Verify.Diag.has_errors diags then
+            Alcotest.failf "Q%d %s: static verifier found errors:\n%s" n
+              (Tpch.Scenarios.name sc)
+              (Verify.Diag.render (Verify.Diag.errors diags));
           Alcotest.(check bool)
             (Printf.sprintf "Q%d %s positive cost" n (Tpch.Scenarios.name sc))
             true
