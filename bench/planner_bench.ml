@@ -1,0 +1,163 @@
+(* planner_bench — wall-clock effect of the planner's evaluate memo and
+   per-round view cache, measured over the TPC-H workload.
+
+   For every (query, scenario) configuration the authorization-aware
+   optimizer runs twice — [memoize:false] (every local-search move
+   re-evaluated from scratch) and [memoize:true] (the default) — and the
+   two results are checked to be identical: same total cost and same
+   operation assignment, so the memo is a pure speed-up, never a plan
+   change.  Timings are the minimum over [--repeats] runs (default 3).
+
+     dune exec bench/planner_bench.exe            # full 22 x 3 suite
+     dune exec bench/planner_bench.exe -- --quick # 4-query smoke subset
+     dune exec bench/planner_bench.exe -- -o out.json --repeats 5
+
+   The report is written as one JSON document (default
+   [BENCH_planner.json]) with both aggregate and per-configuration
+   before/after numbers, plus the memo-hit counters from [Obs]. *)
+
+open Relalg
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+(* Minimum over [n] runs: the least noisy central tendency for short,
+   allocation-bound workloads. The result of the first run is kept. *)
+let best_of n f =
+  let result, first = time_ms f in
+  let best = ref first in
+  for _ = 2 to n do
+    let _, ms = time_ms f in
+    if ms < !best then best := ms
+  done;
+  (result, !best)
+
+(* Node ids are drawn from a global counter, so two plannings of the
+   same query assign different ids to the same operators; the id *order*
+   is construction order and thus stable. Compare assignments by rank. *)
+let assignment_canonical (r : Planner.Optimizer.result) =
+  List.map
+    (fun (_, s) -> Authz.Subject.name s)
+    (Authz.Imap.bindings
+       r.Planner.Optimizer.extended.Authz.Extend.assignment)
+
+let identical a b =
+  Float.equal
+    (Planner.Cost.total a.Planner.Optimizer.cost)
+    (Planner.Cost.total b.Planner.Optimizer.cost)
+  && assignment_canonical a = assignment_canonical b
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_planner.json" in
+  let repeats = ref 3 in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "-o" :: file :: rest ->
+        out := file;
+        parse rest
+    | "--repeats" :: n :: rest ->
+        repeats := int_of_string n;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "planner_bench: unknown argument %s\n\
+           usage: planner_bench [--quick] [--repeats N] [-o FILE]\n"
+          arg;
+        exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  (* the verifier pass is measured elsewhere; keep this about the search *)
+  Planner.Optimizer.self_check := false;
+  let queries =
+    if !quick then [ 1; 3; 5; 10 ]
+    else List.map (fun (q, _, _) -> q) Tpch.Tpch_queries.all
+  in
+  let configs =
+    List.concat_map
+      (fun q -> List.map (fun sc -> (q, sc)) Tpch.Scenarios.all)
+      queries
+  in
+  let mismatches = ref 0 in
+  let rows =
+    List.map
+      (fun (q, sc) ->
+        let plan () = Tpch.Tpch_queries.query q in
+        let run memoize =
+          Tpch.Scenarios.optimize ~memoize ~scenario:sc (plan ())
+        in
+        let plain, before_ms = best_of !repeats (fun () -> run false) in
+        let memo, after_ms = best_of !repeats (fun () -> run true) in
+        let same = identical plain memo in
+        if not same then begin
+          incr mismatches;
+          Printf.eprintf
+            "planner_bench: q%d %s: memoized plan differs (cost %.3f vs %.3f)\n"
+            q (Tpch.Scenarios.name sc)
+            (Planner.Cost.total plain.Planner.Optimizer.cost)
+            (Planner.Cost.total memo.Planner.Optimizer.cost)
+        end;
+        Printf.printf "q%-3d %-7s %8.2f ms -> %8.2f ms  (%4.2fx)%s\n%!" q
+          (Tpch.Scenarios.name sc) before_ms after_ms
+          (before_ms /. after_ms)
+          (if same then "" else "  PLAN MISMATCH");
+        (q, sc, before_ms, after_ms,
+         Planner.Cost.total memo.Planner.Optimizer.cost, same))
+      configs
+  in
+  (* one extra instrumented pass for the memo-hit counters *)
+  Obs.reset ();
+  Obs.set_enabled true;
+  List.iter
+    (fun (q, sc) ->
+      ignore (Tpch.Scenarios.optimize ~scenario:sc (Tpch.Tpch_queries.query q)))
+    configs;
+  Obs.set_enabled false;
+  let evaluate_calls = Obs.counter "planner.evaluate.calls" in
+  let memo_hits = Obs.counter "planner.evaluate.memo_hits" in
+  let view_hits = Obs.counter "planner.dp.view_cache_hits" in
+  let total f = List.fold_left (fun acc row -> acc +. f row) 0.0 rows in
+  let before_total = total (fun (_, _, b, _, _, _) -> b) in
+  let after_total = total (fun (_, _, _, a, _, _) -> a) in
+  let doc =
+    Json.Obj
+      [ ("suite", Json.String "planner");
+        ("workload",
+         Json.String (if !quick then "tpch-quick" else "tpch-22x3"));
+        ("repeats", Json.Int !repeats);
+        ("configs", Json.Int (List.length rows));
+        ("unmemoized_ms", Json.Float before_total);
+        ("memoized_ms", Json.Float after_total);
+        ("speedup", Json.Float (before_total /. after_total));
+        ("identical_plans", Json.Bool (!mismatches = 0));
+        ("evaluate_calls", Json.Int evaluate_calls);
+        ("evaluate_memo_hits", Json.Int memo_hits);
+        ("dp_view_cache_hits", Json.Int view_hits);
+        ("per_config",
+         Json.List
+           (List.map
+              (fun (q, sc, before_ms, after_ms, cost, same) ->
+                Json.Obj
+                  [ ("query", Json.Int q);
+                    ("scenario", Json.String (Tpch.Scenarios.name sc));
+                    ("unmemoized_ms", Json.Float before_ms);
+                    ("memoized_ms", Json.Float after_ms);
+                    ("cost", Json.Float cost);
+                    ("identical", Json.Bool same) ])
+              rows)) ]
+  in
+  let oc = open_out !out in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "\ntotal %.2f ms -> %.2f ms (%.2fx); memo hits %d/%d; report: %s\n"
+    before_total after_total
+    (before_total /. after_total)
+    memo_hits evaluate_calls !out;
+  if !mismatches > 0 then exit 2

@@ -51,6 +51,49 @@ let exit_status_man =
     `P "$(b,2) when a query is rejected by the authorization model or \
         the static verifier reports an Error-severity diagnostic." ]
 
+(* --- observability ---------------------------------------------------- *)
+
+let stats_arg =
+  let fmt = Arg.enum [ ("text", `Text); ("json", `Json) ] in
+  Arg.(
+    value
+    & opt ~vopt:(Some `Text) (some fmt) None
+    & info [ "stats" ] ~docv:"FORMAT"
+        ~doc:
+          "Collect tracing spans and counters while the command runs and \
+           print the report to standard error afterwards (stdout keeps its \
+           documented output). $(docv) is $(b,text) (span tree + counters) \
+           or $(b,json) (one machine-readable JSON object).")
+
+let span_trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Print the tracing span tree (wall-clock per phase) to standard \
+           error; a lighter $(b,--stats) without the counters.")
+
+let obs_args =
+  Term.(const (fun stats trace -> (stats, trace)) $ stats_arg $ span_trace_arg)
+
+(* Enable the Obs collectors around [f] and render the requested reports
+   to stderr when it finishes — also on failure, where the partial trace
+   is exactly what one wants to see. *)
+let with_obs (stats, trace) f =
+  if stats = None && not trace then f ()
+  else begin
+    Obs.reset ();
+    Obs.set_enabled true;
+    Fun.protect
+      ~finally:(fun () ->
+        (match stats with
+        | Some `Text -> prerr_string (Obs.render_text ())
+        | Some `Json -> prerr_endline (Json.to_string (Obs.render_json ()))
+        | None -> prerr_string (Obs.render_text ~counters:false ()));
+        Obs.set_enabled false)
+      f
+  end
+
 let load_policy path =
   match path with
   | Some p -> Authz.Policy_dsl.load p
@@ -86,8 +129,9 @@ let plan_cmd =
              ~doc:"Explain why the named subject is (not) a candidate for \
                    each operation.")
   in
-  let run policy_path query explain_subject =
+  let run policy_path query explain_subject obs =
     guard @@ fun () ->
+    with_obs obs @@ fun () ->
     let env = load_policy policy_path in
     let plan = parse_query env query in
     let profiles = Authz.Profile.annotate plan in
@@ -144,7 +188,7 @@ let plan_cmd =
   in
   let doc = "show a query plan, its profiles and candidate sets" in
   Cmd.v (Cmd.info "plan" ~doc)
-    Term.(const run $ policy_arg $ query_arg $ explain_arg)
+    Term.(const run $ policy_arg $ query_arg $ explain_arg $ obs_args)
 
 (* --- optimize ------------------------------------------------------- *)
 
@@ -152,8 +196,9 @@ let optimize_cmd =
   let json_arg =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit a JSON planning report.")
   in
-  let run policy_path query json =
+  let run policy_path query json obs =
     guard @@ fun () ->
+    with_obs obs @@ fun () ->
     let env = load_policy policy_path in
     let plan = parse_query env query in
     let user =
@@ -172,7 +217,7 @@ let optimize_cmd =
   let doc = "authorization-aware planning: assignment, encryption, keys, \
              dispatch, cost" in
   Cmd.v (Cmd.info "optimize" ~doc)
-    Term.(const run $ policy_arg $ query_arg $ json_arg)
+    Term.(const run $ policy_arg $ query_arg $ json_arg $ obs_args)
 
 (* --- tpch ----------------------------------------------------------- *)
 
@@ -188,20 +233,22 @@ let tpch_cmd =
           Tpch.Scenarios.UAPenc
       & info [ "s"; "scenario" ] ~doc:"Authorization scenario.")
   in
-  let run n scenario =
+  let run n scenario obs =
     guard @@ fun () ->
+    with_obs obs @@ fun () ->
     let r = Tpch.Scenarios.optimize ~scenario (Tpch.Tpch_queries.query n) in
     print_string (Planner.Optimizer.report r);
     exit_ok
   in
   let doc = "plan a TPC-H query under an authorization scenario (Sec. 7)" in
-  Cmd.v (Cmd.info "tpch" ~doc) Term.(const run $ number $ scenario)
+  Cmd.v (Cmd.info "tpch" ~doc) Term.(const run $ number $ scenario $ obs_args)
 
 (* --- scenarios ------------------------------------------------------ *)
 
 let scenarios_cmd =
-  let run () =
+  let run obs =
     guard @@ fun () ->
+    with_obs obs @@ fun () ->
     Printf.printf "%-4s %10s %10s %10s\n" "q" "UA" "UAPenc" "UAPmix";
     let totals = Hashtbl.create 3 in
     List.iter
@@ -231,7 +278,7 @@ let scenarios_cmd =
     exit_ok
   in
   let doc = "normalized cost of all 22 TPC-H queries under UA/UAPenc/UAPmix" in
-  Cmd.v (Cmd.info "scenarios" ~doc) Term.(const run $ const ())
+  Cmd.v (Cmd.info "scenarios" ~doc) Term.(const run $ obs_args)
 
 (* --- run -------------------------------------------------------------- *)
 
@@ -267,8 +314,11 @@ let run_cmd =
   let trace_arg =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the dispatch/release trace.")
   in
-  let run policy_path query table_specs trace =
+  (* [--trace] here predates the span tracer and prints the dispatch /
+     release event log; span data is available through [--stats]. *)
+  let run policy_path query table_specs trace stats =
     guard @@ fun () ->
+    with_obs (stats, false) @@ fun () ->
     let env = load_policy policy_path in
     let plan = parse_query env query in
     let user =
@@ -317,7 +367,8 @@ let run_cmd =
   in
   let doc = "execute a query end-to-end through the distributed simulator" in
   Cmd.v (Cmd.info "run" ~doc ~man:exit_status_man)
-    Term.(const run $ policy_arg $ query_arg $ tables_arg $ trace_arg)
+    Term.(
+      const run $ policy_arg $ query_arg $ tables_arg $ trace_arg $ stats_arg)
 
 (* --- check ---------------------------------------------------------- *)
 
@@ -339,8 +390,9 @@ let check_cmd =
          & info [ "s"; "scenario" ]
              ~doc:"TPC-H authorization scenario (default: all three).")
   in
-  let run policy_path query tpch scenario json =
+  let run policy_path query tpch scenario json obs =
     guard @@ fun () ->
+    with_obs obs @@ fun () ->
     (* collect the diagnostics ourselves rather than letting the
        planner's own assertion gate turn them into an exception *)
     let was = !Planner.Optimizer.self_check in
@@ -440,7 +492,7 @@ let check_cmd =
           $ Arg.(value & opt (some string) None
                  & info [ "q"; "query" ]
                      ~doc:"SQL query to plan and verify.")
-          $ tpch_arg $ scenario_arg $ json_arg)
+          $ tpch_arg $ scenario_arg $ json_arg $ obs_args)
 
 (* --- example -------------------------------------------------------- *)
 

@@ -33,8 +33,9 @@ let execute ~policy ~pki ~keyring ~user ~tables ?(udfs = [])
      clusters and the requests about to be sealed. *)
   if self_check then begin
     let diags =
-      Verify.Verifier.run
-        { Verify.Verifier.policy; config; extended; clusters; requests }
+      Obs.with_span "distsim.verify" (fun () ->
+          Verify.Verifier.run
+            { Verify.Verifier.policy; config; extended; clusters; requests })
     in
     if Verify.Diag.has_errors diags then
       raise
@@ -44,6 +45,8 @@ let execute ~policy ~pki ~keyring ~user ~tables ?(udfs = [])
   end;
   (* 1. dispatch: the user seals a request per fragment; the executor
      opens and verifies it (the envelope discipline of Fig. 8). *)
+  Obs.incr ~by:(List.length requests) "distsim.requests";
+  Obs.with_span "distsim.dispatch" (fun () ->
   List.iter
     (fun (r : Authz.Dispatch.request) ->
       let payload =
@@ -71,12 +74,13 @@ let execute ~policy ~pki ~keyring ~user ~tables ?(udfs = [])
       emit
         (Request_opened
            { name = r.Authz.Dispatch.name; by = r.Authz.Dispatch.subject }))
-    requests;
+    requests);
   (* 2. key distribution check: each executor holds exactly the clusters
      whose enc/dec operations it performs. *)
   let executor n =
     Authz.Imap.find (Plan.id n) extended.Authz.Extend.assignment
   in
+  Obs.with_span "distsim.key_checks" (fun () ->
   Plan.iter
     (fun n ->
       match Plan.node n with
@@ -104,7 +108,7 @@ let execute ~policy ~pki ~keyring ~user ~tables ?(udfs = [])
                           (Attr.name a) (Plan.id n))))
             attrs
       | _ -> ())
-    extended.Authz.Extend.plan;
+    extended.Authz.Extend.plan);
   (* 3. evaluation with per-boundary release checks (each sender re-checks
      Def. 4.1 for the receiver before handing data over). *)
   let crypto = Engine.Enc_exec.make keyring clusters in
@@ -131,6 +135,7 @@ let execute ~policy ~pki ~keyring ~user ~tables ?(udfs = [])
               (Authz.Authorization.view policy s_to)
               profile
           in
+          Obs.incr "distsim.release_checks";
           emit
             (Release_check
                { by = s_from; for_ = s_to; node_id = Plan.id node; ok });
@@ -140,17 +145,21 @@ let execute ~policy ~pki ~keyring ~user ~tables ?(udfs = [])
                  (Printf.sprintf "%s refuses to release node %d to %s"
                     (Authz.Subject.name s_from) (Plan.id node)
                     (Authz.Subject.name s_to)));
+          let bytes = Engine.Table.byte_size table in
+          Obs.incr "distsim.transfers";
+          Obs.record "distsim.transfer_bytes" (float_of_int bytes);
           emit
             (Data_transfer
                { from_ = s_from;
                  to_ = s_to;
                  node_id = Plan.id node;
                  rows = Engine.Table.cardinality table;
-                 bytes = Engine.Table.byte_size table })
+                 bytes })
         end
   in
   let result =
-    Engine.Exec.run_with_hook ctx ~hook extended.Authz.Extend.plan
+    Obs.with_span "distsim.exec" (fun () ->
+        Engine.Exec.run_with_hook ctx ~hook extended.Authz.Extend.plan)
   in
   { result; trace = List.rev !trace }
 

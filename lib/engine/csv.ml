@@ -94,6 +94,14 @@ let parse ?(header = true) schema text =
                 | None -> err "unknown column %s" name)
               names
           in
+          let rec dup = function
+            | [] -> None
+            | a :: rest ->
+                if List.exists (Attr.equal a) rest then Some a else dup rest
+          in
+          (match dup order with
+          | Some a -> err "duplicate column %s in header" (Attr.name a)
+          | None -> ());
           let missing =
             List.filter (fun a -> not (List.memq a order)) cols
           in
@@ -115,7 +123,9 @@ let parse ?(header = true) schema text =
               let ty =
                 match Schema.type_of schema a with
                 | Some ty -> ty
-                | None -> assert false
+                | None ->
+                    err "column %s of %s has no declared type" (Attr.name a)
+                      schema.Schema.name
               in
               (a, parse_value ty f))
             order fields

@@ -14,13 +14,26 @@ type context = {
 
 let context ?(udfs = []) ?crypto tables = { tables; udfs; crypto }
 
+(* Largest magnitude below which every integer-valued float is exactly
+   one machine integer (2^53): under it, Int i and Float f that are
+   equal under Value.equal share the canonical "N" encoding. Above it,
+   Value.equal compares an Int through its float image, so the key does
+   too — ints that collapse onto the same float share a bucket, which is
+   sound because hash-path matches re-check the join predicate. *)
+let exact_int_float = 9007199254740992.0 (* 2^53 *)
+
+let float_key f =
+  if Float.is_integer f && Float.abs f < exact_int_float then
+    Printf.sprintf "N%d" (int_of_float f)
+  else Printf.sprintf "F%h" f
+
 let hash_key = function
   | Value.Enc c -> Printf.sprintf "E%s/%s/%s" c.Value.scheme c.Value.key_id c.Value.payload
-  | Value.Int i -> Printf.sprintf "N%d" i
-  | Value.Float f ->
-      if Float.is_integer f && Float.abs f < 1e15 then
-        Printf.sprintf "N%d" (int_of_float f)
-      else Printf.sprintf "F%h" f
+  | Value.Int i ->
+      if Float.abs (float_of_int i) < exact_int_float then
+        Printf.sprintf "N%d" i
+      else float_key (float_of_int i)
+  | Value.Float f -> float_key f
   | Value.Str s -> "S" ^ s
   | Value.Date d -> Printf.sprintf "D%d" d
   | Value.Bool b -> if b then "B1" else "B0"
@@ -84,9 +97,14 @@ let equi_pairs pred l r =
 
 let join ?crypto pred l r =
   let attrs = Table.attrs l @ Table.attrs r in
-  let pairs, residual = equi_pairs pred l r in
+  let pairs, _residual = equi_pairs pred l r in
   let combined_header = Table.create attrs [] in
-  let keep combined = Eval.predicate ?ctx:crypto combined_header combined residual in
+  (* Hash-path matches re-check the whole predicate (equi clauses
+     included), so the bucket key only has to be complete — any pair of
+     rows equal on the keys must share a bucket — never collision-free.
+     Rechecking keeps the hash path bit-identical to the nested loop
+     even where the key encoding collapses distinct values. *)
+  let keep combined = Eval.predicate ?ctx:crypto combined_header combined pred in
   let rows =
     match pairs with
     | [] ->
@@ -96,9 +114,7 @@ let join ?crypto pred l r =
             List.filter_map
               (fun rr ->
                 let combined = Array.append rl rr in
-                if Eval.predicate ?ctx:crypto combined_header combined pred
-                then Some combined
-                else None)
+                if keep combined then Some combined else None)
               (Table.rows r))
           (Table.rows l)
     | _ ->
@@ -110,13 +126,15 @@ let join ?crypto pred l r =
         let index = Hashtbl.create (Table.cardinality r) in
         List.iter
           (fun rr ->
-            let has_null = List.exists (fun i -> rr.(i) = Value.Null) rk in
+            let has_null =
+              List.exists (fun i -> Value.is_null rr.(i)) rk
+            in
             if not has_null then
               Hashtbl.add index (key rk rr) rr)
           (Table.rows r);
         List.concat_map
           (fun rl ->
-            if List.exists (fun i -> rl.(i) = Value.Null) lk then []
+            if List.exists (fun i -> Value.is_null rl.(i)) lk then []
             else
               Hashtbl.find_all index (key lk rl)
               |> List.filter_map (fun rr ->
@@ -136,7 +154,7 @@ let numeric v =
 let all_ints vs = List.for_all (function Value.Int _ -> true | _ -> false) vs
 
 let aggregate ?crypto (agg : Aggregate.t) values =
-  let non_null = List.filter (fun v -> v <> Value.Null) values in
+  let non_null = List.filter (fun v -> not (Value.is_null v)) values in
   let encrypted = List.exists (function Value.Enc _ -> true | _ -> false) non_null in
   match agg.Aggregate.func with
   | Aggregate.Count_star -> Value.Int (List.length values)
@@ -307,9 +325,15 @@ let crypt_column ctx ~encrypt attrs table =
           else Enc_exec.decrypt_value crypto v))
     attrs table
 
+let operator_tag plan =
+  match Plan.node plan with
+  | Plan.Base _ -> "base"
+  | _ -> Plan.operator_name plan
+
 let run_with_hook ctx ~hook plan =
   let rec go plan =
     let result =
+      Obs.with_span ("exec." ^ operator_tag plan) @@ fun () ->
       match Plan.node plan with
       | Plan.Base s -> base ctx s
       | Plan.Project (attrs, c) -> project (go c) attrs
@@ -325,6 +349,10 @@ let run_with_hook ctx ~hook plan =
       | Plan.Encrypt (attrs, c) -> crypt_column ctx ~encrypt:true attrs (go c)
       | Plan.Decrypt (attrs, c) -> crypt_column ctx ~encrypt:false attrs (go c)
     in
+    if Obs.enabled () then begin
+      Obs.incr "exec.operators";
+      Obs.incr ~by:(Table.cardinality result) "exec.rows_out"
+    end;
     hook plan result;
     result
   in

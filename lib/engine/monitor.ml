@@ -46,6 +46,8 @@ let check_consistency (profile : Authz.Profile.t) table =
 let run ?(enforce = true) ~policy ctx (ext : Authz.Extend.t) =
   let events = ref [] and violations = ref [] in
   let emit ~bad ev =
+    Obs.incr "monitor.checks";
+    if bad then Obs.incr "monitor.violations";
     events := ev :: !events;
     if bad then
       if enforce then raise (Violation ev) else violations := ev :: !violations
@@ -91,5 +93,8 @@ let run ?(enforce = true) ~policy ctx (ext : Authz.Extend.t) =
               { node_id = Plan.id node; kind = `Transfer s_to; detail }
         | _ -> ())
   in
-  let table = Exec.run_with_hook ctx ~hook ext.Authz.Extend.plan in
+  let table =
+    Obs.with_span "engine.monitor" (fun () ->
+        Exec.run_with_hook ctx ~hook ext.Authz.Extend.plan)
+  in
   (table, { events = List.rev !events; violations = List.rev !violations })

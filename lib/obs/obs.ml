@@ -1,0 +1,141 @@
+type span = {
+  name : string;
+  mutable calls : int;
+  mutable elapsed : float; (* seconds, summed over occurrences *)
+  mutable children : span list; (* reverse insertion order *)
+}
+
+let fresh_root () = { name = "root"; calls = 0; elapsed = 0.0; children = [] }
+
+let enabled_flag = ref false
+let root = ref (fresh_root ())
+let stack = ref [] (* innermost open span first; empty = at root *)
+let counter_tbl : (string, int) Hashtbl.t = Hashtbl.create 32
+let metric_tbl : (string, float * int) Hashtbl.t = Hashtbl.create 32
+
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+let reset () =
+  root := fresh_root ();
+  stack := [];
+  Hashtbl.reset counter_tbl;
+  Hashtbl.reset metric_tbl
+
+let now = Unix.gettimeofday
+
+let find_or_add_child parent name =
+  match List.find_opt (fun c -> String.equal c.name name) parent.children with
+  | Some c -> c
+  | None ->
+      let c = { name; calls = 0; elapsed = 0.0; children = [] } in
+      parent.children <- c :: parent.children;
+      c
+
+let with_span name f =
+  if not !enabled_flag then f ()
+  else begin
+    let parent = match !stack with s :: _ -> s | [] -> !root in
+    let sp = find_or_add_child parent name in
+    sp.calls <- sp.calls + 1;
+    stack := sp :: !stack;
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        sp.elapsed <- sp.elapsed +. (now () -. t0);
+        (* pop our frame; be robust to a corrupted stack *)
+        match !stack with s :: rest when s == sp -> stack := rest | _ -> ())
+      f
+  end
+
+let incr ?(by = 1) name =
+  if !enabled_flag then
+    Hashtbl.replace counter_tbl name
+      (by + Option.value ~default:0 (Hashtbl.find_opt counter_tbl name))
+
+let record name v =
+  if !enabled_flag then
+    let total, count =
+      Option.value ~default:(0.0, 0) (Hashtbl.find_opt metric_tbl name)
+    in
+    Hashtbl.replace metric_tbl name (total +. v, count + 1)
+
+let time name f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect ~finally:(fun () -> record name (now () -. t0)) f
+  end
+
+let counter name = Option.value ~default:0 (Hashtbl.find_opt counter_tbl name)
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let render_text ?(spans = true) ?(counters = true) () =
+  let buf = Buffer.create 512 in
+  if spans then begin
+    Buffer.add_string buf "--- spans ---\n";
+    if !root.children = [] then Buffer.add_string buf "  (none)\n"
+    else
+      let rec go depth parent_elapsed sp =
+        let share =
+          if parent_elapsed > 0.0 then
+            Printf.sprintf " %5.1f%%" (100.0 *. sp.elapsed /. parent_elapsed)
+          else ""
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s%-*s %9.3f ms  x%-6d%s\n"
+             (String.make (2 * depth) ' ')
+             (max 1 (32 - (2 * depth)))
+             sp.name (1000.0 *. sp.elapsed) sp.calls share);
+        List.iter (go (depth + 1) sp.elapsed) (List.rev sp.children)
+      in
+      List.iter (go 0 0.0) (List.rev !root.children)
+  end;
+  if counters then begin
+    if sorted_bindings counter_tbl <> [] then begin
+      Buffer.add_string buf "--- counters ---\n";
+      List.iter
+        (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-40s %d\n" k v))
+        (sorted_bindings counter_tbl)
+    end;
+    if sorted_bindings metric_tbl <> [] then begin
+      Buffer.add_string buf "--- metrics ---\n";
+      List.iter
+        (fun (k, (total, count)) ->
+          Buffer.add_string buf
+            (Printf.sprintf "  %-40s %g (n=%d)\n" k total count))
+        (sorted_bindings metric_tbl)
+    end
+  end;
+  Buffer.contents buf
+
+let render_json () =
+  let open Relalg in
+  let rec span_json sp =
+    Json.Obj
+      ([ ("name", Json.String sp.name);
+         ("calls", Json.Int sp.calls);
+         ("total_ms", Json.Float (1000.0 *. sp.elapsed)) ]
+      @
+      match sp.children with
+      | [] -> []
+      | cs -> [ ("children", Json.List (List.rev_map span_json cs)) ])
+  in
+  Json.Obj
+    [ ("spans", Json.List (List.rev_map span_json !root.children));
+      ( "counters",
+        Json.Obj
+          (List.map (fun (k, v) -> (k, Json.Int v)) (sorted_bindings counter_tbl))
+      );
+      ( "metrics",
+        Json.Obj
+          (List.map
+             (fun (k, (total, count)) ->
+               ( k,
+                 Json.Obj
+                   [ ("total", Json.Float total); ("count", Json.Int count) ]
+               ))
+             (sorted_bindings metric_tbl)) ) ]

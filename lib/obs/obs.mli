@@ -1,0 +1,50 @@
+(** Lightweight observability: tracing spans, counters and timers.
+
+    The planner, engine, verifier and distributed simulator report where
+    time goes through this module. Everything is a no-op while disabled
+    (the default), so instrumented hot paths pay only a single [bool]
+    load; [mpqcli --stats] and the bench harness enable it.
+
+    Spans form a tree following dynamic nesting. Sibling spans with the
+    same name are merged — a span aggregates every occurrence under its
+    parent (call count + total wall-clock), so repeated phases (DP
+    rounds, sweep evaluations, per-operator execution) stay bounded in
+    the report regardless of how often they run. *)
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Enabling starts from a clean slate iff the state was previously
+    empty; call {!reset} for an explicit wipe. *)
+
+val reset : unit -> unit
+(** Drop all recorded spans, counters and timers (the enabled flag is
+    kept). *)
+
+val with_span : string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f] inside a span named [name], nested under
+    the currently open span. Wall-clock (Unix.gettimeofday) is
+    accumulated even when [f] raises. When disabled, [f] is called
+    directly. *)
+
+val incr : ?by:int -> string -> unit
+(** Bump a named counter (default [by] 1). *)
+
+val record : string -> float -> unit
+(** Accumulate a named float metric (sum + sample count), e.g. bytes
+    moved or seconds spent in a phase not shaped like a span. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f] and {!record}s its duration in seconds. *)
+
+val counter : string -> int
+(** Current value of a counter (0 when absent) — mostly for tests. *)
+
+val render_text : ?spans:bool -> ?counters:bool -> unit -> string
+(** Human-readable report: span tree (total ms, call counts, share of
+    parent) followed by counters and metrics, both sorted by name.
+    Either section can be suppressed. *)
+
+val render_json : unit -> Relalg.Json.t
+(** The same report as a JSON object:
+    [{"spans": [{"name", "calls", "total_ms", "children": [...]}, ...],
+      "counters": {...}, "metrics": {"name": {"total", "count"}, ...}}] *)

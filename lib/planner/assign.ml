@@ -14,13 +14,22 @@ type entry = {
 let width_of (s : Estimate.stats) a =
   match Attr.Map.find_opt a s.Estimate.widths with Some w -> w | None -> 8.0
 
-let solve ~candidates ~policy ~config ~pricing ~stats ~scheme_of plan =
-  let view_cache = Hashtbl.create 8 in
+let solve ?view_cache ~candidates ~policy ~config ~pricing ~stats ~scheme_of
+    plan =
+  (* Subject views depend only on the policy; a caller planning several
+     DP rounds over the same policy shares one cache across them instead
+     of re-deriving every view per round. *)
+  let view_cache =
+    match view_cache with Some tbl -> tbl | None -> Hashtbl.create 8
+  in
   let view s =
     let k = Authz.Subject.name s in
     match Hashtbl.find_opt view_cache k with
-    | Some v -> v
+    | Some v ->
+        Obs.incr "planner.dp.view_cache_hits";
+        v
     | None ->
+        Obs.incr "planner.dp.view_cache_misses";
         let v = Authz.Authorization.view policy s in
         Hashtbl.add view_cache k v;
         v
@@ -47,6 +56,7 @@ let solve ~candidates ~policy ~config ~pricing ~stats ~scheme_of plan =
   in
   (* returns the per-candidate table for node n *)
   let rec options n : (Authz.Subject.t * entry) list =
+    Obs.incr "planner.dp.nodes";
     let subjects =
       if Authz.Candidates.is_source_side n then
         [ Authz.Candidates.owner_of_source n ]
@@ -212,15 +222,23 @@ let best_entry table =
           if e.cost < be.cost then (s, e) else (bs, be))
         first rest
 
-let optimize ~candidates ~policy ~config ~pricing ~stats ~scheme_of plan =
-  let table = solve ~candidates ~policy ~config ~pricing ~stats ~scheme_of plan in
+let optimize ?view_cache ~candidates ~policy ~config ~pricing ~stats ~scheme_of
+    plan =
+  let table =
+    solve ?view_cache ~candidates ~policy ~config ~pricing ~stats ~scheme_of
+      plan
+  in
   let _, e = best_entry table in
   List.fold_left
     (fun acc (id, s) -> Authz.Imap.add id s acc)
     Authz.Imap.empty e.choice
 
-let dp_cost ~candidates ~policy ~config ~pricing ~stats ~scheme_of plan =
-  let table = solve ~candidates ~policy ~config ~pricing ~stats ~scheme_of plan in
+let dp_cost ?view_cache ~candidates ~policy ~config ~pricing ~stats ~scheme_of
+    plan =
+  let table =
+    solve ?view_cache ~candidates ~policy ~config ~pricing ~stats ~scheme_of
+      plan
+  in
   (snd (best_entry table)).cost
 
 let enumerate candidates plan =

@@ -17,6 +17,7 @@
 open Relalg
 
 val optimize :
+  ?view_cache:(string, Authz.Authorization.view) Hashtbl.t ->
   candidates:Authz.Candidates.t ->
   policy:Authz.Authorization.t ->
   config:Authz.Opreq.config ->
@@ -26,9 +27,15 @@ val optimize :
   Plan.t ->
   Authz.Subject.t Authz.Imap.t
 (** Minimum-cost assignment drawn from the candidate sets. Raises
-    [Invalid_argument] when some assignable node has no candidate. *)
+    [Invalid_argument] when some assignable node has no candidate.
+
+    [view_cache] (keyed by subject name) shares the derivation of
+    subject views across multiple DP rounds over the same policy; pass
+    the same table to each call. Views are policy-dependent only, so the
+    cache must not be reused across policies. *)
 
 val dp_cost :
+  ?view_cache:(string, Authz.Authorization.view) Hashtbl.t ->
   candidates:Authz.Candidates.t ->
   policy:Authz.Authorization.t ->
   config:Authz.Opreq.config ->

@@ -25,16 +25,30 @@ let assert_verified ~policy ~config extended clusters requests =
   let input =
     { Verify.Verifier.policy; config; extended; clusters; requests }
   in
-  let diags = Verify.Verifier.run input in
+  let diags = Obs.with_span "planner.self_check" (fun () -> Verify.Verifier.run input) in
   if Verify.Diag.has_errors diags then
     raise
       (Verification_failed
          ("planner self-check failed:\n"
          ^ Verify.Diag.render (Verify.Diag.errors diags)))
 
+(* Canonical text key for an assignment: Imap iterates in node-id order,
+   so equal assignments always fingerprint identically. *)
+let fingerprint assignment =
+  let buf = Buffer.create 64 in
+  Authz.Imap.iter
+    (fun id s ->
+      Buffer.add_string buf (string_of_int id);
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (Authz.Subject.name s);
+      Buffer.add_char buf ';')
+    assignment;
+  Buffer.contents buf
+
 let plan ~policy ~subjects ?(config = Authz.Opreq.default)
     ?(pricing = Pricing.make ()) ?(network = Network.make ())
-    ?(base = fun _ -> None) ?deliver_to ?max_latency query =
+    ?(base = fun _ -> None) ?deliver_to ?max_latency ?(memoize = true) query =
+  Obs.with_span "planner.plan" @@ fun () ->
   let config = Authz.Opreq.resolve_conflicts config query in
   (* Sec. 6: the querying user must be authorized for the query's inputs
      (the projected base relations). *)
@@ -55,7 +69,10 @@ let plan ~policy ~subjects ?(config = Authz.Opreq.default)
           List.iter check_inputs (Plan.children n)
       in
       check_inputs query);
-  let candidates = Authz.Candidates.compute ~policy ~subjects ~config query in
+  let candidates =
+    Obs.with_span "planner.candidates" (fun () ->
+        Authz.Candidates.compute ~policy ~subjects ~config query)
+  in
   Authz.Imap.iter
     (fun id set ->
       if Authz.Subject.Set.is_empty set then
@@ -70,6 +87,8 @@ let plan ~policy ~subjects ?(config = Authz.Opreq.default)
                 "operation %s admits no authorized executor under the policy"
                 name)))
     candidates;
+  (* subject views are policy-derived and shared across the DP rounds *)
+  let view_cache = Hashtbl.create 8 in
   (* One planning round: DP under a scheme hypothesis, extend, then read
      the actual schemes and exact cost off the extended plan. The first
      round uses the conservative (worst-case) schemes; the second re-runs
@@ -78,17 +97,24 @@ let plan ~policy ~subjects ?(config = Authz.Opreq.default)
      drops from Paillier to cheap randomized encryption, unblocking
      delegation. The cheaper of the two rounds wins. *)
   let round cands scheme_of =
-    let stats = Estimate.annotate ~scheme_of ~base query in
+    Obs.with_span "planner.round" @@ fun () ->
+    let stats =
+      Obs.with_span "planner.estimate" (fun () ->
+          Estimate.annotate ~scheme_of ~base query)
+    in
     let assignment =
-      Assign.optimize ~candidates:cands ~policy ~config ~pricing ~stats
-        ~scheme_of query
+      Obs.with_span "planner.dp" (fun () ->
+          Assign.optimize ~view_cache ~candidates:cands ~policy ~config
+            ~pricing ~stats ~scheme_of query)
     in
     let extended =
-      Authz.Extend.extend ~policy ~config ~assignment ?deliver_to query
+      Obs.with_span "planner.extend" (fun () ->
+          Authz.Extend.extend ~policy ~config ~assignment ?deliver_to query)
     in
     let actual = Authz.Plan_keys.actual_schemes ~original:query extended in
     let cost =
-      Cost.of_extended ~pricing ~network ~base ~scheme_of:actual extended
+      Obs.with_span "planner.cost" (fun () ->
+          Cost.of_extended ~pricing ~network ~base ~scheme_of:actual extended)
     in
     (assignment, extended, actual, cost)
   in
@@ -133,7 +159,8 @@ let plan ~policy ~subjects ?(config = Authz.Opreq.default)
      so polish the winner by re-assigning one node at a time and
      re-costing the real extension. Two sweeps close nearly all of the
      residual gap at a few dozen extensions' cost. *)
-  let evaluate assignment =
+  let compute assignment =
+    Obs.with_span "planner.evaluate" @@ fun () ->
     let extended =
       Authz.Extend.extend ~policy ~config ~assignment ?deliver_to query
     in
@@ -143,7 +170,42 @@ let plan ~policy ~subjects ?(config = Authz.Opreq.default)
     in
     (assignment, extended, actual, cost)
   in
+  (* Memo over assignment fingerprints: the two sweeps (and the round
+     seeds) revisit many identical assignments — the extension, scheme
+     derivation and exact costing are deterministic in the assignment, so
+     the first evaluation's outcome (value or planner rejection) is
+     replayed. *)
+  let memo = Hashtbl.create 64 in
+  let remember assignment outcome =
+    if memoize then Hashtbl.replace memo (fingerprint assignment) outcome
+  in
+  List.iter (fun ((a, _, _, _) as r) -> remember a (Ok r)) rounds;
+  let evaluate assignment =
+    Obs.incr "planner.evaluate.calls";
+    if not memoize then compute assignment
+    else
+      let key = fingerprint assignment in
+      match Hashtbl.find_opt memo key with
+      | Some (Ok r) ->
+          Obs.incr "planner.evaluate.memo_hits";
+          r
+      | Some (Error e) ->
+          Obs.incr "planner.evaluate.memo_hits";
+          raise e
+      | None -> (
+          match compute assignment with
+          | r ->
+              Hashtbl.add memo key (Ok r);
+              r
+          | exception ((No_candidate _ | Invalid_argument _) as e) ->
+              Hashtbl.add memo key (Error e);
+              raise e)
+  in
+  (* Only planner rejections (no candidate, or an extension refusing the
+     assignment with Invalid_argument) discard a move; genuine failures —
+     Stack_overflow, Out_of_memory, verifier bugs — must propagate. *)
   let sweep current =
+    Obs.with_span "planner.sweep" @@ fun () ->
     Authz.Imap.fold
       (fun id cands best ->
         Authz.Subject.Set.fold
@@ -152,16 +214,25 @@ let plan ~policy ~subjects ?(config = Authz.Opreq.default)
             match Authz.Imap.find_opt id assignment with
             | Some cur when Authz.Subject.equal cur s -> best
             | _ -> (
+                Obs.incr "planner.sweep.moves";
                 let candidate = Authz.Imap.add id s assignment in
                 match evaluate candidate with
                 | result -> better best result
-                | exception _ -> best))
+                | exception (No_candidate _ | Invalid_argument _) ->
+                    Obs.incr "planner.sweep.discarded";
+                    best))
           cands best)
       candidates current
   in
   let assignment, extended, scheme_of, cost = sweep (sweep seed) in
-  let clusters = Authz.Plan_keys.compute ~config ~original:query extended in
-  let requests = Authz.Dispatch.requests extended clusters in
+  let clusters =
+    Obs.with_span "planner.keys" (fun () ->
+        Authz.Plan_keys.compute ~config ~original:query extended)
+  in
+  let requests =
+    Obs.with_span "planner.dispatch" (fun () ->
+        Authz.Dispatch.requests extended clusters)
+  in
   if !self_check then assert_verified ~policy ~config extended clusters requests;
   { config; candidates; assignment; extended; clusters; requests; cost;
     scheme_of }

@@ -49,12 +49,20 @@ val plan :
   ?base:Estimate.base_stats ->
   ?deliver_to:Authz.Subject.t ->
   ?max_latency:float ->
+  ?memoize:bool ->
   Plan.t ->
   result
 (** [max_latency] (seconds) is the paper's performance threshold: among
     the explored assignments, the cheapest whose critical-path latency
     stays under the bound wins; when none qualifies, the lowest-latency
-    one is returned (cost is secondary at that point). *)
+    one is returned (cost is secondary at that point).
+
+    [memoize] (default [true]) caches the exact re-costing of the local
+    search by assignment fingerprint: the two polish sweeps (and the DP
+    round seeds) revisit many identical assignments, whose extension and
+    costing are deterministic in the assignment. Planning output is
+    identical either way — [false] exists for benchmarking the
+    unmemoized baseline (see [bench/planner_bench.ml]). *)
 
 val report : result -> string
 (** Human-readable planning report: annotated plan, keys, requests,

@@ -52,6 +52,7 @@ let compare a b =
       if rank a <> rank b then raise (Incomparable (a, b))
       else raise (Incomparable (a, b))
 
+let is_null = function Null -> true | _ -> false
 let is_encrypted = function Enc _ -> true | _ -> false
 
 let to_float = function

@@ -33,6 +33,11 @@ val compare : t -> t -> int
 
 exception Incomparable of t * t
 
+val is_null : t -> bool
+(** [is_null v] iff [v] is [Null] — use instead of polymorphic equality
+    against [Null], which would silently pick up structural semantics for
+    the other constructors. *)
+
 val is_encrypted : t -> bool
 
 val to_float : t -> float option

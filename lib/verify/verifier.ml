@@ -17,11 +17,25 @@ let make_input ~policy ~config ~original extended =
   let requests = Dispatch.requests extended clusters in
   { policy; config; extended; clusters; requests }
 
+let check_name = function
+  | Profiles -> "profiles"
+  | Assignees -> "assignees"
+  | Minimality -> "minimality"
+  | Keys -> "keys"
+  | Schemes -> "schemes"
+  | Dispatch -> "dispatch"
+
 let run ?(checks = all_checks) input =
+  Obs.with_span "verify.run" @@ fun () ->
   let { policy; config; extended; clusters; requests } = input in
   let paths = Diag.path_table extended.Extend.plan in
-  let derived, derive_diags = Derive.lenient ~paths extended.Extend.plan in
-  let one = function
+  let derived, derive_diags =
+    Obs.with_span "verify.derive" (fun () ->
+        Derive.lenient ~paths extended.Extend.plan)
+  in
+  let one check =
+    Obs.with_span ("verify." ^ check_name check) @@ fun () ->
+    match check with
     | Profiles ->
         derive_diags @ Check_profiles.check ~extended ~derived ~paths
     | Assignees -> Check_authz.check ~policy ~extended ~derived ~paths
@@ -31,7 +45,9 @@ let run ?(checks = all_checks) input =
         Check_keys.schemes ~config ~extended ~clusters ~derived ~paths
     | Dispatch -> Check_dispatch.check ~extended ~clusters ~requests ~paths
   in
-  Diag.sort (List.concat_map one checks)
+  let diags = Diag.sort (List.concat_map one checks) in
+  Obs.incr ~by:(List.length diags) "verify.diagnostics";
+  diags
 
 let ok diags = not (Diag.has_errors diags)
 let report = Diag.render

@@ -60,7 +60,9 @@ let test_errors () =
   in
   expect_fail "x\nnot_an_int\n";
   expect_fail "wrong_col\n1\n";
-  expect_fail "x\n\"unterminated\n"
+  expect_fail "x\n\"unterminated\n";
+  (* a duplicated header column used to be accepted silently *)
+  expect_fail "x,x\n1,2\n"
 
 let test_export_then_import () =
   let small =

@@ -129,8 +129,60 @@ let prop_monitor_clean =
       in
       report.Monitor.violations = [])
 
+(* Regression: numerically equal Int/Float join keys must land in the
+   same hash bucket. The old key encoding sent [Int i] to ["N<i>"]
+   unconditionally but normalized integer-valued floats only below 1e15,
+   so [Int 1_000_000_000_000_000] and [Float 1e15] — equal under
+   [Value.compare], hence matched by the nested-loop path — hashed to
+   different buckets and the pair silently vanished from hash joins. *)
+let test_mixed_numeric_hash_join () =
+  let l =
+    Table.create
+      [ Attr.make "a"; Attr.make "tag" ]
+      [ [| Value.Int 1; Value.Str "small-int" |];
+        [| Value.Int 1_000_000_000_000_000; Value.Str "big-int" |];
+        [| Value.Float 2.5; Value.Str "frac" |];
+        [| Value.Int 7; Value.Str "lonely" |] ]
+  in
+  let r =
+    Table.create
+      [ Attr.make "c" ]
+      [ [| Value.Float 1.0 |]; [| Value.Float 1e15 |]; [| Value.Float 2.5 |];
+        [| Value.Int 5 |] ]
+  in
+  let la =
+    Plan.base
+      (Schema.make ~name:"L" ~owner:"H"
+         [ ("a", Schema.Tfloat); ("tag", Schema.Tstring) ])
+  in
+  let ra =
+    Plan.base (Schema.make ~name:"R" ~owner:"H" [ ("c", Schema.Tfloat) ])
+  in
+  let a = Attr.make "a" and c = Attr.make "c" in
+  let hash_plan =
+    Plan.join (Predicate.conj [ Predicate.Cmp_attr (a, Predicate.Eq, c) ]) la ra
+  in
+  (* same predicate as [a <= c and a >= c]: no equi pair to extract, so
+     the executor takes the nested-loop path — the semantic reference *)
+  let nested_plan =
+    Plan.join
+      (Predicate.conj
+         [ Predicate.Cmp_attr (a, Predicate.Le, c);
+           Predicate.Cmp_attr (a, Predicate.Ge, c) ])
+      la ra
+  in
+  let ctx = Exec.context [ ("L", l); ("R", r) ] in
+  let hashed = Exec.run ctx hash_plan in
+  let nested = Exec.run ctx nested_plan in
+  Alcotest.(check int) "three mixed-type matches" 3 (Table.cardinality hashed);
+  Alcotest.(check bool) "hash path = nested-loop path" true
+    (Table.equal_bag hashed nested)
+
 let () =
   Alcotest.run "exec-equivalence"
     [ ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_encrypted_equals_plain; prop_monitor_clean ] ) ]
+          [ prop_encrypted_equals_plain; prop_monitor_clean ] );
+      ( "regressions",
+        [ ("mixed Int/Float hash join", `Quick, test_mixed_numeric_hash_join) ]
+      ) ]

@@ -1,0 +1,58 @@
+(* The evaluate memo and the per-round view cache are pure speed-ups:
+   planning with [memoize:true] (the default) must return exactly the
+   plan that [memoize:false] computes from scratch — same total cost,
+   same operation assignment, same key clusters — on every TPC-H query
+   under every authorization scenario.
+
+   Node ids come from a global counter, so two plannings of the same
+   query never share ids; assignments are compared by id rank (ids are
+   allocated in construction order, which is deterministic) and clusters
+   by their canonical rendering (cluster ids are attribute-based). *)
+
+open Authz
+
+let assignment_canonical (r : Planner.Optimizer.result) =
+  List.map
+    (fun (_, s) -> Subject.name s)
+    (Imap.bindings r.Planner.Optimizer.extended.Extend.assignment)
+
+let clusters_canonical (r : Planner.Optimizer.result) =
+  List.sort String.compare
+    (List.map
+       (Format.asprintf "%a" Plan_keys.pp_cluster)
+       r.Planner.Optimizer.clusters)
+
+let check_config q scenario =
+  let label = Printf.sprintf "q%d %s" q (Tpch.Scenarios.name scenario) in
+  let run memoize =
+    Tpch.Scenarios.optimize ~memoize ~scenario (Tpch.Tpch_queries.query q)
+  in
+  let plain = run false in
+  let memo = run true in
+  Alcotest.(check (float 0.0))
+    (label ^ ": total cost")
+    (Planner.Cost.total plain.Planner.Optimizer.cost)
+    (Planner.Cost.total memo.Planner.Optimizer.cost);
+  Alcotest.(check (list string))
+    (label ^ ": assignment")
+    (assignment_canonical plain) (assignment_canonical memo);
+  Alcotest.(check (list string))
+    (label ^ ": clusters")
+    (clusters_canonical plain) (clusters_canonical memo)
+
+let test_all_configs () =
+  (* the verifier pass is identical on both sides and dominates the
+     runtime of this exhaustive sweep; it has its own tests *)
+  let was = !Planner.Optimizer.self_check in
+  Planner.Optimizer.self_check := false;
+  Fun.protect ~finally:(fun () -> Planner.Optimizer.self_check := was)
+  @@ fun () ->
+  List.iter
+    (fun (q, _, _) -> List.iter (check_config q) Tpch.Scenarios.all)
+    Tpch.Tpch_queries.all
+
+let () =
+  Alcotest.run "planner-memo"
+    [ ( "equivalence",
+        [ ("memoized = unmemoized on TPC-H 22x3", `Quick, test_all_configs) ]
+      ) ]
