@@ -13,10 +13,12 @@ open Cmdliner
 open Relalg
 
 (* Exit-code discipline (see EXIT STATUS in --help): 0 success, 1 usage,
-   parse or I/O errors, 2 authorization or verification failures. *)
+   parse or I/O errors, 2 authorization or verification failures,
+   3 degraded (faults defeated every authorized alternative). *)
 let exit_ok = 0
 let exit_input_error = 1
 let exit_verification = 2
+let exit_degraded = 3
 
 let guard f =
   try f () with
@@ -32,6 +34,9 @@ let guard f =
   | Engine.Csv.Csv_error msg ->
       Printf.eprintf "mpqcli: CSV error: %s\n" msg;
       exit_input_error
+  | Distsim.Faults.Bad_spec msg ->
+      Printf.eprintf "mpqcli: bad fault spec: %s\n" msg;
+      exit_input_error
   | Sys_error msg | Failure msg | Invalid_argument msg ->
       Printf.eprintf "mpqcli: %s\n" msg;
       exit_input_error
@@ -43,13 +48,19 @@ let guard f =
   | Distsim.Runtime.Distributed_violation msg ->
       Printf.eprintf "mpqcli: %s\n" msg;
       exit_verification
+  | Distsim.Pki.Bad_envelope msg ->
+      Printf.eprintf "mpqcli: envelope rejected: %s\n" msg;
+      exit_verification
 
 let exit_status_man =
   [ `S "EXIT STATUS";
     `P "$(b,0) on success.";
     `P "$(b,1) on usage, policy/SQL parse, or I/O errors.";
-    `P "$(b,2) when a query is rejected by the authorization model or \
-        the static verifier reports an Error-severity diagnostic." ]
+    `P "$(b,2) when a query is rejected by the authorization model, the \
+        static verifier reports an Error-severity diagnostic, or an \
+        envelope fails authentication.";
+    `P "$(b,3) when injected faults leave no authorized alternative and \
+        the run ends degraded (see $(b,--faults))." ]
 
 (* --- observability ---------------------------------------------------- *)
 
@@ -305,54 +316,107 @@ let demo_tables env =
               [| s "carol"; n 80 |]; [| s "dave"; n 150 |] ] ) ]
   | _ -> []
 
+let tables_arg =
+  let doc = "Load a base relation from CSV: $(i,REL)=$(i,FILE). Repeatable.                Without any, built-in demo rows for the example policy are                used." in
+  Arg.(value & opt_all (pair ~sep:'=' string file) []
+       & info [ "t"; "table" ] ~doc)
+
+let load_tables env table_specs =
+  if table_specs = [] then demo_tables env
+  else
+    List.map
+      (fun (rel, path) ->
+        match
+          List.find_opt
+            (fun s -> s.Schema.name = rel)
+            env.Authz.Policy_dsl.schemas
+        with
+        | Some schema -> (rel, Engine.Csv.load schema path)
+        | None -> failwith ("unknown relation " ^ rel))
+      table_specs
+
+let find_user env =
+  match
+    List.find_opt
+      (fun s -> s.Authz.Subject.role = Authz.Subject.User)
+      env.Authz.Policy_dsl.subjects
+  with
+  | Some u -> u
+  | None -> failwith "the policy declares no user"
+
+(* --- fault-injection flags (run, chaos) ------------------------------- *)
+
+let faults_arg =
+  Arg.(value & opt (some string) None
+       & info [ "faults" ] ~docv:"SPEC"
+           ~doc:
+             "Inject deterministic faults while executing. $(docv) is a \
+              comma-separated list of $(i,SUBJECT):$(i,FAULT) entries with \
+              $(i,FAULT) one of $(b,crash@K) (down from interaction step K \
+              on), $(b,transient=P) (drop a message with probability P), \
+              $(b,corrupt=P) (corrupt a payload in transit), $(b,slow=MS) \
+              or $(b,slow=MS@P) (add MS ms simulated latency). Example: \
+              $(b,X:crash@4,Y:transient=0.2).")
+
+let fault_seed_arg =
+  Arg.(value & opt int 1
+       & info [ "fault-seed" ] ~docv:"N"
+           ~doc:
+             "Seed of the fault plan's PRNG; the same seed and spec \
+              reproduce the exact same faults, retries and trace.")
+
+let max_retries_arg =
+  Arg.(value & opt int Distsim.Runtime.default_retry.Distsim.Runtime.max_retries
+       & info [ "max-retries" ] ~docv:"N"
+           ~doc:
+             "Retries per network interaction before the peer is declared \
+              dead and the query fails over to a re-planned assignment.")
+
+let timeout_ms_arg =
+  Arg.(value & opt int Distsim.Runtime.default_retry.Distsim.Runtime.timeout_ms
+       & info [ "timeout-ms" ] ~docv:"MS"
+           ~doc:"Per-attempt timeout on the simulated clock.")
+
+let retry_policy max_retries timeout_ms =
+  { Distsim.Runtime.default_retry with
+    Distsim.Runtime.max_retries;
+    Distsim.Runtime.timeout_ms }
+
 let run_cmd =
-  let tables_arg =
-    let doc = "Load a base relation from CSV: $(i,REL)=$(i,FILE). Repeatable.                Without any, built-in demo rows for the example policy are                used." in
-    Arg.(value & opt_all (pair ~sep:'=' string file) []
-         & info [ "t"; "table" ] ~doc)
-  in
   let trace_arg =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the dispatch/release trace.")
   in
   (* [--trace] here predates the span tracer and prints the dispatch /
      release event log; span data is available through [--stats]. *)
-  let run policy_path query table_specs trace stats =
+  let run policy_path query table_specs trace stats faults_spec fault_seed
+      max_retries timeout_ms =
     guard @@ fun () ->
     with_obs (stats, false) @@ fun () ->
     let env = load_policy policy_path in
     let plan = parse_query env query in
-    let user =
-      match
-        List.find_opt
-          (fun s -> s.Authz.Subject.role = Authz.Subject.User)
-          env.Authz.Policy_dsl.subjects
-      with
-      | Some u -> u
-      | None -> failwith "the policy declares no user"
-    in
-    let tables =
-      if table_specs = [] then demo_tables env
-      else
-        List.map
-          (fun (rel, path) ->
-            match
-              List.find_opt
-                (fun s -> s.Schema.name = rel)
-                env.Authz.Policy_dsl.schemas
-            with
-            | Some schema -> (rel, Engine.Csv.load schema path)
-            | None -> failwith ("unknown relation " ^ rel))
-          table_specs
-    in
+    let user = find_user env in
+    let tables = load_tables env table_specs in
     let r =
       Planner.Optimizer.plan ~policy:env.Authz.Policy_dsl.policy
         ~subjects:env.Authz.Policy_dsl.subjects ~deliver_to:user plan
+    in
+    let faults =
+      Option.map
+        (fun spec ->
+          Distsim.Faults.make ~seed:fault_seed (Distsim.Faults.parse spec))
+        faults_spec
+    in
+    let replan =
+      Distsim.Runtime.optimizer_replanner ~policy:env.Authz.Policy_dsl.policy
+        ~subjects:env.Authz.Policy_dsl.subjects
+        ~config:r.Planner.Optimizer.config ~deliver_to:user plan
     in
     let outcome =
       Distsim.Runtime.execute ~policy:env.Authz.Policy_dsl.policy
         ~pki:(Distsim.Pki.create ())
         ~keyring:(Mpq_crypto.Keyring.create ())
-        ~user ~tables ~config:r.Planner.Optimizer.config
+        ~user ~tables ~config:r.Planner.Optimizer.config ?faults
+        ~retry:(retry_policy max_retries timeout_ms) ~replan
         ~extended:r.Planner.Optimizer.extended
         ~clusters:r.Planner.Optimizer.clusters ()
     in
@@ -362,13 +426,173 @@ let run_cmd =
         (fun e -> Format.printf "  %a@." Distsim.Runtime.pp_event e)
         outcome.Distsim.Runtime.trace
     end;
-    print_string (Engine.Csv.to_string outcome.Distsim.Runtime.result);
-    exit_ok
+    match outcome.Distsim.Runtime.status with
+    | Distsim.Runtime.Completed table ->
+        print_string (Engine.Csv.to_string table);
+        exit_ok
+    | Distsim.Runtime.Degraded d ->
+        Printf.eprintf "mpqcli: degraded: %s (dead: %s; %d ms simulated)\n"
+          d.Distsim.Runtime.reason
+          (String.concat ", "
+             (List.map Authz.Subject.name d.Distsim.Runtime.dead))
+          outcome.Distsim.Runtime.clock_ms;
+        exit_degraded
   in
   let doc = "execute a query end-to-end through the distributed simulator" in
   Cmd.v (Cmd.info "run" ~doc ~man:exit_status_man)
     Term.(
-      const run $ policy_arg $ query_arg $ tables_arg $ trace_arg $ stats_arg)
+      const run $ policy_arg $ query_arg $ tables_arg $ trace_arg $ stats_arg
+      $ faults_arg $ fault_seed_arg $ max_retries_arg $ timeout_ms_arg)
+
+(* --- chaos ------------------------------------------------------------ *)
+
+let chaos_cmd =
+  let seeds_arg =
+    Arg.(value & opt int 10
+         & info [ "seeds" ] ~docv:"N" ~doc:"Fault seeds to sweep (1..N).")
+  in
+  let verbose_arg =
+    Arg.(value & flag
+         & info [ "v"; "verbose" ] ~doc:"Print the trace of unsafe runs.")
+  in
+  (* Without --faults: crash a provider the baseline plan actually uses
+     (forcing failover re-planning) and make every provider's links
+     flaky. *)
+  let default_spec env (r : Planner.Optimizer.result) =
+    let providers =
+      List.filter
+        (fun s -> s.Authz.Subject.role = Authz.Subject.Provider)
+        env.Authz.Policy_dsl.subjects
+    in
+    let assigned =
+      Authz.Imap.fold
+        (fun _ s acc -> Authz.Subject.Set.add s acc)
+        r.Planner.Optimizer.extended.Authz.Extend.assignment
+        Authz.Subject.Set.empty
+    in
+    let victim =
+      match
+        List.find_opt (fun s -> Authz.Subject.Set.mem s assigned) providers
+      with
+      | Some p -> Some p
+      | None -> ( match providers with p :: _ -> Some p | [] -> None)
+    in
+    match victim with
+    | None ->
+        List.filter_map
+          (fun s ->
+            if s.Authz.Subject.role = Authz.Subject.User then None
+            else Some (Authz.Subject.name s, Distsim.Faults.Transient 0.2))
+          env.Authz.Policy_dsl.subjects
+    | Some v ->
+        (Authz.Subject.name v, Distsim.Faults.Crash_at 4)
+        :: List.map
+             (fun s -> (Authz.Subject.name s, Distsim.Faults.Transient 0.15))
+             providers
+  in
+  let run policy_path query table_specs faults_spec seeds max_retries
+      timeout_ms verbose obs =
+    guard @@ fun () ->
+    with_obs obs @@ fun () ->
+    let env = load_policy policy_path in
+    let plan = parse_query env query in
+    let user = find_user env in
+    let tables = load_tables env table_specs in
+    let r =
+      Planner.Optimizer.plan ~policy:env.Authz.Policy_dsl.policy
+        ~subjects:env.Authz.Policy_dsl.subjects ~deliver_to:user plan
+    in
+    let spec =
+      match faults_spec with
+      | Some s -> Distsim.Faults.parse s
+      | None -> default_spec env r
+    in
+    let retry = retry_policy max_retries timeout_ms in
+    let replan =
+      Distsim.Runtime.optimizer_replanner ~policy:env.Authz.Policy_dsl.policy
+        ~subjects:env.Authz.Policy_dsl.subjects
+        ~config:r.Planner.Optimizer.config ~deliver_to:user plan
+    in
+    let execute ?faults () =
+      Distsim.Runtime.execute ~policy:env.Authz.Policy_dsl.policy
+        ~pki:(Distsim.Pki.create ())
+        ~keyring:(Mpq_crypto.Keyring.create ())
+        ~user ~tables ~config:r.Planner.Optimizer.config ?faults ~retry
+        ~replan ~extended:r.Planner.Optimizer.extended
+        ~clusters:r.Planner.Optimizer.clusters ()
+    in
+    let baseline = Distsim.Runtime.result (execute ()) in
+    Printf.printf "chaos sweep: %d seeds, faults %s\n" seeds
+      (Distsim.Faults.render spec);
+    let ok = ref 0 and degraded = ref 0 and unsafe = ref 0 in
+    for seed = 1 to seeds do
+      let faults = Distsim.Faults.make ~seed spec in
+      let count trace p = List.length (List.filter p trace) in
+      match execute ~faults () with
+      | outcome -> (
+          let trace = outcome.Distsim.Runtime.trace in
+          let retries =
+            count trace
+              (function Distsim.Runtime.Retry _ -> true | _ -> false)
+          and failovers =
+            count trace
+              (function
+                | Distsim.Runtime.Failover_replanned _ -> true | _ -> false)
+          in
+          let stats =
+            Printf.sprintf "%d retries, %d failovers, %d ms simulated"
+              retries failovers outcome.Distsim.Runtime.clock_ms
+          in
+          match outcome.Distsim.Runtime.status with
+          | Distsim.Runtime.Completed table
+            when Engine.Table.equal_bag table baseline ->
+              incr ok;
+              Printf.printf "  seed %-3d ok        (%s)\n" seed stats
+          | Distsim.Runtime.Completed _ ->
+              incr unsafe;
+              Printf.printf "  seed %-3d WRONG RESULT (%s)\n" seed stats;
+              if verbose then
+                List.iter
+                  (fun e ->
+                    Format.printf "    %a@." Distsim.Runtime.pp_event e)
+                  trace
+          | Distsim.Runtime.Degraded d ->
+              incr degraded;
+              Printf.printf "  seed %-3d degraded  (%s; %s)\n" seed
+                d.Distsim.Runtime.reason stats)
+      | exception Distsim.Runtime.Distributed_violation msg ->
+          (* transport faults must never surface as authorization
+             violations: if one does, the recovery path is broken *)
+          incr unsafe;
+          Printf.printf "  seed %-3d VIOLATION: %s\n" seed msg
+    done;
+    Printf.printf "summary: %d ok, %d degraded, %d unsafe\n" !ok !degraded
+      !unsafe;
+    if !unsafe > 0 then exit_verification else exit_ok
+  in
+  let doc =
+    "sweep fault seeds and check every run ends safe (fault-free result \
+     or verified degraded abort)"
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Plans the query once, executes it fault-free for a baseline, \
+          then re-executes under the fault spec for every seed in \
+          1..$(b,--seeds). A run is $(i,safe) when it either completes \
+          with the baseline result (possibly after retries and verified \
+          failover re-planning) or aborts with a structured degraded \
+          outcome; a wrong result or an authorization violation is \
+          $(i,unsafe) and fails the sweep.";
+      `P "Without $(b,--faults), a default profile crashes the first \
+          provider at step 4 and makes every provider's links drop 15% \
+          of messages." ]
+    @ exit_status_man
+  in
+  Cmd.v (Cmd.info "chaos" ~doc ~man)
+    Term.(
+      const run $ policy_arg $ query_arg $ tables_arg $ faults_arg
+      $ seeds_arg $ max_retries_arg $ timeout_ms_arg $ verbose_arg
+      $ obs_args)
 
 (* --- check ---------------------------------------------------------- *)
 
@@ -510,7 +734,7 @@ let () =
   let status =
     Cmd.eval'
       (Cmd.group info
-         [ plan_cmd; optimize_cmd; run_cmd; check_cmd; tpch_cmd;
+         [ plan_cmd; optimize_cmd; run_cmd; chaos_cmd; check_cmd; tpch_cmd;
            scenarios_cmd; example_cmd ])
   in
   (* cmdliner reserves 124 for CLI parse errors; fold it into our

@@ -109,4 +109,4 @@ let () =
     (fun e -> Format.printf "  %a@." Distsim.Runtime.pp_event e)
     outcome.Distsim.Runtime.trace;
   section "result delivered to U";
-  print_string (Engine.Table.to_string outcome.Distsim.Runtime.result)
+  print_string (Engine.Table.to_string (Distsim.Runtime.result outcome))

@@ -84,4 +84,4 @@ let () =
     (fun e -> Format.printf "  %a@." Distsim.Runtime.pp_event e)
     outcome.Distsim.Runtime.trace;
   print_endline "\n--- result at U ---";
-  print_string (Engine.Table.to_string outcome.Distsim.Runtime.result)
+  print_string (Engine.Table.to_string (Distsim.Runtime.result outcome))

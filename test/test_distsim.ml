@@ -110,6 +110,40 @@ let test_pki_forged_signature () =
     (Distsim.Pki.Bad_envelope "decryption failure") (fun () ->
       ignore (Distsim.Pki.open_ pki ~recipient:"X" forged))
 
+let flip_bit s i =
+  String.mapi
+    (fun j c -> if j = i then Char.chr (Char.code c lxor 1) else c)
+    s
+
+let test_pki_tampered_ciphertext () =
+  let pki = Distsim.Pki.create () in
+  let sealed = Distsim.Pki.seal pki ~sender:"U" ~recipient:"X" "pay 100" in
+  (* flipping any ciphertext bit must trip the authenticated envelope,
+     wherever the flip lands (IV, body or tag) *)
+  for i = 0 to String.length sealed.Distsim.Pki.ciphertext - 1 do
+    let tampered =
+      { sealed with
+        Distsim.Pki.ciphertext = flip_bit sealed.Distsim.Pki.ciphertext i }
+    in
+    match Distsim.Pki.open_ pki ~recipient:"X" tampered with
+    | _ -> Alcotest.failf "tampered byte %d accepted" i
+    | exception Distsim.Pki.Bad_envelope _ -> ()
+  done
+
+let test_pki_tampered_signature () =
+  let pki = Distsim.Pki.create () in
+  let sealed = Distsim.Pki.seal pki ~sender:"U" ~recipient:"X" "pay 100" in
+  for i = 0 to String.length sealed.Distsim.Pki.signature - 1 do
+    let tampered =
+      { sealed with
+        Distsim.Pki.signature = flip_bit sealed.Distsim.Pki.signature i }
+    in
+    Alcotest.check_raises
+      (Printf.sprintf "signature byte %d" i)
+      (Distsim.Pki.Bad_envelope "signature verification failure")
+      (fun () -> ignore (Distsim.Pki.open_ pki ~recipient:"X" tampered))
+  done
+
 (* --- end-to-end simulation -------------------------------------------- *)
 
 let run_sim assignment_of =
@@ -125,7 +159,7 @@ let expected = Test_engine_data.expected
 let test_sim_correct_result () =
   let outcome = run_sim assignment_7a in
   Alcotest.(check bool) "result" true
-    (Engine.Table.equal_bag outcome.Distsim.Runtime.result (expected ()))
+    (Engine.Table.equal_bag (Distsim.Runtime.result outcome) (expected ()))
 
 let test_sim_trace_complete () =
   let outcome = run_sim assignment_7a in
@@ -148,7 +182,7 @@ let test_sim_trace_complete () =
 let test_sim_7b_also_works () =
   let outcome = run_sim assignment_7b in
   Alcotest.(check bool) "7(b) result" true
-    (Engine.Table.equal_bag outcome.Distsim.Runtime.result (expected ()))
+    (Engine.Table.equal_bag (Distsim.Runtime.result outcome) (expected ()))
 
 let test_sim_detects_missing_key () =
   let _, ext, clusters = planned assignment_7a in
@@ -180,7 +214,10 @@ let () =
       ( "pki",
         [ ("seal/open roundtrip", `Quick, test_pki_roundtrip);
           ("wrong recipient rejected", `Quick, test_pki_wrong_recipient);
-          ("forged sender rejected", `Quick, test_pki_forged_signature) ] );
+          ("forged sender rejected", `Quick, test_pki_forged_signature);
+          ("tampered ciphertext rejected", `Quick, test_pki_tampered_ciphertext);
+          ("tampered signature rejected", `Quick, test_pki_tampered_signature)
+        ] );
       ( "runtime",
         [ ("correct result (7a)", `Quick, test_sim_correct_result);
           ("trace is complete and clean", `Quick, test_sim_trace_complete);
