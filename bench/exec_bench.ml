@@ -1,0 +1,170 @@
+(* exec_bench — sequential vs parallel executor wall-clock over the
+   TPC-H workload.
+
+   For every (query, scenario) configuration the query is planned by the
+   authorization-aware optimizer, then the extended plan — Encrypt /
+   Decrypt nodes included — is executed over generated TPC-H data twice:
+   sequentially and on a [--jobs]-domain pool. Both runs must produce
+   byte-identical tables (same attrs, same rows in the same order,
+   ciphertext bytes included); any divergence fails the benchmark.
+   Timings are the minimum over [--repeats] runs.
+
+     dune exec bench/exec_bench.exe              # full 22 x 3 suite
+     dune exec bench/exec_bench.exe -- --quick   # 4-query smoke subset
+     dune exec bench/exec_bench.exe -- --jobs 8 --sf 0.002 -o out.json
+
+   The report (default [BENCH_exec.json]) carries aggregate and
+   per-configuration numbers plus [host_cores]
+   (Domain.recommended_domain_count): on a single-core host the parallel
+   run cannot beat the sequential one — domains just interleave — so
+   read the speedup together with that field. *)
+
+open Relalg
+
+let time_ms f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, (Unix.gettimeofday () -. t0) *. 1000.0)
+
+let best_of n f =
+  let result, first = time_ms f in
+  let best = ref first in
+  for _ = 2 to n do
+    let _, ms = time_ms f in
+    if ms < !best then best := ms
+  done;
+  (result, !best)
+
+(* byte identity: header, row order and every value (ciphertext payloads
+   included) must coincide — much stronger than [Table.equal_bag] *)
+let byte_identical a b =
+  List.equal Attr.equal (Engine.Table.attrs a) (Engine.Table.attrs b)
+  && List.equal
+       (fun (r1 : Value.t array) r2 -> r1 = r2)
+       (Engine.Table.rows a) (Engine.Table.rows b)
+
+let () =
+  let quick = ref false in
+  let out = ref "BENCH_exec.json" in
+  let repeats = ref 3 in
+  let jobs = ref 4 in
+  let sf = ref 0.001 in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "-o" :: file :: rest ->
+        out := file;
+        parse rest
+    | "--repeats" :: n :: rest ->
+        repeats := int_of_string n;
+        parse rest
+    | "--jobs" :: n :: rest ->
+        jobs := int_of_string n;
+        parse rest
+    | "--sf" :: f :: rest ->
+        sf := float_of_string f;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "exec_bench: unknown argument %s\n\
+           usage: exec_bench [--quick] [--jobs N] [--repeats N] [--sf F] \
+           [-o FILE]\n"
+          arg;
+        exit 1
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  Planner.Optimizer.self_check := false;
+  let data = Tpch.Tpch_data.generate ~sf:!sf () in
+  let tables =
+    List.map
+      (fun (s : Schema.t) ->
+        (s.Schema.name, Engine.Table.of_schema s (List.assoc s.Schema.name data)))
+      Tpch.Tpch_schema.all
+  in
+  let queries =
+    if !quick then [ 1; 3; 5; 10 ]
+    else List.map (fun (q, _, _) -> q) Tpch.Tpch_queries.all
+  in
+  let configs =
+    List.concat_map
+      (fun q -> List.map (fun sc -> (q, sc)) Tpch.Scenarios.all)
+      queries
+  in
+  let pool = Par.create ~name:"exec" !jobs in
+  let mismatches = ref 0 in
+  let rows =
+    List.map
+      (fun (q, sc) ->
+        let r =
+          Tpch.Scenarios.optimize ~sf:!sf ~fold_leaf_filters:false ~scenario:sc
+            (Tpch.Tpch_queries.query q)
+        in
+        let plan = r.Planner.Optimizer.extended.Authz.Extend.plan in
+        let ctx () =
+          (* fresh keyring per run: both modes encrypt from the same
+             derived streams, so ciphertexts can be compared bytewise *)
+          let keyring = Mpq_crypto.Keyring.create ~seed:42L () in
+          let crypto = Engine.Enc_exec.make keyring r.Planner.Optimizer.clusters in
+          Engine.Exec.context ~udfs:Tpch.Tpch_queries.udf_impls ~crypto tables
+        in
+        let seq, seq_ms = best_of !repeats (fun () -> Engine.Exec.run (ctx ()) plan) in
+        let par, par_ms =
+          best_of !repeats (fun () -> Engine.Exec.run ~pool (ctx ()) plan)
+        in
+        let same = byte_identical seq par in
+        if not same then begin
+          incr mismatches;
+          Printf.eprintf "exec_bench: q%d %s: parallel result differs\n" q
+            (Tpch.Scenarios.name sc)
+        end;
+        Printf.printf "q%-3d %-7s %9.2f ms -> %9.2f ms  (%4.2fx)%s\n%!" q
+          (Tpch.Scenarios.name sc) seq_ms par_ms (seq_ms /. par_ms)
+          (if same then "" else "  RESULT MISMATCH");
+        (q, sc, seq_ms, par_ms, Engine.Table.cardinality seq, same))
+      configs
+  in
+  Par.shutdown pool;
+  let total f = List.fold_left (fun acc row -> acc +. f row) 0.0 rows in
+  let seq_total = total (fun (_, _, s, _, _, _) -> s) in
+  let par_total = total (fun (_, _, _, p, _, _) -> p) in
+  let doc =
+    Json.Obj
+      [ ("suite", Json.String "exec");
+        ("workload",
+         Json.String (if !quick then "tpch-quick" else "tpch-22x3"));
+        ("sf", Json.Float !sf);
+        ("jobs", Json.Int !jobs);
+        ("host_cores", Json.Int (Domain.recommended_domain_count ()));
+        ("repeats", Json.Int !repeats);
+        ("configs", Json.Int (List.length rows));
+        ("sequential_ms", Json.Float seq_total);
+        ("parallel_ms", Json.Float par_total);
+        ("speedup", Json.Float (seq_total /. par_total));
+        ("byte_identical", Json.Bool (!mismatches = 0));
+        ("per_config",
+         Json.List
+           (List.map
+              (fun (q, sc, seq_ms, par_ms, card, same) ->
+                Json.Obj
+                  [ ("query", Json.Int q);
+                    ("scenario", Json.String (Tpch.Scenarios.name sc));
+                    ("sequential_ms", Json.Float seq_ms);
+                    ("parallel_ms", Json.Float par_ms);
+                    ("rows", Json.Int card);
+                    ("identical", Json.Bool same) ])
+              rows)) ]
+  in
+  let oc = open_out !out in
+  output_string oc (Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "\ntotal %.2f ms -> %.2f ms (%.2fx at %d jobs, %d cores); report: %s\n"
+    seq_total par_total
+    (seq_total /. par_total)
+    !jobs
+    (Domain.recommended_domain_count ())
+    !out;
+  if !mismatches > 0 then exit 2

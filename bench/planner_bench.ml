@@ -11,6 +11,12 @@
      dune exec bench/planner_bench.exe            # full 22 x 3 suite
      dune exec bench/planner_bench.exe -- --quick # 4-query smoke subset
      dune exec bench/planner_bench.exe -- -o out.json --repeats 5
+     dune exec bench/planner_bench.exe -- --jobs 4 # one query per domain
+
+   With [--jobs N] the (query, scenario) configurations are planned on N
+   domains. Per-configuration timings are then contended (domains share
+   the machine) — use jobs 1 when absolute per-config numbers matter;
+   the memoized-vs-not ratio is measured within one domain either way.
 
    The report is written as one JSON document (default
    [BENCH_planner.json]) with both aggregate and per-configuration
@@ -53,6 +59,7 @@ let () =
   let quick = ref false in
   let out = ref "BENCH_planner.json" in
   let repeats = ref 3 in
+  let jobs = ref 1 in
   let rec parse = function
     | [] -> ()
     | "--quick" :: rest ->
@@ -64,10 +71,13 @@ let () =
     | "--repeats" :: n :: rest ->
         repeats := int_of_string n;
         parse rest
+    | "--jobs" :: n :: rest ->
+        jobs := int_of_string n;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
           "planner_bench: unknown argument %s\n\
-           usage: planner_bench [--quick] [--repeats N] [-o FILE]\n"
+           usage: planner_bench [--quick] [--repeats N] [--jobs N] [-o FILE]\n"
           arg;
         exit 1
   in
@@ -83,32 +93,37 @@ let () =
       (fun q -> List.map (fun sc -> (q, sc)) Tpch.Scenarios.all)
       queries
   in
-  let mismatches = ref 0 in
+  let work (q, sc) =
+    let plan () = Tpch.Tpch_queries.query q in
+    let run memoize = Tpch.Scenarios.optimize ~memoize ~scenario:sc (plan ()) in
+    let plain, before_ms = best_of !repeats (fun () -> run false) in
+    let memo, after_ms = best_of !repeats (fun () -> run true) in
+    let same = identical plain memo in
+    if not same then
+      Printf.eprintf
+        "planner_bench: q%d %s: memoized plan differs (cost %.3f vs %.3f)\n"
+        q (Tpch.Scenarios.name sc)
+        (Planner.Cost.total plain.Planner.Optimizer.cost)
+        (Planner.Cost.total memo.Planner.Optimizer.cost);
+    (q, sc, before_ms, after_ms,
+     Planner.Cost.total memo.Planner.Optimizer.cost, same)
+  in
   let rows =
-    List.map
-      (fun (q, sc) ->
-        let plan () = Tpch.Tpch_queries.query q in
-        let run memoize =
-          Tpch.Scenarios.optimize ~memoize ~scenario:sc (plan ())
-        in
-        let plain, before_ms = best_of !repeats (fun () -> run false) in
-        let memo, after_ms = best_of !repeats (fun () -> run true) in
-        let same = identical plain memo in
-        if not same then begin
-          incr mismatches;
-          Printf.eprintf
-            "planner_bench: q%d %s: memoized plan differs (cost %.3f vs %.3f)\n"
-            q (Tpch.Scenarios.name sc)
-            (Planner.Cost.total plain.Planner.Optimizer.cost)
-            (Planner.Cost.total memo.Planner.Optimizer.cost)
-        end;
-        Printf.printf "q%-3d %-7s %8.2f ms -> %8.2f ms  (%4.2fx)%s\n%!" q
-          (Tpch.Scenarios.name sc) before_ms after_ms
-          (before_ms /. after_ms)
-          (if same then "" else "  PLAN MISMATCH");
-        (q, sc, before_ms, after_ms,
-         Planner.Cost.total memo.Planner.Optimizer.cost, same))
-      configs
+    (* one configuration per pool task; reporting stays on this domain *)
+    Par.with_pool ~name:"plan" !jobs @@ fun pool ->
+    match pool with
+    | Some p -> Par.run_all p (List.map (fun c () -> work c) configs)
+    | None -> List.map work configs
+  in
+  List.iter
+    (fun (q, sc, before_ms, after_ms, _, same) ->
+      Printf.printf "q%-3d %-7s %8.2f ms -> %8.2f ms  (%4.2fx)%s\n%!" q
+        (Tpch.Scenarios.name sc) before_ms after_ms
+        (before_ms /. after_ms)
+        (if same then "" else "  PLAN MISMATCH"))
+    rows;
+  let mismatches =
+    ref (List.length (List.filter (fun (_, _, _, _, _, same) -> not same) rows))
   in
   (* one extra instrumented pass for the memo-hit counters *)
   Obs.reset ();

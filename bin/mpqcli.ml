@@ -382,6 +382,14 @@ let retry_policy max_retries timeout_ms =
     Distsim.Runtime.max_retries;
     Distsim.Runtime.timeout_ms }
 
+let jobs_arg =
+  Arg.(value & opt int 1
+       & info [ "j"; "jobs" ] ~docv:"N"
+           ~doc:
+             "Execute the plan on $(docv) domains (default 1: fully \
+              sequential). Results are byte-identical at any value; the \
+              trace and simulated clock are unaffected.")
+
 let run_cmd =
   let trace_arg =
     Arg.(value & flag & info [ "trace" ] ~doc:"Print the dispatch/release trace.")
@@ -389,9 +397,10 @@ let run_cmd =
   (* [--trace] here predates the span tracer and prints the dispatch /
      release event log; span data is available through [--stats]. *)
   let run policy_path query table_specs trace stats faults_spec fault_seed
-      max_retries timeout_ms =
+      max_retries timeout_ms jobs =
     guard @@ fun () ->
     with_obs (stats, false) @@ fun () ->
+    Par.with_pool ~name:"exec" jobs @@ fun pool ->
     let env = load_policy policy_path in
     let plan = parse_query env query in
     let user = find_user env in
@@ -416,7 +425,7 @@ let run_cmd =
         ~pki:(Distsim.Pki.create ())
         ~keyring:(Mpq_crypto.Keyring.create ())
         ~user ~tables ~config:r.Planner.Optimizer.config ?faults
-        ~retry:(retry_policy max_retries timeout_ms) ~replan
+        ~retry:(retry_policy max_retries timeout_ms) ~replan ?pool
         ~extended:r.Planner.Optimizer.extended
         ~clusters:r.Planner.Optimizer.clusters ()
     in
@@ -442,7 +451,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc ~man:exit_status_man)
     Term.(
       const run $ policy_arg $ query_arg $ tables_arg $ trace_arg $ stats_arg
-      $ faults_arg $ fault_seed_arg $ max_retries_arg $ timeout_ms_arg)
+      $ faults_arg $ fault_seed_arg $ max_retries_arg $ timeout_ms_arg
+      $ jobs_arg)
 
 (* --- chaos ------------------------------------------------------------ *)
 

@@ -29,3 +29,10 @@ val paillier : t -> Paillier.public * Paillier.secret
 
 val rng : t -> Prng.t
 (** The keyring's nonce generator (for randomized encryption). *)
+
+val derived_rng : t -> string -> Prng.t
+(** [derived_rng t label] is a fresh generator seeded by PRF from the
+    keyring's master secret and [label]. Unlike {!rng} (a single shared
+    stream advanced by every draw), the derived generator depends only
+    on [(t, label)], so draws keyed by position — e.g. plan-node id and
+    row index — are reproducible under any execution order. *)

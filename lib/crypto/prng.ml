@@ -30,3 +30,11 @@ let bytes t n =
   String.init n (fun _ -> Char.chr (Int64.to_int (Int64.logand (next64 t) 255L)))
 
 let split t = create (next64 t)
+
+(* Pure: the child at index [i] is a function of the parent's current
+   state only — the parent is not advanced, and children at distinct
+   indices are decorrelated by the SplitMix64 finalizer. Chunked
+   parallel consumers use this to give every item a private stream
+   whose output is independent of how the items were scheduled. *)
+let derive t i =
+  create (mix (Int64.add t.state (Int64.mul golden (Int64.of_int (i + 1)))))

@@ -28,3 +28,10 @@ val bytes : t -> int -> string
 
 val split : t -> t
 (** Derive an independent child generator (splittable PRNG). *)
+
+val derive : t -> int -> t
+(** [derive t i] is the child generator at index [i]. Pure: [t] is not
+    advanced, and the child depends only on [t]'s current state and
+    [i] — the same [(t, i)] always yields the same stream, regardless
+    of any interleaving with other [derive] calls. This is what makes
+    randomized encryption reproducible under parallel execution. *)

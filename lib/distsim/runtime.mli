@@ -119,11 +119,18 @@ val execute :
   ?faults:Faults.t ->
   ?retry:retry_policy ->
   ?replan:replanner ->
+  ?pool:Par.pool ->
   extended:Authz.Extend.t ->
   clusters:Authz.Plan_keys.cluster list ->
   unit ->
   outcome
-(** Raises {!Distributed_violation} when a release check fails, an
+(** [pool] fans plan evaluation out across domains (independent sibling
+    subplans run concurrently, operators chunk their rows — see
+    {!Engine.Exec}); release checks, transfers and fault injection replay
+    post-order on the calling domain, so the trace, the simulated clock
+    and the injected-fault schedule are identical under any job count.
+
+    Raises {!Distributed_violation} when a release check fails, an
     executor misses a key its fragment needs, or the pre-dispatch
     verification gate reports an error — immediately, without retry:
     an authorization denial must never be retried into success.

@@ -112,7 +112,13 @@ let ope_key ctx cluster = C.Keyring.ope_key_of_secret (secret ctx cluster)
 
 (* --- encryption ----------------------------------------------------- *)
 
-let encrypt_with ctx (cluster : Authz.Plan_keys.cluster) v =
+let encrypt_with ?rng ctx (cluster : Authz.Plan_keys.cluster) v =
+  (* [rng] supplies the encryption randomness (Rnd IVs, Paillier
+     blinding). Without it we draw from the keyring's shared stream,
+     which is fine sequentially but order-dependent; parallel execution
+     passes position-derived generators so ciphertext bytes don't depend
+     on scheduling. *)
+  let draw () = match rng with Some r -> r | None -> C.Keyring.rng ctx.keyring in
   let key_id = cluster.Authz.Plan_keys.id in
   let mk scheme payload =
     Value.Enc { Value.scheme = C.Scheme.name scheme; key_id; payload }
@@ -121,8 +127,7 @@ let encrypt_with ctx (cluster : Authz.Plan_keys.cluster) v =
   | C.Scheme.Det -> mk C.Scheme.Det (C.Det.encrypt (det_key ctx cluster) (serialize v))
   | C.Scheme.Rnd ->
       mk C.Scheme.Rnd
-        (C.Rnd.encrypt (rnd_key ctx cluster) (C.Keyring.rng ctx.keyring)
-           (serialize v))
+        (C.Rnd.encrypt (rnd_key ctx cluster) (draw ()) (serialize v))
   | C.Scheme.Ope ->
       let image, tag = ope_image v in
       let prefix = C.Ope.encrypt_bytes (ope_key ctx cluster) image in
@@ -137,17 +142,24 @@ let encrypt_with ctx (cluster : Authz.Plan_keys.cluster) v =
       let image, tag = phe_image v in
       let pk, _ = C.Keyring.paillier ctx.keyring in
       let cipher =
-        C.Paillier.encrypt pk (C.Keyring.rng ctx.keyring)
-          (C.Bignum.of_int image)
+        C.Paillier.encrypt pk (draw ()) (C.Bignum.of_int image)
       in
       mk C.Scheme.Phe
         (Printf.sprintf "v|%s|%c" (C.Bignum.to_string cipher) tag)
 
-let encrypt_value ctx a v =
+let encrypt_value ?rng ctx a v =
   match v with
   | Value.Null -> Value.Null
   | Value.Enc _ -> err "attribute %s is already encrypted" (Attr.name a)
-  | _ -> encrypt_with ctx (cluster_of ctx a) v
+  | _ -> encrypt_with ?rng ctx (cluster_of ctx a) v
+
+let node_rng ctx id =
+  C.Keyring.derived_rng ctx.keyring ("exec-node:" ^ string_of_int id)
+
+let prepare_parallel ctx =
+  (* optional warm-up: the keygen is lock-protected in Keyring, so this
+     only moves the one-time cost onto the calling domain *)
+  ignore (C.Keyring.paillier ctx.keyring)
 
 (* --- decryption ----------------------------------------------------- *)
 
@@ -213,13 +225,19 @@ let decrypt_value ctx = function
 
 let const_cipher ctx (sample : Value.cipher) const =
   let cluster = cluster_by_id ctx sample.Value.key_id in
+  (* A derived generator keeps this function pure: the comparable schemes
+     (det, ope) draw no randomness anyway, and rnd/phe constants only get
+     built on the way to an "unsupported comparison" error — but touching
+     the shared stream here would make predicate evaluation unsafe to run
+     on several domains. *)
+  let rng = C.Keyring.derived_rng ctx.keyring "const" in
   match C.Scheme.of_name sample.Value.scheme with
   | Some scheme when scheme = cluster.Authz.Plan_keys.scheme ->
-      encrypt_with ctx cluster const
+      encrypt_with ~rng ctx cluster const
   | Some scheme ->
       (* ciphertext produced under a different scheme than the cluster's
          current one: re-derive with the observed scheme *)
-      encrypt_with ctx
+      encrypt_with ~rng ctx
         { cluster with Authz.Plan_keys.scheme }
         const
   | None -> err "unknown scheme %s" sample.Value.scheme

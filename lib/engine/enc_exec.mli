@@ -31,8 +31,23 @@ val clusters : ctx -> Authz.Plan_keys.cluster list
 val scheme_of : ctx -> Attr.t -> Mpq_crypto.Scheme.t
 (** Raises [Crypto_error] when the attribute belongs to no cluster. *)
 
-val encrypt_value : ctx -> Attr.t -> Value.t -> Value.t
-(** [Null] passes through unencrypted. *)
+val encrypt_value : ?rng:Mpq_crypto.Prng.t -> ctx -> Attr.t -> Value.t -> Value.t
+(** [Null] passes through unencrypted. [rng] overrides the keyring's
+    shared randomness stream; the executor passes generators derived from
+    (plan-node id, row index) so ciphertext bytes are a function of
+    position, not of evaluation order — the property that makes parallel
+    execution byte-identical to sequential. *)
+
+val node_rng : ctx -> int -> Mpq_crypto.Prng.t
+(** [node_rng ctx id] is the randomness root for plan node [id]; derive
+    one child per row ({!Mpq_crypto.Prng.derive}) to encrypt under it. *)
+
+val prepare_parallel : ctx -> unit
+(** Force lazily-generated key material (the Paillier pair) up front.
+    Optional: {!Mpq_crypto.Keyring.paillier} is itself domain-safe
+    (keygen runs once under a lock), so parallel runs work without this
+    call and plans that never touch phe values skip the keygen cost
+    entirely. Idempotent. *)
 
 val decrypt_value : ctx -> Value.t -> Value.t
 (** Dispatches on the ciphertext's own scheme/key tags; [Null] passes

@@ -1,4 +1,5 @@
 open Relalg
+module C = Mpq_crypto
 
 exception Exec_error of string
 
@@ -39,7 +40,70 @@ let hash_key = function
   | Value.Bool b -> if b then "B1" else "B0"
   | Value.Null -> "_"
 
-let base ctx s =
+(* Chunked fan-out over a row list. Every parallel operator below is a
+   pure function of (chunk contents, chunk start offset), so the
+   concatenation of chunk results equals the sequential result for any
+   chunking — the property the differential tests pin down. *)
+let pmap_chunks pool ~f rows =
+  match pool with
+  | Some p -> Par.map_chunks p ~f rows
+  | None -> ( match rows with [] -> [] | _ -> [ f 0 rows ])
+
+let pconcat pool ~f rows = List.concat (pmap_chunks pool ~f rows)
+
+(* --- per-column encryption (stored relations, Encrypt/Decrypt) ------- *)
+
+(* One derived generator per (plan node, row index), consumed across the
+   row's encrypted columns in attribute order: ciphertext bytes depend
+   on the row's position, never on which domain (or in which order) the
+   row was processed. *)
+let encrypt_columns crypto pool ~node attrs table =
+  let cols =
+    List.map (fun a -> (a, Table.col_index table a)) (Attr.Set.elements attrs)
+  in
+  let nrng = Enc_exec.node_rng crypto node in
+  let rows =
+    pconcat pool
+      ~f:(fun start chunk ->
+        List.mapi
+          (fun k row ->
+            let rng = C.Prng.derive nrng (start + k) in
+            let r = Array.copy row in
+            List.iter
+              (fun (a, i) ->
+                r.(i) <- Enc_exec.encrypt_value ~rng crypto a r.(i))
+              cols;
+            r)
+          chunk)
+      (Table.rows table)
+  in
+  Table.create (Table.attrs table) rows
+
+let decrypt_columns crypto pool attrs table =
+  let cols = List.map (Table.col_index table) (Attr.Set.elements attrs) in
+  let rows =
+    pconcat pool
+      ~f:(fun _ chunk ->
+        List.map
+          (fun row ->
+            let r = Array.copy row in
+            List.iter (fun i -> r.(i) <- Enc_exec.decrypt_value crypto r.(i)) cols;
+            r)
+          chunk)
+      (Table.rows table)
+  in
+  Table.create (Table.attrs table) rows
+
+let crypt ctx pool ~encrypt ~node attrs table =
+  match ctx.crypto with
+  | None -> err "plan contains crypto operators but no crypto context given"
+  | Some crypto ->
+      if encrypt then encrypt_columns crypto pool ~node attrs table
+      else decrypt_columns crypto pool attrs table
+
+(* --- row operators ---------------------------------------------------- *)
+
+let base ctx pool ~node s =
   match List.assoc_opt s.Schema.name ctx.tables with
   | None -> err "unknown base relation %s" s.Schema.name
   | Some t ->
@@ -51,25 +115,39 @@ let base ctx s =
       else
         match ctx.crypto with
         | None -> err "outsourced relation %s needs a crypto context" s.Schema.name
-        | Some crypto ->
-            Attr.Set.fold
-              (fun a acc ->
-                Table.map_column acc a (fun v -> Enc_exec.encrypt_value crypto a v))
-              enc t
+        | Some crypto -> encrypt_columns crypto pool ~node enc t
 
-let project table attrs = Table.select_columns table (Attr.Set.elements attrs)
-
-let select ?crypto table pred =
+let project pool table attrs =
+  let cols = Attr.Set.elements attrs in
+  let idx = List.map (Table.col_index table) cols in
   let rows =
-    List.filter (fun r -> Eval.predicate ?ctx:crypto table r pred) (Table.rows table)
+    pconcat pool
+      ~f:(fun _ chunk ->
+        List.map
+          (fun r -> Array.of_list (List.map (fun i -> r.(i)) idx))
+          chunk)
+      (Table.rows table)
+  in
+  Table.create cols rows
+
+let select ?crypto pool table pred =
+  let rows =
+    pconcat pool
+      ~f:(fun _ chunk ->
+        List.filter (fun r -> Eval.predicate ?ctx:crypto table r pred) chunk)
+      (Table.rows table)
   in
   Table.create (Table.attrs table) rows
 
-let product l r =
+let product pool l r =
   let attrs = Table.attrs l @ Table.attrs r in
+  let rrows = Table.rows r in
   let rows =
-    List.concat_map
-      (fun rl -> List.map (fun rr -> Array.append rl rr) (Table.rows r))
+    pconcat pool
+      ~f:(fun _ chunk ->
+        List.concat_map
+          (fun rl -> List.map (fun rr -> Array.append rl rr) rrows)
+          chunk)
       (Table.rows l)
   in
   Table.create attrs rows
@@ -95,7 +173,7 @@ let equi_pairs pred l r =
       ([], []) pred
     |> fun (pairs, residual) -> (List.rev pairs, List.rev residual)
 
-let join ?crypto pred l r =
+let join ?crypto pool pred l r =
   let attrs = Table.attrs l @ Table.attrs r in
   let pairs, _residual = equi_pairs pred l r in
   let combined_header = Table.create attrs [] in
@@ -108,39 +186,84 @@ let join ?crypto pred l r =
   let rows =
     match pairs with
     | [] ->
-        (* nested loop *)
-        List.concat_map
-          (fun rl ->
-            List.filter_map
-              (fun rr ->
-                let combined = Array.append rl rr in
-                if keep combined then Some combined else None)
-              (Table.rows r))
+        (* nested loop, fanned out over left-row chunks *)
+        let rrows = Table.rows r in
+        pconcat pool
+          ~f:(fun _ chunk ->
+            List.concat_map
+              (fun rl ->
+                List.filter_map
+                  (fun rr ->
+                    let combined = Array.append rl rr in
+                    if keep combined then Some combined else None)
+                  rrows)
+              chunk)
           (Table.rows l)
-    | _ ->
+    | _ -> (
         let lk = List.map (fun (a, _) -> Table.col_index l a) pairs in
         let rk = List.map (fun (_, b) -> Table.col_index r b) pairs in
         let key idxs row =
           String.concat "\x01" (List.map (fun i -> hash_key row.(i)) idxs)
         in
-        let index = Hashtbl.create (Table.cardinality r) in
-        List.iter
-          (fun rr ->
-            let has_null =
-              List.exists (fun i -> Value.is_null rr.(i)) rk
+        let probe index rl =
+          Hashtbl.find_all index (key lk rl)
+          |> List.filter_map (fun rr ->
+                 let combined = Array.append rl rr in
+                 if keep combined then Some combined else None)
+        in
+        match pool with
+        | Some p when Table.cardinality l + Table.cardinality r >= 64 ->
+            (* Partitioned hash join. Same-key rows land in the same
+               partition and keep their relative order inside it, so a
+               probe sees exactly the matches (in the match order) the
+               sequential single-table index would produce; tagging each
+               output with its left row's original index and merging the
+               partitions on that index restores the sequential
+               left-row-major output order byte for byte. *)
+            let nparts = 2 * Par.size p in
+            let part_of k = Hashtbl.hash k mod nparts in
+            let lparts = Array.make nparts []
+            and rparts = Array.make nparts [] in
+            List.iter
+              (fun rr ->
+                if not (List.exists (fun i -> Value.is_null rr.(i)) rk) then begin
+                  let k = key rk rr in
+                  let pi = part_of k in
+                  rparts.(pi) <- rr :: rparts.(pi)
+                end)
+              (Table.rows r);
+            List.iteri
+              (fun li rl ->
+                if not (List.exists (fun i -> Value.is_null rl.(i)) lk) then begin
+                  let k = key lk rl in
+                  let pi = part_of k in
+                  lparts.(pi) <- (li, rl) :: lparts.(pi)
+                end)
+              (Table.rows l);
+            let tasks =
+              List.init nparts (fun pi () ->
+                  let right = List.rev rparts.(pi) in
+                  let index = Hashtbl.create (List.length right + 1) in
+                  List.iter (fun rr -> Hashtbl.add index (key rk rr) rr) right;
+                  List.rev_map (fun (li, rl) -> (li, probe index rl)) lparts.(pi))
             in
-            if not has_null then
-              Hashtbl.add index (key rk rr) rr)
-          (Table.rows r);
-        List.concat_map
-          (fun rl ->
-            if List.exists (fun i -> Value.is_null rl.(i)) lk then []
-            else
-              Hashtbl.find_all index (key lk rl)
-              |> List.filter_map (fun rr ->
-                     let combined = Array.append rl rr in
-                     if keep combined then Some combined else None))
-          (Table.rows l)
+            Par.run_all p tasks
+            |> List.fold_left
+                 (List.merge (fun (i, _) (j, _) -> compare i j))
+                 []
+            |> List.concat_map snd
+        | _ ->
+            let index = Hashtbl.create (Table.cardinality r + 1) in
+            List.iter
+              (fun rr ->
+                if not (List.exists (fun i -> Value.is_null rr.(i)) rk) then
+                  Hashtbl.add index (key rk rr) rr)
+              (Table.rows r);
+            List.concat_map
+              (fun rl ->
+                if List.exists (fun i -> Value.is_null rl.(i)) lk then []
+                else probe index rl)
+              (Table.rows l))
   in
   Table.create attrs rows
 
@@ -153,7 +276,7 @@ let numeric v =
 
 let all_ints vs = List.for_all (function Value.Int _ -> true | _ -> false) vs
 
-let aggregate ?crypto (agg : Aggregate.t) values =
+let aggregate ?crypto ?rng (agg : Aggregate.t) values =
   let non_null = List.filter (fun v -> not (Value.is_null v)) values in
   let encrypted = List.exists (function Value.Enc _ -> true | _ -> false) non_null in
   match agg.Aggregate.func with
@@ -162,7 +285,7 @@ let aggregate ?crypto (agg : Aggregate.t) values =
       (* the output keeps the operand's (encrypted) profile entry: wrap
          the count under the operand's cluster so data matches profile *)
       match crypto with
-      | Some c -> Enc_exec.encrypt_value c a (Value.Int (List.length non_null))
+      | Some c -> Enc_exec.encrypt_value ?rng c a (Value.Int (List.length non_null))
       | None -> err "encrypted count requires a crypto context")
   | Aggregate.Count _ -> Value.Int (List.length non_null)
   | Aggregate.Sum _ when encrypted -> (
@@ -205,51 +328,89 @@ let aggregate ?crypto (agg : Aggregate.t) values =
       | first :: rest ->
           List.fold_left (fun best v -> if better v best then v else best) first rest)
 
-let group_by ?crypto table keys aggs =
+let group_by ?crypto pool ~node table keys aggs =
   let key_attrs = Attr.Set.elements keys in
   let key_idx = List.map (Table.col_index table) key_attrs in
-  let groups = Hashtbl.create 64 in
-  let order = ref [] in
-  List.iter
-    (fun row ->
-      let k = String.concat "\x01" (List.map (fun i -> hash_key row.(i)) key_idx) in
-      match Hashtbl.find_opt groups k with
-      | Some rows -> Hashtbl.replace groups k (row :: rows)
-      | None ->
-          Hashtbl.add groups k [ row ];
-          order := k :: !order)
-    (Table.rows table);
+  let row_key row =
+    String.concat "\x01" (List.map (fun i -> hash_key row.(i)) key_idx)
+  in
+  (* phase 1 — partition rows into groups, chunks in parallel. Each chunk
+     yields its groups in first-appearance order with rows in chunk
+     order; the in-order merge then preserves both the global
+     first-appearance order of keys and the original order of each
+     group's rows, exactly as a single sequential pass would. *)
+  let chunk_groups _ chunk =
+    let tbl = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (fun row ->
+        let k = row_key row in
+        match Hashtbl.find_opt tbl k with
+        | Some rs -> Hashtbl.replace tbl k (row :: rs)
+        | None ->
+            Hashtbl.add tbl k [ row ];
+            order := k :: !order)
+      chunk;
+    List.rev_map (fun k -> (k, List.rev (Hashtbl.find tbl k))) !order
+  in
+  let groups =
+    let chunked = pmap_chunks pool ~f:chunk_groups (Table.rows table) in
+    let tbl = Hashtbl.create 64 in
+    let order = ref [] in
+    List.iter
+      (List.iter (fun (k, rs) ->
+           match Hashtbl.find_opt tbl k with
+           | Some acc -> Hashtbl.replace tbl k (rs :: acc)
+           | None ->
+               Hashtbl.add tbl k [ rs ];
+               order := k :: !order))
+      chunked;
+    List.rev_map (fun k -> List.concat (List.rev (Hashtbl.find tbl k))) !order
+  in
   let agg_outputs =
     List.filter
       (fun (a : Aggregate.t) -> not (Attr.Set.mem a.Aggregate.output keys))
       aggs
   in
-  let out_attrs = key_attrs @ List.map (fun (a : Aggregate.t) -> a.Aggregate.output) agg_outputs in
+  let agg_ops =
+    List.map
+      (fun (agg : Aggregate.t) ->
+        (agg, Option.map (Table.col_index table) (Aggregate.operand agg)))
+      agg_outputs
+  in
+  let out_attrs =
+    key_attrs @ List.map (fun (a : Aggregate.t) -> a.Aggregate.output) agg_outputs
+  in
+  let nrng = Option.map (fun c -> Enc_exec.node_rng c node) crypto in
+  (* phase 2 — one output row per group, fanned out over group chunks.
+     Aggregates run over each group's complete row list (merged above,
+     never partial per-chunk sums), so float accumulation order — and
+     with it the result bytes — is independent of the chunking. *)
+  let emit j rows =
+    let first = List.hd rows in
+    let key_vals = List.map (fun i -> first.(i)) key_idx in
+    let rng = Option.map (fun r -> C.Prng.derive r j) nrng in
+    let agg_vals =
+      List.map
+        (fun ((agg : Aggregate.t), operand_idx) ->
+          let operand_values =
+            match operand_idx with
+            | Some i -> List.map (fun r -> r.(i)) rows
+            | None -> List.map (fun _ -> Value.Null) rows
+          in
+          aggregate ?crypto ?rng agg operand_values)
+        agg_ops
+    in
+    Array.of_list (key_vals @ agg_vals)
+  in
   let rows =
-    List.rev_map
-      (fun k ->
-        let rows = List.rev (Hashtbl.find groups k) in
-        let first = List.hd rows in
-        let key_vals = List.map (fun i -> first.(i)) key_idx in
-        let agg_vals =
-          List.map
-            (fun (agg : Aggregate.t) ->
-              let operand_values =
-                match Aggregate.operand agg with
-                | Some a ->
-                    let i = Table.col_index table a in
-                    List.map (fun r -> r.(i)) rows
-                | None -> List.map (fun _ -> Value.Null) rows
-              in
-              aggregate ?crypto agg operand_values)
-            agg_outputs
-        in
-        Array.of_list (key_vals @ agg_vals))
-      !order
+    pconcat pool
+      ~f:(fun start gs -> List.mapi (fun k g -> emit (start + k) g) gs)
+      groups
   in
   Table.create out_attrs rows
 
-let udf_apply ctx name inputs output table =
+let udf_apply ctx pool name inputs output table =
   let f =
     match List.assoc_opt name ctx.udfs with
     | Some f -> f
@@ -271,18 +432,23 @@ let udf_apply ctx name inputs output table =
     find 0 out_attrs
   in
   let rows =
-    List.map
-      (fun row ->
-        let result = f (List.map (fun i -> row.(i)) input_idx) in
-        let out = Array.of_list (List.map (fun i -> row.(i)) out_pos) in
-        out.(out_index_of_output) <- result;
-        out)
+    pconcat pool
+      ~f:(fun _ chunk ->
+        List.map
+          (fun row ->
+            let result = f (List.map (fun i -> row.(i)) input_idx) in
+            let out = Array.of_list (List.map (fun i -> row.(i)) out_pos) in
+            out.(out_index_of_output) <- result;
+            out)
+          chunk)
       (Table.rows table)
   in
   Table.create out_attrs rows
 
-(* stable sort by the key list; OPE ciphertexts order by payload *)
-let order_by table keys =
+(* stable sort by the key list; OPE ciphertexts order by payload.
+   Parallel path: stable-sort chunks, then left-preferring merges —
+   stable-sorted output is unique, so it matches the sequential sort. *)
+let order_by pool table keys =
   let idx = List.map (fun (a, d) -> (Table.col_index table a, d)) keys in
   let cmp r1 r2 =
     let rec go = function
@@ -302,7 +468,16 @@ let order_by table keys =
     in
     go idx
   in
-  Table.create (Table.attrs table) (List.stable_sort cmp (Table.rows table))
+  let sorted =
+    match pool with
+    | Some p when Table.cardinality table > 128 ->
+        Par.map_chunks p
+          ~f:(fun _ chunk -> List.stable_sort cmp chunk)
+          (Table.rows table)
+        |> List.fold_left (fun acc l -> List.merge cmp acc l) []
+    | _ -> List.stable_sort cmp (Table.rows table)
+  in
+  Table.create (Table.attrs table) sorted
 
 let limit table n =
   let rec take k = function
@@ -312,50 +487,81 @@ let limit table n =
   in
   Table.create (Table.attrs table) (take n (Table.rows table))
 
-let crypt_column ctx ~encrypt attrs table =
-  let crypto =
-    match ctx.crypto with
-    | Some c -> c
-    | None -> err "plan contains crypto operators but no crypto context given"
-  in
-  Attr.Set.fold
-    (fun a t ->
-      Table.map_column t a (fun v ->
-          if encrypt then Enc_exec.encrypt_value crypto a v
-          else Enc_exec.decrypt_value crypto v))
-    attrs table
-
 let operator_tag plan =
   match Plan.node plan with
   | Plan.Base _ -> "base"
   | _ -> Plan.operator_name plan
 
-let run_with_hook ctx ~hook plan =
+let run_with_hook ?pool ctx ~hook plan =
+  (* Lazy key material (the Paillier pair) is generated under a lock in
+     Keyring, so worker domains may trigger it on demand; no eager
+     [Enc_exec.prepare_parallel] here — plans that never touch phe
+     values must not pay the keygen. *)
+  (* Execution first, hooks after: [go] returns the node's table plus the
+     post-order (node, table) log of its subtree; the log is replayed
+     sequentially on the calling domain once the plan has run. Hook
+     invocation order is therefore the plan's post-order — the same
+     whether siblings ran concurrently or not — and hooks may keep
+     unsynchronized state. *)
   let rec go plan =
-    let result =
+    let result, logs =
       Obs.with_span ("exec." ^ operator_tag plan) @@ fun () ->
-      match Plan.node plan with
-      | Plan.Base s -> base ctx s
-      | Plan.Project (attrs, c) -> project (go c) attrs
-      | Plan.Select (pred, c) -> select ?crypto:ctx.crypto (go c) pred
-      | Plan.Product (l, r) -> product (go l) (go r)
-      | Plan.Join (pred, l, r) -> join ?crypto:ctx.crypto pred (go l) (go r)
-      | Plan.Group_by (keys, aggs, c) ->
-          group_by ?crypto:ctx.crypto (go c) keys aggs
-      | Plan.Udf (name, inputs, output, c) ->
-          udf_apply ctx name inputs output (go c)
-      | Plan.Order_by (keys, c) -> order_by (go c) keys
-      | Plan.Limit (n, c) -> limit (go c) n
-      | Plan.Encrypt (attrs, c) -> crypt_column ctx ~encrypt:true attrs (go c)
-      | Plan.Decrypt (attrs, c) -> crypt_column ctx ~encrypt:false attrs (go c)
+      try
+        match Plan.node plan with
+        | Plan.Base s -> (base ctx pool ~node:(Plan.id plan) s, [])
+        | Plan.Project (attrs, c) ->
+            let t, lg = go c in
+            (project pool t attrs, lg)
+        | Plan.Select (pred, c) ->
+            let t, lg = go c in
+            (select ?crypto:ctx.crypto pool t pred, lg)
+        | Plan.Product (l, r) ->
+            let (tl, ll), (tr, lr) = both_go l r in
+            (product pool tl tr, ll @ lr)
+        | Plan.Join (pred, l, r) ->
+            let (tl, ll), (tr, lr) = both_go l r in
+            (join ?crypto:ctx.crypto pool pred tl tr, ll @ lr)
+        | Plan.Group_by (keys, aggs, c) ->
+            let t, lg = go c in
+            (group_by ?crypto:ctx.crypto pool ~node:(Plan.id plan) t keys aggs, lg)
+        | Plan.Udf (name, inputs, output, c) ->
+            let t, lg = go c in
+            (udf_apply ctx pool name inputs output t, lg)
+        | Plan.Order_by (keys, c) ->
+            let t, lg = go c in
+            (order_by pool t keys, lg)
+        | Plan.Limit (n, c) ->
+            let t, lg = go c in
+            (limit t n, lg)
+        | Plan.Encrypt (attrs, c) ->
+            let t, lg = go c in
+            (crypt ctx pool ~encrypt:true ~node:(Plan.id plan) attrs t, lg)
+        | Plan.Decrypt (attrs, c) ->
+            let t, lg = go c in
+            (crypt ctx pool ~encrypt:false ~node:(Plan.id plan) attrs t, lg)
+      with Table.Unknown_attribute { attr; columns } ->
+        err "%s: unknown attribute %s (table columns: %s)" (operator_tag plan)
+          attr
+          (String.concat ", " columns)
     in
     if Obs.enabled () then begin
       Obs.incr "exec.operators";
       Obs.incr ~by:(Table.cardinality result) "exec.rows_out"
     end;
-    hook plan result;
-    result
+    (result, logs @ [ (plan, result) ])
+  and both_go l r =
+    (* run sibling subplans on separate domains when both are real
+       subtrees; trivial sides aren't worth a task *)
+    match pool with
+    | Some p when Plan.size l > 2 && Plan.size r > 2 ->
+        Par.both p (fun () -> go l) (fun () -> go r)
+    | _ ->
+        let a = go l in
+        let b = go r in
+        (a, b)
   in
-  go plan
+  let result, log = go plan in
+  List.iter (fun (n, t) -> hook n t) log;
+  result
 
-let run ctx plan = run_with_hook ctx ~hook:(fun _ _ -> ()) plan
+let run ?pool ctx plan = run_with_hook ?pool ctx ~hook:(fun _ _ -> ()) plan

@@ -5,14 +5,28 @@
     a hash join on conjunctive equality pairs — including pairs of
     deterministic ciphertexts — with a nested-loop fallback; group-by
     hashes on the key tuple and supports homomorphic [sum]/[avg] over
-    Paillier ciphertexts and [min]/[max] over OPE ciphertexts. *)
+    Paillier ciphertexts and [min]/[max] over OPE ciphertexts.
+
+    {2 Parallel execution}
+
+    With [?pool] (a {!Par.pool}), operators fan row chunks out across
+    domains: scan/filter/project/udf/encrypt/decrypt chunk their input,
+    the hash join partitions both sides by key, group-by partitions rows
+    in parallel and merges groups sequentially, and independent sibling
+    subplans of a join/product run concurrently. The result is
+    {e byte-identical} to the sequential run: every operator reproduces
+    the sequential output order, and encryption randomness is derived
+    from (plan-node id, row index) rather than a shared stream, so even
+    ciphertext bytes are a function of position, not scheduling. *)
 
 open Relalg
 
 exception Exec_error of string
 
 type udf = Value.t list -> Value.t
-(** Receives the values of the input attributes in attribute order. *)
+(** Receives the values of the input attributes in attribute order.
+    Under a pool, a UDF may be called from several domains concurrently:
+    implementations must be thread-safe (pure functions are). *)
 
 type context = {
   tables : (string * Table.t) list;  (** base relations by name *)
@@ -26,12 +40,23 @@ val context :
   (string * Table.t) list ->
   context
 
-val run : context -> Plan.t -> Table.t
+val run : ?pool:Par.pool -> context -> Plan.t -> Table.t
 
 val run_with_hook :
-  context -> hook:(Plan.t -> Table.t -> unit) -> Plan.t -> Table.t
-(** Like {!run}, invoking [hook] on every node's output (post-order);
-    used by the runtime monitor. *)
+  ?pool:Par.pool ->
+  context ->
+  hook:(Plan.t -> Table.t -> unit) ->
+  Plan.t ->
+  Table.t
+(** Like {!run}, invoking [hook] on every node's output; used by the
+    runtime monitor and the distributed simulator.
+
+    Determinism guarantee: hooks are invoked sequentially on the calling
+    domain, in the plan's post-order (left subtree, right subtree, node),
+    {e regardless of [?pool]} — execution records the (node, table) log
+    and replays it after the plan has run. Hooks may therefore keep
+    unsynchronized mutable state, and a raising hook aborts at the same
+    node under any job count (after execution, rather than mid-plan). *)
 
 val hash_key : Value.t -> string
 (** Equality-compatible hash key (full ciphertext payload for [Enc]). *)

@@ -28,10 +28,15 @@ let attrs t = t.attrs
 let rows t = t.rows
 let cardinality t = List.length t.rows
 
+exception Unknown_attribute of { attr : string; columns : string list }
+
 let col_index t a =
   match Attr.Map.find_opt a t.index with
   | Some i -> i
-  | None -> raise Not_found
+  | None ->
+      raise
+        (Unknown_attribute
+           { attr = Attr.name a; columns = List.map Attr.name t.attrs })
 
 let value t row a = row.(col_index t a)
 

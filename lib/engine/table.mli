@@ -18,8 +18,14 @@ val attrs : t -> Attr.t list
 val rows : t -> Value.t array list
 val cardinality : t -> int
 
+exception Unknown_attribute of { attr : string; columns : string list }
+(** A column lookup named an attribute the table does not carry. Carries
+    the offending attribute and the table's actual header so the error is
+    actionable without a debugger ({!Exec} re-raises it as [Exec_error]
+    with the operator that performed the lookup). *)
+
 val col_index : t -> Attr.t -> int
-(** Raises [Not_found] for a foreign attribute. *)
+(** Raises {!Unknown_attribute} for a foreign attribute. *)
 
 val value : t -> Value.t array -> Attr.t -> Value.t
 (** [value t row a] reads column [a] of a row of [t]. *)

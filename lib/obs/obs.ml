@@ -7,20 +7,43 @@ type span = {
 
 let fresh_root () = { name = "root"; calls = 0; elapsed = 0.0; children = [] }
 
+(* All collector state lives in a [state] record. The process has one
+   global instance rendered by the reports; parallel workers write into
+   private [buffer] instances (installed per-domain through DLS) that the
+   coordinating domain merges after the join, so no two domains ever
+   mutate the same tables. *)
+type state = {
+  mutable root : span;
+  mutable stack : span list; (* innermost open span first; empty = at root *)
+  counter_tbl : (string, int) Hashtbl.t;
+  metric_tbl : (string, float * int) Hashtbl.t;
+}
+
+type buffer = state
+
+let make_state () =
+  { root = fresh_root ();
+    stack = [];
+    counter_tbl = Hashtbl.create 32;
+    metric_tbl = Hashtbl.create 32 }
+
 let enabled_flag = ref false
-let root = ref (fresh_root ())
-let stack = ref [] (* innermost open span first; empty = at root *)
-let counter_tbl : (string, int) Hashtbl.t = Hashtbl.create 32
-let metric_tbl : (string, float * int) Hashtbl.t = Hashtbl.create 32
+let global = make_state ()
+
+let dls_buffer : state option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let current () =
+  match Domain.DLS.get dls_buffer with Some st -> st | None -> global
 
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b
 
 let reset () =
-  root := fresh_root ();
-  stack := [];
-  Hashtbl.reset counter_tbl;
-  Hashtbl.reset metric_tbl
+  global.root <- fresh_root ();
+  global.stack <- [];
+  Hashtbl.reset global.counter_tbl;
+  Hashtbl.reset global.metric_tbl
 
 let now = Unix.gettimeofday
 
@@ -35,30 +58,33 @@ let find_or_add_child parent name =
 let with_span name f =
   if not !enabled_flag then f ()
   else begin
-    let parent = match !stack with s :: _ -> s | [] -> !root in
+    let st = current () in
+    let parent = match st.stack with s :: _ -> s | [] -> st.root in
     let sp = find_or_add_child parent name in
     sp.calls <- sp.calls + 1;
-    stack := sp :: !stack;
+    st.stack <- sp :: st.stack;
     let t0 = now () in
     Fun.protect
       ~finally:(fun () ->
         sp.elapsed <- sp.elapsed +. (now () -. t0);
         (* pop our frame; be robust to a corrupted stack *)
-        match !stack with s :: rest when s == sp -> stack := rest | _ -> ())
+        match st.stack with s :: rest when s == sp -> st.stack <- rest | _ -> ())
       f
   end
 
 let incr ?(by = 1) name =
   if !enabled_flag then
-    Hashtbl.replace counter_tbl name
-      (by + Option.value ~default:0 (Hashtbl.find_opt counter_tbl name))
+    let st = current () in
+    Hashtbl.replace st.counter_tbl name
+      (by + Option.value ~default:0 (Hashtbl.find_opt st.counter_tbl name))
 
 let record name v =
   if !enabled_flag then
+    let st = current () in
     let total, count =
-      Option.value ~default:(0.0, 0) (Hashtbl.find_opt metric_tbl name)
+      Option.value ~default:(0.0, 0) (Hashtbl.find_opt st.metric_tbl name)
     in
-    Hashtbl.replace metric_tbl name (total +. v, count + 1)
+    Hashtbl.replace st.metric_tbl name (total +. v, count + 1)
 
 let time name f =
   if not !enabled_flag then f ()
@@ -67,7 +93,44 @@ let time name f =
     Fun.protect ~finally:(fun () -> record name (now () -. t0)) f
   end
 
-let counter name = Option.value ~default:0 (Hashtbl.find_opt counter_tbl name)
+let counter name =
+  Option.value ~default:0 (Hashtbl.find_opt global.counter_tbl name)
+
+(* --- buffers (parallel workers) -------------------------------------- *)
+
+let create_buffer () = make_state ()
+
+let in_buffer buf f =
+  let saved = Domain.DLS.get dls_buffer in
+  Domain.DLS.set dls_buffer (Some buf);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set dls_buffer saved) f
+
+let merge_buffer buf =
+  if !enabled_flag then begin
+    let st = current () in
+    let target = match st.stack with s :: _ -> s | [] -> st.root in
+    let rec graft parent sp =
+      let dst = find_or_add_child parent sp.name in
+      dst.calls <- dst.calls + sp.calls;
+      dst.elapsed <- dst.elapsed +. sp.elapsed;
+      List.iter (graft dst) (List.rev sp.children)
+    in
+    List.iter (graft target) (List.rev buf.root.children);
+    Hashtbl.iter
+      (fun k v ->
+        Hashtbl.replace st.counter_tbl k
+          (v + Option.value ~default:0 (Hashtbl.find_opt st.counter_tbl k)))
+      buf.counter_tbl;
+    Hashtbl.iter
+      (fun k (total, count) ->
+        let t0, c0 =
+          Option.value ~default:(0.0, 0) (Hashtbl.find_opt st.metric_tbl k)
+        in
+        Hashtbl.replace st.metric_tbl k (t0 +. total, c0 + count))
+      buf.metric_tbl
+  end
+
+(* --- reports ---------------------------------------------------------- *)
 
 let sorted_bindings tbl =
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
@@ -77,7 +140,7 @@ let render_text ?(spans = true) ?(counters = true) () =
   let buf = Buffer.create 512 in
   if spans then begin
     Buffer.add_string buf "--- spans ---\n";
-    if !root.children = [] then Buffer.add_string buf "  (none)\n"
+    if global.root.children = [] then Buffer.add_string buf "  (none)\n"
     else
       let rec go depth parent_elapsed sp =
         let share =
@@ -92,22 +155,22 @@ let render_text ?(spans = true) ?(counters = true) () =
              sp.name (1000.0 *. sp.elapsed) sp.calls share);
         List.iter (go (depth + 1) sp.elapsed) (List.rev sp.children)
       in
-      List.iter (go 0 0.0) (List.rev !root.children)
+      List.iter (go 0 0.0) (List.rev global.root.children)
   end;
   if counters then begin
-    if sorted_bindings counter_tbl <> [] then begin
+    if sorted_bindings global.counter_tbl <> [] then begin
       Buffer.add_string buf "--- counters ---\n";
       List.iter
         (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "  %-40s %d\n" k v))
-        (sorted_bindings counter_tbl)
+        (sorted_bindings global.counter_tbl)
     end;
-    if sorted_bindings metric_tbl <> [] then begin
+    if sorted_bindings global.metric_tbl <> [] then begin
       Buffer.add_string buf "--- metrics ---\n";
       List.iter
         (fun (k, (total, count)) ->
           Buffer.add_string buf
             (Printf.sprintf "  %-40s %g (n=%d)\n" k total count))
-        (sorted_bindings metric_tbl)
+        (sorted_bindings global.metric_tbl)
     end
   end;
   Buffer.contents buf
@@ -125,11 +188,12 @@ let render_json () =
       | cs -> [ ("children", Json.List (List.rev_map span_json cs)) ])
   in
   Json.Obj
-    [ ("spans", Json.List (List.rev_map span_json !root.children));
+    [ ("spans", Json.List (List.rev_map span_json global.root.children));
       ( "counters",
         Json.Obj
-          (List.map (fun (k, v) -> (k, Json.Int v)) (sorted_bindings counter_tbl))
-      );
+          (List.map
+             (fun (k, v) -> (k, Json.Int v))
+             (sorted_bindings global.counter_tbl)) );
       ( "metrics",
         Json.Obj
           (List.map
@@ -138,4 +202,4 @@ let render_json () =
                  Json.Obj
                    [ ("total", Json.Float total); ("count", Json.Int count) ]
                ))
-             (sorted_bindings metric_tbl)) ) ]
+             (sorted_bindings global.metric_tbl)) ) ]

@@ -39,6 +39,29 @@ val time : string -> (unit -> 'a) -> 'a
 val counter : string -> int
 (** Current value of a counter (0 when absent) — mostly for tests. *)
 
+(** {2 Domain-local buffers}
+
+    Collector state is not safe for concurrent mutation, so parallel
+    workers never write the global tables directly: the domain pool
+    ({!Par}) gives every task a private [buffer], installs it for the
+    task's duration, and the coordinating domain merges the buffers —
+    in deterministic task order — after the join. Counters and metrics
+    add up; buffered span trees are grafted under the span open at
+    merge time, so per-domain attribution survives in the report. *)
+
+type buffer
+
+val create_buffer : unit -> buffer
+
+val in_buffer : buffer -> (unit -> 'a) -> 'a
+(** [in_buffer b f] redirects every span/counter/metric recorded by [f]
+    on the calling domain into [b] (nestable; restored on return). *)
+
+val merge_buffer : buffer -> unit
+(** Fold a buffer's spans, counters and metrics into the caller's
+    current collector state (the global one, or an enclosing buffer).
+    No-op while disabled. *)
+
 val render_text : ?spans:bool -> ?counters:bool -> unit -> string
 (** Human-readable report: span tree (total ms, call counts, share of
     parent) followed by counters and metrics, both sorted by name.

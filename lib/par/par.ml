@@ -1,0 +1,174 @@
+type pool = {
+  jobs : int;
+  name : string;
+  mutex : Mutex.t;
+  cond : Condition.t; (* signaled on submission, task completion, shutdown *)
+  queue : (unit -> unit) Queue.t;
+  mutable live : bool;
+  mutable workers : unit Domain.t list;
+}
+
+(* Which pool slot this domain occupies: workers are 1..jobs-1, the
+   submitting domain is 0. Only used to label observability spans. *)
+let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let worker pool slot () =
+  Domain.DLS.set slot_key slot;
+  Mutex.lock pool.mutex;
+  let rec loop () =
+    match Queue.take_opt pool.queue with
+    | Some task ->
+        Mutex.unlock pool.mutex;
+        task ();
+        Mutex.lock pool.mutex;
+        loop ()
+    | None ->
+        if pool.live then begin
+          Condition.wait pool.cond pool.mutex;
+          loop ()
+        end
+  in
+  loop ();
+  Mutex.unlock pool.mutex
+
+let create ?(name = "pool") jobs =
+  let pool =
+    { jobs;
+      name;
+      mutex = Mutex.create ();
+      cond = Condition.create ();
+      queue = Queue.create ();
+      live = true;
+      workers = [] }
+  in
+  if jobs > 1 then
+    pool.workers <-
+      List.init (jobs - 1) (fun i -> Domain.spawn (worker pool (i + 1)));
+  pool
+
+let size pool = pool.jobs
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.live <- false;
+  Condition.broadcast pool.cond;
+  Mutex.unlock pool.mutex;
+  List.iter Domain.join pool.workers;
+  pool.workers <- []
+
+let with_pool ?name jobs f =
+  if jobs <= 1 then f None
+  else
+    let pool = create ?name jobs in
+    Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f (Some pool))
+
+let run_all pool thunks =
+  match thunks with
+  | [] -> []
+  | [ f ] -> [ f () ]
+  | _ when pool.jobs <= 1 -> List.map (fun f -> f ()) thunks
+  | _ ->
+      let thunks = Array.of_list thunks in
+      let n = Array.length thunks in
+      let observing = Obs.enabled () in
+      let bufs =
+        if observing then Array.init n (fun _ -> Obs.create_buffer ())
+        else [||]
+      in
+      let results = Array.make n None in
+      let remaining = ref n (* protected by pool.mutex *) in
+      let wrap i =
+        let f = thunks.(i) in
+        let body () =
+          if observing then
+            Obs.in_buffer bufs.(i) (fun () ->
+                Obs.with_span
+                  (Printf.sprintf "par.d%d" (Domain.DLS.get slot_key))
+                  (fun () ->
+                    Obs.incr (pool.name ^ ".tasks");
+                    f ()))
+          else f ()
+        in
+        fun () ->
+          let r =
+            try Ok (body ())
+            with e -> Error (e, Printexc.get_raw_backtrace ())
+          in
+          Mutex.lock pool.mutex;
+          results.(i) <- Some r;
+          decr remaining;
+          Condition.broadcast pool.cond;
+          Mutex.unlock pool.mutex
+      in
+      if observing then Obs.incr (pool.name ^ ".batches");
+      Mutex.lock pool.mutex;
+      for i = 0 to n - 1 do
+        Queue.push (wrap i) pool.queue
+      done;
+      Condition.broadcast pool.cond;
+      (* help-first join: run queued tasks (ours or anyone's) while the
+         batch is outstanding, sleeping only when the queue is empty *)
+      let rec help () =
+        if !remaining > 0 then
+          match Queue.take_opt pool.queue with
+          | Some task ->
+              Mutex.unlock pool.mutex;
+              task ();
+              Mutex.lock pool.mutex;
+              help ()
+          | None ->
+              Condition.wait pool.cond pool.mutex;
+              help ()
+      in
+      help ();
+      Mutex.unlock pool.mutex;
+      if observing then Array.iter Obs.merge_buffer bufs;
+      Array.to_list
+        (Array.map
+           (function
+             | Some (Ok v) -> v
+             | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+             | None -> assert false)
+           results)
+
+let both pool f g =
+  match
+    run_all pool
+      [ (fun () -> Either.Left (f ())); (fun () -> Either.Right (g ())) ]
+  with
+  | [ Either.Left a; Either.Right b ] -> (a, b)
+  | _ -> assert false
+
+(* contiguous chunks as [(start_index, chunk)] in order *)
+let chunk_list size xs =
+  let rec take k acc ys =
+    if k = 0 then (List.rev acc, ys)
+    else
+      match ys with
+      | [] -> (List.rev acc, [])
+      | y :: rest -> take (k - 1) (y :: acc) rest
+  in
+  let rec go start acc ys =
+    match ys with
+    | [] -> List.rev acc
+    | _ ->
+        let c, rest = take size [] ys in
+        go (start + List.length c) ((start, c) :: acc) rest
+  in
+  go 0 [] xs
+
+let default_chunk pool n = max 64 ((n + (4 * pool.jobs) - 1) / (4 * pool.jobs))
+
+let map_chunks pool ?chunk ~f xs =
+  match xs with
+  | [] -> []
+  | _ ->
+      let n = List.length xs in
+      let size = match chunk with Some c -> max 1 c | None -> default_chunk pool n in
+      if n <= size then [ f 0 xs ]
+      else
+        run_all pool
+          (List.map (fun (start, c) () -> f start c) (chunk_list size xs))
+
+let map_list pool ?chunk g xs =
+  List.concat (map_chunks pool ?chunk ~f:(fun _ c -> List.map g c) xs)

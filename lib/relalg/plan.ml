@@ -15,11 +15,11 @@ and sort_dir = Asc | Desc
 
 and t = { id : int; node : node }
 
-let counter = ref 0
+(* Atomic: plans are built concurrently (parallel planning sweeps run
+   one query per domain), and ids must stay unique across domains. *)
+let counter = Atomic.make 0
 
-let fresh node =
-  incr counter;
-  { id = !counter; node }
+let fresh node = { id = Atomic.fetch_and_add counter 1 + 1; node }
 
 let id t = t.id
 let node t = t.node

@@ -111,9 +111,26 @@ let gen_plan : Plan.t QCheck.Gen.t =
                 (fun a -> not (is_string a))
                 (Attr.Set.diff schema keys)
             in
+            (* vary the aggregate beyond Sum — the operation requirements
+               differ (addition for Sum/Avg, order for Min/Max, none for
+               Count), so each stresses a distinct candidate/extension
+               path. Count_star is excluded: its output is a fresh
+               attribute invisible to downstream profiles, which only
+               track source attributes (derived outputs reuse an input's
+               name, as udf outputs do). *)
             let aggs =
               if Attr.Set.is_empty rest then []
-              else [ Aggregate.make (Aggregate.Sum (pick_one st rest)) ]
+              else
+                let operand = pick_one st rest in
+                let fn =
+                  match QCheck.Gen.int_bound 4 st with
+                  | 0 -> Aggregate.Sum operand
+                  | 1 -> Aggregate.Avg operand
+                  | 2 -> Aggregate.Min operand
+                  | 3 -> Aggregate.Max operand
+                  | _ -> Aggregate.Count operand
+                in
+                [ Aggregate.make fn ]
             in
             (Plan.group_by keys aggs plan, other_leaves)
         | 5 ->
@@ -175,3 +192,50 @@ let arbitrary_plan_policy =
   QCheck.make
     ~print:(fun (p, _) -> Plan_printer.to_ascii p)
     (QCheck.Gen.pair gen_plan gen_policy)
+
+(* --- minimally extended plans ---------------------------------------- *)
+
+(* An executable case for the engine: the original plan plus — when the
+   random policy admits a full assignment — its minimal extension with
+   [Encrypt]/[Decrypt] nodes and the query-plan key clusters needed to
+   run it over real ciphertext. When some operator ends up with no
+   candidate the case degrades to the unextended plan with no clusters,
+   so consumers see a mix of plaintext-only and encrypting plans. *)
+type extended_case = {
+  original : Plan.t;
+  executable : Plan.t;  (** [original], or its extension with crypto nodes *)
+  clusters : Plan_keys.cluster list;
+}
+
+let gen_extended : extended_case QCheck.Gen.t =
+  QCheck.Gen.(
+    gen_plan >>= fun plan ->
+    gen_policy >>= fun policy ->
+    fun st ->
+      let config = Opreq.resolve_conflicts Opreq.default plan in
+      let lam = Candidates.compute ~policy ~subjects ~config plan in
+      let assignment, complete =
+        Plan.fold
+          (fun (acc, ok) n ->
+            if Candidates.is_source_side n then (acc, ok)
+            else
+              match Subject.Set.elements (Candidates.candidates_of lam n) with
+              | [] -> (acc, false)
+              | cands ->
+                  let i = QCheck.Gen.int_bound (List.length cands - 1) st in
+                  (Imap.add (Plan.id n) (List.nth cands i) acc, ok))
+          (Imap.empty, true) plan
+      in
+      if not complete then
+        { original = plan; executable = plan; clusters = [] }
+      else
+        let ext =
+          Extend.extend ~policy ~config ~assignment ~deliver_to:user plan
+        in
+        let clusters = Plan_keys.compute ~config ~original:plan ext in
+        { original = plan; executable = ext.Extend.plan; clusters })
+
+let arbitrary_extended =
+  QCheck.make
+    ~print:(fun c -> Plan_printer.to_ascii c.executable)
+    gen_extended
