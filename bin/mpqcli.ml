@@ -3,6 +3,7 @@
 
      mpqcli plan       -p policy.mpq -q "select ..."   plan + profiles + Λ
      mpqcli optimize   -p policy.mpq -q "select ..."   full planning report
+     mpqcli serve      -p policy.mpq -f queries.sql    query loop, plan cache
      mpqcli tpch       -n 5 -s UAPenc                   TPC-H query report
      mpqcli scenarios                                   Fig. 9/10 summary
      mpqcli example                                     built-in policy file
@@ -728,6 +729,153 @@ let check_cmd =
                      ~doc:"SQL query to plan and verify.")
           $ tpch_arg $ scenario_arg $ json_arg $ obs_args)
 
+(* --- serve ----------------------------------------------------------- *)
+
+let serve_cmd =
+  let file_arg =
+    Arg.(value & opt (some file) None
+         & info [ "f"; "file" ] ~docv:"FILE"
+             ~doc:"Read queries from $(docv) instead of standard input \
+                   (batch mode: the whole request stream is served and the \
+                   process exits).")
+  in
+  let cache_arg =
+    Arg.(value & opt int 128
+         & info [ "cache" ] ~docv:"N"
+             ~doc:"Plan-cache capacity: at most $(docv) verified plans are \
+                   retained, least-recently-used first out.")
+  in
+  let batch_arg =
+    Arg.(value & opt int 16
+         & info [ "batch" ] ~docv:"N"
+             ~doc:"Admission bound: queued queries are served in rounds of \
+                   at most $(docv); larger backlogs wait (backpressure).")
+  in
+  let run policy_path table_specs file cache batch jobs obs =
+    guard @@ fun () ->
+    with_obs obs @@ fun () ->
+    Par.with_pool ~name:"serve" jobs @@ fun pool ->
+    let env = load_policy policy_path in
+    let tables = load_tables env table_specs in
+    let service =
+      Serve.Service.create ?pool ~cache_capacity:cache ~max_batch:batch
+        ~policy:env.Authz.Policy_dsl.policy
+        ~subjects:env.Authz.Policy_dsl.subjects ~tables ()
+    in
+    let ic = match file with Some p -> open_in p | None -> stdin in
+    let line_no = ref 0 in
+    let pending = ref [] in
+    (* newest first; (line, plan) *)
+    let drain () =
+      match List.rev !pending with
+      | [] -> ()
+      | batch ->
+          pending := [];
+          let responses =
+            Serve.Service.submit_batch service (List.map snd batch)
+          in
+          List.iter2
+            (fun (n, _) (r : Serve.Service.response) ->
+              match r.Serve.Service.outcome with
+              | Serve.Service.Table t ->
+                  Printf.printf "-- [%d] %s: plan %.2f ms, exec %.2f ms, %d rows\n"
+                    n
+                    (match r.Serve.Service.status with
+                    | Serve.Service.Hit -> "hit"
+                    | Serve.Service.Miss -> "miss")
+                    r.Serve.Service.plan_ms r.Serve.Service.exec_ms
+                    (Engine.Table.cardinality t);
+                  print_string (Engine.Csv.to_string t)
+              | Serve.Service.Rejected msg ->
+                  Printf.printf "-- [%d] rejected: %s\n" n msg)
+            batch responses;
+          flush stdout
+    in
+    let directive line =
+      (* a directive flushes the backlog first: its effect must order
+         with the queries around it exactly as written *)
+      drain ();
+      match
+        List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+      with
+      | [ "\\stats" ] ->
+          prerr_endline (Serve.Service.render_stats (Serve.Service.stats service))
+      | [ "\\invalidate" ] -> Serve.Service.invalidate service
+      | [ "\\policy"; path ] -> (
+          match Authz.Policy_dsl.load path with
+          | e ->
+              Serve.Service.set_policy ~subjects:e.Authz.Policy_dsl.subjects
+                service e.Authz.Policy_dsl.policy;
+              Printf.eprintf "-- policy %s installed, cache rotated\n%!" path
+          | exception Authz.Policy_dsl.Syntax_error (l, msg) ->
+              Printf.eprintf "-- [%d] policy %s rejected: line %d: %s\n%!"
+                !line_no path l msg
+          | exception Sys_error msg ->
+              Printf.eprintf "-- [%d] policy load failed: %s\n%!" !line_no msg)
+      | d :: _ ->
+          Printf.eprintf
+            "-- [%d] unknown directive %s (try \\stats, \\policy FILE, \
+             \\invalidate)\n%!"
+            !line_no d
+      | [] -> ()
+    in
+    (try
+       while true do
+         let raw = input_line ic in
+         incr line_no;
+         let line = String.trim raw in
+         if line = "" || line.[0] = '#' then ()
+         else if line.[0] = '\\' then directive line
+         else begin
+           (* report parse errors after the backlog so responses keep
+              line order *)
+           (match Serve.Service.parse service line with
+           | plan -> pending := (!line_no, plan) :: !pending
+           | exception Mpq_sql.Sql_lexer.Lex_error (msg, pos) ->
+               drain ();
+               Printf.printf "-- [%d] parse error at %d: %s\n" !line_no pos msg
+           | exception Mpq_sql.Sql_parser.Parse_error msg
+           | exception Mpq_sql.Sql_plan.Plan_error msg ->
+               drain ();
+               Printf.printf "-- [%d] parse error: %s\n" !line_no msg);
+           if List.length !pending >= batch then drain ()
+         end
+       done
+     with End_of_file -> ());
+    drain ();
+    if file <> None then close_in ic;
+    prerr_endline (Serve.Service.render_stats (Serve.Service.stats service));
+    exit_ok
+  in
+  let doc = "serve a stream of queries through the verified plan cache" in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Reads one request per line from $(b,--file) or standard input and \
+          answers each on standard output: a $(b,-- [LINE] hit|miss) status \
+          comment with the planning and execution latency, then the result \
+          as CSV. Optimized plans are cached after passing the static \
+          verifier once, keyed by (query structure, policy, configuration); \
+          a repeated query skips planning $(i,and) re-verification. Queries \
+          the policy rejects report $(b,rejected) and the verdict is cached \
+          too.";
+      `P "Blank lines and $(b,#) comments are skipped. Directives: \
+          $(b,\\\\stats) prints cache statistics to standard error, \
+          $(b,\\\\policy FILE) installs a new policy — every cached plan \
+          keyed under the old policy becomes unreachable at once — and \
+          $(b,\\\\invalidate) drops the cache. Base relations are fixed at \
+          startup ($(b,--table)); a swapped policy must keep the relations \
+          it queries.";
+      `P "With $(b,--jobs N) queued queries are planned and executed on N \
+          domains in admission-bounded rounds ($(b,--batch)); responses, \
+          response order and cache evolution are identical to sequential \
+          serving, byte for byte." ]
+    @ exit_status_man
+  in
+  Cmd.v (Cmd.info "serve" ~doc ~man)
+    Term.(
+      const run $ policy_arg $ tables_arg $ file_arg $ cache_arg $ batch_arg
+      $ jobs_arg $ obs_args)
+
 (* --- example -------------------------------------------------------- *)
 
 let example_cmd =
@@ -744,8 +892,8 @@ let () =
   let status =
     Cmd.eval'
       (Cmd.group info
-         [ plan_cmd; optimize_cmd; run_cmd; chaos_cmd; check_cmd; tpch_cmd;
-           scenarios_cmd; example_cmd ])
+         [ plan_cmd; optimize_cmd; run_cmd; serve_cmd; chaos_cmd; check_cmd;
+           tpch_cmd; scenarios_cmd; example_cmd ])
   in
   (* cmdliner reserves 124 for CLI parse errors; fold it into our
      documented "1 = usage/parse error" convention *)

@@ -492,7 +492,29 @@ let operator_tag plan =
   | Plan.Base _ -> "base"
   | _ -> Plan.operator_name plan
 
+(* Encryption randomness is rooted per plan node (see
+   [encrypt_columns]), but raw node ids come from a global counter: two
+   structurally identical plans built at different times carry different
+   ids. Executions must be reproducible from plan {e structure} — a
+   re-planned copy of a cached query has to produce the same ciphertext
+   bytes — so the rng label is the node's preorder position within the
+   executing plan, not its allocation id. *)
+let canonical_ids plan =
+  let tbl = Hashtbl.create 64 in
+  let next = ref 0 in
+  let rec visit p =
+    Hashtbl.replace tbl (Plan.id p) !next;
+    incr next;
+    List.iter visit (Plan.children p)
+  in
+  visit plan;
+  fun id -> try Hashtbl.find tbl id with Not_found -> id
+
 let run_with_hook ?pool ctx ~hook plan =
+  let canon =
+    let f = canonical_ids plan in
+    fun p -> f (Plan.id p)
+  in
   (* Lazy key material (the Paillier pair) is generated under a lock in
      Keyring, so worker domains may trigger it on demand; no eager
      [Enc_exec.prepare_parallel] here — plans that never touch phe
@@ -508,7 +530,7 @@ let run_with_hook ?pool ctx ~hook plan =
       Obs.with_span ("exec." ^ operator_tag plan) @@ fun () ->
       try
         match Plan.node plan with
-        | Plan.Base s -> (base ctx pool ~node:(Plan.id plan) s, [])
+        | Plan.Base s -> (base ctx pool ~node:(canon plan) s, [])
         | Plan.Project (attrs, c) ->
             let t, lg = go c in
             (project pool t attrs, lg)
@@ -523,7 +545,7 @@ let run_with_hook ?pool ctx ~hook plan =
             (join ?crypto:ctx.crypto pool pred tl tr, ll @ lr)
         | Plan.Group_by (keys, aggs, c) ->
             let t, lg = go c in
-            (group_by ?crypto:ctx.crypto pool ~node:(Plan.id plan) t keys aggs, lg)
+            (group_by ?crypto:ctx.crypto pool ~node:(canon plan) t keys aggs, lg)
         | Plan.Udf (name, inputs, output, c) ->
             let t, lg = go c in
             (udf_apply ctx pool name inputs output t, lg)
@@ -535,10 +557,10 @@ let run_with_hook ?pool ctx ~hook plan =
             (limit t n, lg)
         | Plan.Encrypt (attrs, c) ->
             let t, lg = go c in
-            (crypt ctx pool ~encrypt:true ~node:(Plan.id plan) attrs t, lg)
+            (crypt ctx pool ~encrypt:true ~node:(canon plan) attrs t, lg)
         | Plan.Decrypt (attrs, c) ->
             let t, lg = go c in
-            (crypt ctx pool ~encrypt:false ~node:(Plan.id plan) attrs t, lg)
+            (crypt ctx pool ~encrypt:false ~node:(canon plan) attrs t, lg)
       with Table.Unknown_attribute { attr; columns } ->
         err "%s: unknown attribute %s (table columns: %s)" (operator_tag plan)
           attr

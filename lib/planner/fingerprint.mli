@@ -1,0 +1,52 @@
+(** Canonical, collision-free fingerprints of planner inputs.
+
+    The plan cache ([lib/serve]) keys entries by the planner's full
+    input — query structure, policy, operation-requirement config,
+    prices, network — so distinct inputs {e must} never serialize to
+    the same string. Every atomic field is therefore emitted
+    length-prefixed ([<len>:<bytes>]) and every composite carries a
+    constructor tag and an element count: no concatenation of fields
+    can collide with a different field split, unlike naive
+    [String.concat] keys (see the regression tests in
+    [test/test_serve.ml]).
+
+    Fingerprints are structural: plan node ids (fresh per parse) never
+    appear, so re-parsing the same query yields the same fingerprint.
+    They are not cryptographic hashes — equal fingerprints mean equal
+    inputs by construction, and keys stay inspectable in debug
+    output. *)
+
+open Relalg
+
+val field : Buffer.t -> string -> unit
+(** Append one length-prefixed field: [<len>:<bytes>]. *)
+
+val int_field : Buffer.t -> int -> unit
+val float_field : Buffer.t -> float -> unit
+(** Exact (bit-pattern) encoding, so [0.1 +. 0.2] and [0.3] differ. *)
+
+val list_field : Buffer.t -> ('a -> string) -> 'a list -> unit
+(** Count prefix followed by one field per element. *)
+
+val of_value : Value.t -> string
+val of_predicate : Predicate.t -> string
+
+val of_plan : Plan.t -> string
+(** Structural fingerprint of a query plan, independent of node ids:
+    two plans have equal fingerprints iff {!Plan.equal_shape} holds. *)
+
+val of_subject : Authz.Subject.t -> string
+(** Role and name (two subjects may share a name across roles). *)
+
+val of_policy : Authz.Authorization.t -> string
+(** Schemas (sorted by relation name: name, owner, storage, typed
+    columns in declaration order) plus rules (canonically sorted), so
+    any grant or revocation of a single permission rotates the
+    fingerprint. *)
+
+val of_config : Authz.Opreq.config -> string
+(** Capability flags, encryption-capable udfs (order-insensitive) and
+    per-node forced-plaintext overrides. Note that [forced_plaintext]
+    is keyed by plan-node ids, which are instance-specific: cache keys
+    should be built from the {e input} config, before
+    {!Authz.Opreq.resolve_conflicts} specializes it to a plan. *)

@@ -11,3 +11,9 @@ let bandwidth_bps t a b =
 let transfer_seconds t a b bytes =
   if Authz.Subject.equal a b then 0.0
   else 8.0 *. bytes /. bandwidth_bps t a b
+
+let fingerprint t =
+  let buf = Buffer.create 32 in
+  Fingerprint.float_field buf t.backbone_bps;
+  Fingerprint.float_field buf t.client_bps;
+  Buffer.contents buf

@@ -17,3 +17,7 @@ val bandwidth_bps : t -> Authz.Subject.t -> Authz.Subject.t -> float
 
 val transfer_seconds : t -> Authz.Subject.t -> Authz.Subject.t -> float -> float
 (** [transfer_seconds t a b bytes]. Zero when [a = b]. *)
+
+val fingerprint : t -> string
+(** Canonical collision-free serialization of the two bandwidths (see
+    {!Fingerprint}). Part of the plan-cache key. *)

@@ -33,16 +33,50 @@ let assert_verified ~policy ~config extended clusters requests =
          ^ Verify.Diag.render (Verify.Diag.errors diags)))
 
 (* Canonical text key for an assignment: Imap iterates in node-id order,
-   so equal assignments always fingerprint identically. *)
+   so equal assignments always fingerprint identically. Fields are
+   length-prefixed (Fingerprint.field): with the earlier bare
+   `id ":" name ";"` concatenation, a subject named "A;2:B" on node 1
+   collided with subjects A and B on nodes 1 and 2. *)
 let fingerprint assignment =
   let buf = Buffer.create 64 in
   Authz.Imap.iter
     (fun id s ->
-      Buffer.add_string buf (string_of_int id);
-      Buffer.add_char buf ':';
-      Buffer.add_string buf (Authz.Subject.name s);
-      Buffer.add_char buf ';')
+      Fingerprint.int_field buf id;
+      Fingerprint.field buf (Fingerprint.of_subject s))
     assignment;
+  Buffer.contents buf
+
+(* The serving layer's cache key is the planner's entire input: the
+   environment half (policy, config, prices, network, recipient,
+   latency bound) changes rarely and is cached by the service; the
+   query half is recomputed per request. *)
+let environment_fingerprint ~policy ~subjects ?(config = Authz.Opreq.default)
+    ?(pricing = Pricing.make ()) ?(network = Network.make ()) ?deliver_to
+    ?max_latency () =
+  let buf = Buffer.create 256 in
+  Fingerprint.field buf "mpq-env-v1";
+  Fingerprint.field buf (Fingerprint.of_policy policy);
+  Fingerprint.list_field buf Fingerprint.of_subject subjects;
+  Fingerprint.field buf (Fingerprint.of_config config);
+  Fingerprint.field buf (Pricing.fingerprint pricing);
+  Fingerprint.field buf (Network.fingerprint network);
+  (match deliver_to with
+  | None -> Fingerprint.field buf "none"
+  | Some s ->
+      Fingerprint.field buf "some";
+      Fingerprint.field buf (Fingerprint.of_subject s));
+  (match max_latency with
+  | None -> Fingerprint.field buf "none"
+  | Some l ->
+      Fingerprint.field buf "some";
+      Fingerprint.float_field buf l);
+  Buffer.contents buf
+
+let cache_key ~env query =
+  let buf = Buffer.create 512 in
+  Fingerprint.field buf "mpq-plan-cache-v1";
+  Fingerprint.field buf (Fingerprint.of_plan query);
+  Fingerprint.field buf env;
   Buffer.contents buf
 
 let plan ~policy ~subjects ?(config = Authz.Opreq.default)

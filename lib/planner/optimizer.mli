@@ -34,6 +34,36 @@ exception Verification_failed of string
     verifier ([Verify.Verifier]) finds an [Error]-severity diagnostic in
     the produced plan. Indicates a planner bug, never a policy problem. *)
 
+val fingerprint : Authz.Subject.t Authz.Imap.t -> string
+(** Canonical key of an assignment (the local-search memo key): node
+    ids and subjects, length-prefixed so distinct assignments cannot
+    collide by concatenation (see {!Fingerprint}). *)
+
+val environment_fingerprint :
+  policy:Authz.Authorization.t ->
+  subjects:Authz.Subject.t list ->
+  ?config:Authz.Opreq.config ->
+  ?pricing:Pricing.t ->
+  ?network:Network.t ->
+  ?deliver_to:Authz.Subject.t ->
+  ?max_latency:float ->
+  unit ->
+  string
+(** Fingerprint of every planning input except the query itself. The
+    serving layer computes it once per policy/config epoch: any change
+    to the policy, the participating subjects, the operation
+    requirements, prices, bandwidths, the recipient or the latency
+    bound yields a different string, which rotates every cache key
+    built from it (explicit invalidation — stale entries become
+    unreachable). Defaults mirror {!plan}'s. *)
+
+val cache_key : env:string -> Relalg.Plan.t -> string
+(** [cache_key ~env query] is the plan-cache key for planning [query]
+    under the environment fingerprinted as [env]: the structural query
+    fingerprint ({!Fingerprint.of_plan}, node-id independent — equal
+    for any two parses of the same query text) composed with [env],
+    each length-prefixed. *)
+
 val self_check : bool ref
 (** Whether {!plan} re-verifies its own output before returning it
     (default [true]; initialized to [false] when the [MPQ_SELF_CHECK]

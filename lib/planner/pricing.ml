@@ -40,3 +40,16 @@ let rates_for t (s : Authz.Subject.t) =
 
 let cheapest_provider_factor t =
   List.fold_left (fun acc (_, f) -> Float.min acc f) 1.0 t.provider_multipliers
+
+let fingerprint t =
+  let buf = Buffer.create 64 in
+  Fingerprint.float_field buf t.authority_factor;
+  Fingerprint.float_field buf t.user_factor;
+  Fingerprint.list_field buf
+    (fun (name, f) ->
+      let b = Buffer.create 16 in
+      Fingerprint.field b name;
+      Fingerprint.float_field b f;
+      Buffer.contents b)
+    (List.sort compare t.provider_multipliers);
+  Buffer.contents buf

@@ -32,3 +32,8 @@ val rates_for : t -> Authz.Subject.t -> rates
 
 val cheapest_provider_factor : t -> float
 (** Smallest provider multiplier (useful in reporting). *)
+
+val fingerprint : t -> string
+(** Canonical collision-free serialization (see {!Fingerprint}):
+    factors bit-exact, multipliers sorted by provider name. Part of the
+    plan-cache key — any price change rotates it. *)

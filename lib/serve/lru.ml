@@ -1,0 +1,78 @@
+type 'a entry = { mutable value : 'a; mutable stamp : int }
+
+type 'a t = {
+  cap : int;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable clock : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable insertions : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then
+    invalid_arg (Printf.sprintf "Lru.create: capacity %d < 1" capacity);
+  { cap = capacity; table = Hashtbl.create (2 * capacity); clock = 0;
+    hits = 0; misses = 0; insertions = 0; evictions = 0 }
+
+let capacity t = t.cap
+let length t = Hashtbl.length t.table
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let find t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e ->
+      t.hits <- t.hits + 1;
+      e.stamp <- tick t;
+      Some e.value
+  | None ->
+      t.misses <- t.misses + 1;
+      None
+
+let mem t key = Hashtbl.mem t.table key
+
+let evict_oldest t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key e ->
+      match !victim with
+      | Some (_, stamp) when stamp <= e.stamp -> ()
+      | _ -> victim := Some (key, e.stamp))
+    t.table;
+  match !victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.table key;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add t key value =
+  (match Hashtbl.find_opt t.table key with
+  | Some e ->
+      e.value <- value;
+      e.stamp <- tick t
+  | None ->
+      t.insertions <- t.insertions + 1;
+      Hashtbl.replace t.table key { value; stamp = tick t };
+      if Hashtbl.length t.table > t.cap then evict_oldest t);
+  ()
+
+let keys t =
+  let all = Hashtbl.fold (fun key e acc -> (e.stamp, key) :: acc) t.table [] in
+  List.map snd (List.sort (fun (a, _) (b, _) -> compare b a) all)
+
+let clear t = Hashtbl.reset t.table
+
+let stats (t : _ t) =
+  { hits = t.hits; misses = t.misses; insertions = t.insertions;
+    evictions = t.evictions }

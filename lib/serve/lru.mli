@@ -1,0 +1,47 @@
+(** Bounded LRU map with string keys, used as the verified plan cache.
+
+    Single-domain by design: the serving layer performs every cache
+    operation on the coordinating domain, in request order, so the
+    cache's evolution — and in particular which entries a bounded
+    cache evicts — is a pure function of the request stream,
+    independent of how many domains execute the work in between (the
+    determinism the differential serve tests rely on).
+
+    Recency is tracked with a monotonic stamp per entry; eviction
+    removes the smallest stamp. With the intended capacities (tens to
+    a few hundred plans) the linear eviction scan is noise next to one
+    planning call. *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** Raises [Invalid_argument] when [capacity < 1]. *)
+
+val capacity : _ t -> int
+val length : _ t -> int
+
+val find : 'a t -> string -> 'a option
+(** Refreshes the entry's recency and counts a hit or a miss. *)
+
+val mem : _ t -> string -> bool
+(** Pure probe: no recency refresh, no stats. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert or replace, making the entry most recent; evicts the least
+    recently used entry when the cache is over capacity. *)
+
+val keys : _ t -> string list
+(** All keys, most recently used first — the cache's observable state,
+    compared across job counts by the differential tests. *)
+
+val clear : 'a t -> unit
+(** Drop every entry (statistics are kept). *)
+
+type stats = {
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+}
+
+val stats : _ t -> stats

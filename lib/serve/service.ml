@@ -1,0 +1,337 @@
+open Relalg
+
+(* Cached verdicts: a verified plan, or the policy's rejection of the
+   query. Both are deterministic in (query, environment), so both are
+   sound to replay until the environment fingerprint rotates. *)
+type entry =
+  | Planned of Planner.Optimizer.result
+  | Denied of string
+
+type t = {
+  mutable policy : Authz.Authorization.t;
+  mutable subjects : Authz.Subject.t list;
+  mutable config : Authz.Opreq.config;
+  mutable pricing : Planner.Pricing.t;
+  mutable network : Planner.Network.t;
+  mutable env : string;  (* environment fingerprint, cached *)
+  base : Planner.Estimate.base_stats;
+  deliver_to : Authz.Subject.t option;
+  max_latency : float option;
+  udfs : (string * Engine.Exec.udf) list;
+  tables : (string * Engine.Table.t) list;
+  seed : int64;
+  pool : Par.pool option;
+  max_batch : int;
+  cache : entry Lru.t;
+  mutable queries : int;
+  mutable rejections : int;
+  mutable plan_ms_total : float;
+  mutable exec_ms_total : float;
+}
+
+type status = Hit | Miss
+
+type outcome = Table of Engine.Table.t | Rejected of string
+
+type response = {
+  outcome : outcome;
+  status : status;
+  key : string;
+  planned : Planner.Optimizer.result option;
+  plan_ms : float;
+  exec_ms : float;
+}
+
+let compute_env t =
+  Planner.Optimizer.environment_fingerprint ~policy:t.policy
+    ~subjects:t.subjects ~config:t.config ~pricing:t.pricing
+    ~network:t.network ?deliver_to:t.deliver_to ?max_latency:t.max_latency ()
+
+let create ?(cache_capacity = 128) ?(max_batch = 32) ?pool
+    ?(config = Authz.Opreq.default) ?(pricing = Planner.Pricing.make ())
+    ?(network = Planner.Network.make ()) ?(base = fun _ -> None) ?deliver_to
+    ?max_latency ?(udfs = []) ?(seed = 42L) ~policy ~subjects ~tables () =
+  if max_batch < 1 then
+    invalid_arg (Printf.sprintf "Service.create: max_batch %d < 1" max_batch);
+  let deliver_to =
+    match deliver_to with
+    | Some _ as d -> d
+    | None ->
+        List.find_opt
+          (fun s -> s.Authz.Subject.role = Authz.Subject.User)
+          subjects
+  in
+  let t =
+    { policy; subjects; config; pricing; network; env = ""; base; deliver_to;
+      max_latency; udfs; tables; seed; pool; max_batch;
+      cache = Lru.create ~capacity:cache_capacity; queries = 0;
+      rejections = 0; plan_ms_total = 0.0; exec_ms_total = 0.0 }
+  in
+  t.env <- compute_env t;
+  t
+
+let rotate t =
+  t.env <- compute_env t;
+  Obs.incr "serve.env_rotations"
+
+let set_policy ?subjects t policy =
+  t.policy <- policy;
+  (match subjects with Some s -> t.subjects <- s | None -> ());
+  rotate t
+
+let set_config t config =
+  t.config <- config;
+  rotate t
+
+let set_pricing t pricing =
+  t.pricing <- pricing;
+  rotate t
+
+let set_network t network =
+  t.network <- network;
+  rotate t
+
+let invalidate t = Lru.clear t.cache
+let environment t = t.env
+
+let parse t sql =
+  let catalog = Authz.Authorization.schemas t.policy in
+  let plan = Mpq_sql.Sql_plan.parse_and_plan ~catalog sql in
+  Planner.Join_order.reorder ~base:t.base (Planner.Rewrite.normalize plan)
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+(* Plan + verify one cold query. Exactly one verifier pass guards every
+   insertion: the optimizer's own self-check when it is enabled
+   (the default), an explicit pass here when a caller has turned the
+   global gate off — the cache's "verified entries only" contract must
+   not depend on ambient flag state. *)
+let plan_once t query =
+  Obs.with_span "serve.plan" @@ fun () ->
+  let verified_by_planner = !Planner.Optimizer.self_check in
+  match
+    let r =
+      Planner.Optimizer.plan ~policy:t.policy ~subjects:t.subjects
+        ~config:t.config ~pricing:t.pricing ~network:t.network ~base:t.base
+        ?deliver_to:t.deliver_to ?max_latency:t.max_latency query
+    in
+    if not verified_by_planner then begin
+      let diags =
+        Verify.Verifier.run
+          { Verify.Verifier.policy = t.policy;
+            config = r.Planner.Optimizer.config;
+            extended = r.Planner.Optimizer.extended;
+            clusters = r.Planner.Optimizer.clusters;
+            requests = r.Planner.Optimizer.requests }
+      in
+      if Verify.Diag.has_errors diags then
+        raise
+          (Planner.Optimizer.Verification_failed
+             ("serve: cold plan failed verification:\n"
+             ^ Verify.Diag.render (Verify.Diag.errors diags)))
+    end;
+    r
+  with
+  | r -> Planned r
+  | exception Planner.Optimizer.No_candidate msg -> Denied msg
+  | exception Planner.Optimizer.User_not_authorized msg -> Denied msg
+  | exception Planner.Optimizer.Verification_failed msg ->
+      (* fail closed: a plan the verifier will not certify is never
+         served (or cached as servable). The verdict is deterministic
+         in (query, environment) like the other rejections, but the
+         full diagnostic rendering cites plan node ids — allocation-
+         counter artifacts — so only its stable first line is cached. *)
+      let stable =
+        match String.index_opt msg '\n' with
+        | Some i -> String.sub msg 0 i
+        | None -> msg
+      in
+      Denied stable
+
+let execute t (r : Planner.Optimizer.result) =
+  Obs.with_span "serve.exec" @@ fun () ->
+  (* fresh keyring per execution: ciphertext randomness derives from
+     (node id, row index), so equal seeds reproduce equal bytes *)
+  let keyring = Mpq_crypto.Keyring.create ~seed:t.seed () in
+  let crypto = Engine.Enc_exec.make keyring r.Planner.Optimizer.clusters in
+  let ctx = Engine.Exec.context ~udfs:t.udfs ~crypto t.tables in
+  Engine.Exec.run ?pool:t.pool ctx
+    r.Planner.Optimizer.extended.Authz.Extend.plan
+
+let run_tasks t thunks =
+  match (t.pool, thunks) with
+  | Some pool, _ :: _ :: _ -> Par.run_all pool thunks
+  | _ -> List.map (fun f -> f ()) thunks
+
+(* One admission-bounded round of the three-phase protocol. *)
+let serve_round t queries =
+  Obs.with_span "serve.batch" @@ fun () ->
+  let before = Lru.stats t.cache in
+  (* phase 1 — probe: fingerprint every request, pick the distinct
+     missing keys. Pure: no cache mutation, no recency refresh. *)
+  let keyed =
+    List.map
+      (fun q ->
+        let t0 = now_ms () in
+        let key = Planner.Optimizer.cache_key ~env:t.env q in
+        (q, key, now_ms () -. t0))
+      queries
+  in
+  let to_plan =
+    List.rev
+      (List.fold_left
+         (fun acc (q, key, _) ->
+           if Lru.mem t.cache key || List.mem_assoc key acc then acc
+           else (key, q) :: acc)
+         [] keyed)
+  in
+  (* phase 2 — plan each distinct missing key in parallel. Planning is
+     pure (the plan-node id counter is atomic), so tasks only race for
+     CPU; planner rejections become cacheable Denied entries, anything
+     else propagates. *)
+  let planned =
+    run_tasks t
+      (List.map
+         (fun (key, q) () ->
+           let t0 = now_ms () in
+           let entry = plan_once t q in
+           (key, (entry, now_ms () -. t0)))
+         to_plan)
+  in
+  (* phase 3 — replay the cache protocol sequentially in request
+     order: the only phase that mutates the cache, so its evolution is
+     independent of the job count. A key that repeats within the batch
+     misses once and hits from then on, exactly as in serial serving. *)
+  let resolved =
+    List.map
+      (fun (q, key, key_ms) ->
+        let t0 = now_ms () in
+        match Lru.find t.cache key with
+        | Some entry ->
+            (q, key, entry, Hit, key_ms +. (now_ms () -. t0))
+        | None ->
+            let entry, plan_ms =
+              match List.assoc_opt key planned with
+              | Some e -> e
+              | None ->
+                  (* the probe saw this key resident, but an earlier
+                     insertion in this very round evicted it. Replan on
+                     the coordinator: a function of request order and
+                     cache state only, so still job-count independent. *)
+                  let p0 = now_ms () in
+                  let entry = plan_once t q in
+                  (entry, now_ms () -. p0)
+            in
+            Lru.add t.cache key entry;
+            (q, key, entry, Miss, key_ms +. (now_ms () -. t0) +. plan_ms))
+      keyed
+  in
+  (* execute in parallel (results are position-deterministic), then
+     assemble responses in request order *)
+  let responses =
+    run_tasks t
+      (List.map
+         (fun (_, key, entry, status, plan_ms) () ->
+           match entry with
+           | Denied msg ->
+               { outcome = Rejected msg; status; key; planned = None;
+                 plan_ms; exec_ms = 0.0 }
+           | Planned r ->
+               let t0 = now_ms () in
+               let table = execute t r in
+               { outcome = Table table; status; key; planned = Some r;
+                 plan_ms; exec_ms = now_ms () -. t0 })
+         resolved)
+  in
+  (* accounting (coordinator only, deterministic) *)
+  let after = Lru.stats t.cache in
+  Obs.incr ~by:(after.Lru.hits - before.Lru.hits) "serve.cache.hits";
+  Obs.incr ~by:(after.Lru.misses - before.Lru.misses) "serve.cache.misses";
+  Obs.incr ~by:(after.Lru.evictions - before.Lru.evictions)
+    "serve.cache.evictions";
+  List.iter
+    (fun r ->
+      t.queries <- t.queries + 1;
+      Obs.incr "serve.queries";
+      (match r.outcome with
+      | Rejected _ ->
+          t.rejections <- t.rejections + 1;
+          Obs.incr "serve.rejections"
+      | Table _ -> ());
+      t.plan_ms_total <- t.plan_ms_total +. r.plan_ms;
+      t.exec_ms_total <- t.exec_ms_total +. r.exec_ms;
+      Obs.record "serve.plan_ms" r.plan_ms;
+      Obs.record "serve.exec_ms" r.exec_ms;
+      Obs.record "serve.query_ms" (r.plan_ms +. r.exec_ms))
+    responses;
+  responses
+
+let rec admit t = function
+  | [] -> []
+  | queries ->
+      let rec take n acc = function
+        | rest when n = 0 -> (List.rev acc, rest)
+        | [] -> (List.rev acc, [])
+        | q :: rest -> take (n - 1) (q :: acc) rest
+      in
+      let round, rest = take t.max_batch [] queries in
+      let served = serve_round t round in
+      served @ admit t rest
+
+let submit_batch t queries = admit t queries
+
+let submit t query =
+  match serve_round t [ query ] with
+  | [ r ] -> r
+  | _ -> assert false
+
+let submit_sql t sql = submit t (parse t sql)
+
+type stats = {
+  queries : int;
+  rejections : int;
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+  plan_ms : float;
+  exec_ms : float;
+}
+
+let stats t =
+  let c = Lru.stats t.cache in
+  { queries = t.queries; rejections = t.rejections; hits = c.Lru.hits;
+    misses = c.Lru.misses; insertions = c.Lru.insertions;
+    evictions = c.Lru.evictions; entries = Lru.length t.cache;
+    capacity = Lru.capacity t.cache; plan_ms = t.plan_ms_total;
+    exec_ms = t.exec_ms_total }
+
+let hit_rate s =
+  let looked = s.hits + s.misses in
+  if looked = 0 then 0.0 else float_of_int s.hits /. float_of_int looked
+
+let cache_keys t = Lru.keys t.cache
+
+let render_stats s =
+  Printf.sprintf
+    "%d queries (%d rejected): %d hits, %d misses (%.1f%% hit rate), \
+     %d/%d entries, %d evictions; plan %.2f ms, exec %.2f ms"
+    s.queries s.rejections s.hits s.misses
+    (100.0 *. hit_rate s)
+    s.entries s.capacity s.evictions s.plan_ms s.exec_ms
+
+let stats_json s =
+  Json.Obj
+    [ ("queries", Json.Int s.queries);
+      ("rejections", Json.Int s.rejections);
+      ("hits", Json.Int s.hits);
+      ("misses", Json.Int s.misses);
+      ("hit_rate", Json.Float (hit_rate s));
+      ("insertions", Json.Int s.insertions);
+      ("evictions", Json.Int s.evictions);
+      ("entries", Json.Int s.entries);
+      ("capacity", Json.Int s.capacity);
+      ("plan_ms", Json.Float s.plan_ms);
+      ("exec_ms", Json.Float s.exec_ms) ]

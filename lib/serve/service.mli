@@ -1,0 +1,148 @@
+(** Long-running query service with a verified plan cache.
+
+    The paper's pipeline (profiles → candidates → minimal extension →
+    keys → dispatch) is deterministic in its inputs, so a stream of
+    queries under a slowly-changing policy re-derives the same plans
+    over and over. The service amortizes that work: optimized plans
+    are cached {e after} they have passed the independent static
+    verifier once, keyed by
+
+    [cache key = query fingerprint × environment fingerprint]
+
+    where the environment covers the policy, the participating
+    subjects, the operation-requirement config, prices, bandwidths,
+    the recipient and the latency bound
+    ({!Planner.Optimizer.environment_fingerprint}). A cache hit skips
+    parsing-independent planning {e and} re-verification; any
+    [set_*] mutation rotates the environment fingerprint, so every
+    key formed under the old environment becomes unreachable — stale
+    plans are never served, and the bounded LRU ages them out.
+
+    {2 Concurrency and determinism}
+
+    [submit_batch] serves a batch on the {!Par} pool with a
+    three-phase protocol: (1) probe — compute keys and classify
+    misses without touching the cache; (2) plan — optimize + verify
+    each {e distinct} missing key in parallel; (3) replay — perform
+    the real cache lookups and insertions sequentially, in request
+    order, on the coordinating domain, then execute result plans in
+    parallel. Because phase 3 is the only phase that mutates the
+    cache, the cache's evolution (hit/miss sequence, insertion order,
+    evictions) is identical at any job count, and results are
+    byte-identical to serial execution (ciphertext bytes included —
+    the {!Engine.Exec} position-derived randomness guarantee). *)
+
+open Relalg
+
+type t
+
+val create :
+  ?cache_capacity:int ->
+  ?max_batch:int ->
+  ?pool:Par.pool ->
+  ?config:Authz.Opreq.config ->
+  ?pricing:Planner.Pricing.t ->
+  ?network:Planner.Network.t ->
+  ?base:Planner.Estimate.base_stats ->
+  ?deliver_to:Authz.Subject.t ->
+  ?max_latency:float ->
+  ?udfs:(string * Engine.Exec.udf) list ->
+  ?seed:int64 ->
+  policy:Authz.Authorization.t ->
+  subjects:Authz.Subject.t list ->
+  tables:(string * Engine.Table.t) list ->
+  unit ->
+  t
+(** [cache_capacity] bounds the plan cache (default 128 entries,
+    LRU). [max_batch] is the admission bound: {!submit_batch} serves
+    at most this many queries per round, queueing the rest (default
+    32 — backpressure, so one huge batch cannot monopolize the pool).
+    [deliver_to] defaults to the first [User] among [subjects], when
+    any. [seed] fixes the keyring so ciphertext bytes are reproducible
+    across runs (default [42L]). [base] supplies cardinality
+    statistics to the optimizer (default: none). *)
+
+(** {2 Environment mutation — explicit invalidation} *)
+
+val set_policy : ?subjects:Authz.Subject.t list -> t -> Authz.Authorization.t -> unit
+(** Swap the policy (and optionally the subject population). Rotates
+    the environment fingerprint: every cached entry keyed under the
+    old policy becomes unreachable. *)
+
+val set_config : t -> Authz.Opreq.config -> unit
+val set_pricing : t -> Planner.Pricing.t -> unit
+val set_network : t -> Planner.Network.t -> unit
+
+val invalidate : t -> unit
+(** Drop every cache entry (statistics survive). The [set_*] calls
+    above make this unnecessary for correctness; it exists for
+    explicit memory release. *)
+
+val environment : t -> string
+(** The current environment fingerprint (tests assert rotation). *)
+
+(** {2 Serving} *)
+
+type status = Hit | Miss
+
+type outcome =
+  | Table of Engine.Table.t  (** executed result *)
+  | Rejected of string
+      (** the authorization model rejects the query under the current
+          policy (no authorized executor, the recipient lacks a
+          required input authorization, or no produced plan passes the
+          static verifier — the service fails closed) — a policy
+          verdict, not an error, and itself cacheable *)
+
+type response = {
+  outcome : outcome;
+  status : status;
+  key : string;  (** the cache key the request resolved to *)
+  planned : Planner.Optimizer.result option;  (** [None] iff rejected *)
+  plan_ms : float;
+      (** fingerprint + cache lookup + (on miss) planning and
+          verification — the latency the cache exists to cut *)
+  exec_ms : float;
+}
+
+val parse : t -> string -> Plan.t
+(** SQL → plan against the policy's schemas, classically optimized
+    (normalization + join reordering) like the CLI front end. Raises
+    the [Mpq_sql] parse exceptions on malformed input. *)
+
+val submit : t -> Plan.t -> response
+(** Serve one query (a batch of one). *)
+
+val submit_sql : t -> string -> response
+
+val submit_batch : t -> Plan.t list -> response list
+(** Serve a batch concurrently (see the protocol above). Responses
+    are in request order, and both the responses and the final cache
+    state are identical to submitting the queries one by one. Batches
+    larger than [max_batch] are served in admission-bounded rounds. *)
+
+(** {2 Introspection} *)
+
+type stats = {
+  queries : int;
+  rejections : int;
+  hits : int;
+  misses : int;
+  insertions : int;
+  evictions : int;
+  entries : int;
+  capacity : int;
+  plan_ms : float;  (** cumulative, across all queries *)
+  exec_ms : float;
+}
+
+val stats : t -> stats
+val hit_rate : stats -> float
+val cache_keys : t -> string list
+(** Most recently used first ({!Lru.keys}) — the deterministic final
+    state the differential tests compare. *)
+
+val render_stats : stats -> string
+(** One line: queries, hits/misses/rate, evictions, latencies. *)
+
+val stats_json : stats -> Json.t

@@ -239,3 +239,86 @@ let arbitrary_extended =
   QCheck.make
     ~print:(fun c -> Plan_printer.to_ascii c.executable)
     gen_extended
+
+(* --- query streams ---------------------------------------------------- *)
+
+(* The serving layer's workload shape: long streams of queries where
+   many repeat verbatim (cache hits) under a policy that occasionally
+   changes (invalidation). Shared by test_serve.ml and serve_bench.ml,
+   so both the differential tests and the benchmark replay the same
+   kind of traffic. *)
+
+type 'q stream_event =
+  | Squery of 'q
+  | Smutate  (** mutate the policy before serving the next query *)
+
+(* [gen_stream ~repeat_rate ~mutation_rate ~pool n]: [n] events. Each
+   event is a policy mutation with probability [mutation_rate];
+   otherwise a query — a verbatim repeat of an earlier one with
+   probability [repeat_rate] (once any was issued), else a fresh pick
+   from [pool]. With a finite pool, fresh picks repeat naturally too,
+   so the realized hit rate is at least [repeat_rate]. *)
+let gen_stream ?(repeat_rate = 0.6) ?(mutation_rate = 0.0) ~pool n :
+    'q stream_event list QCheck.Gen.t =
+ fun st ->
+  if Array.length pool = 0 then invalid_arg "gen_stream: empty query pool";
+  let issued = ref [] in
+  let pick_issued () =
+    List.nth !issued (QCheck.Gen.int_bound (List.length !issued - 1) st)
+  in
+  let pick_fresh () =
+    let q = pool.(QCheck.Gen.int_bound (Array.length pool - 1) st) in
+    issued := q :: !issued;
+    q
+  in
+  List.init n (fun _ ->
+      if QCheck.Gen.float_bound_inclusive 1.0 st < mutation_rate then Smutate
+      else if
+        !issued <> [] && QCheck.Gen.float_bound_inclusive 1.0 st < repeat_rate
+      then Squery (pick_issued ())
+      else Squery (pick_fresh ()))
+
+(* Revoke one permission: drop a random attribute from a random
+   non-user rule's plain or enc set. Works on any policy (the random
+   ones above, the TPC-H scenarios). User rules are spared — the
+   querying user must stay authorized for inputs and results, so
+   revoking there would only produce blanket rejections. Returns the
+   policy unchanged when no rule is mutable. *)
+let mutate_policy policy : Authorization.t QCheck.Gen.t =
+ fun st ->
+  let mutable_rule (r : Authorization.rule) =
+    (match r.Authorization.grantee with
+    | Authorization.To s -> s.Subject.role <> Subject.User
+    | Authorization.Any -> true)
+    && not
+         (Attr.Set.is_empty r.Authorization.plain
+         && Attr.Set.is_empty r.Authorization.enc)
+  in
+  let rules = Authorization.rules policy in
+  match List.filter mutable_rule rules with
+  | [] -> policy
+  | candidates ->
+      let victim =
+        List.nth candidates (QCheck.Gen.int_bound (List.length candidates - 1) st)
+      in
+      let from_plain =
+        (not (Attr.Set.is_empty victim.Authorization.plain))
+        && (Attr.Set.is_empty victim.Authorization.enc || QCheck.Gen.bool st)
+      in
+      let set =
+        if from_plain then victim.Authorization.plain
+        else victim.Authorization.enc
+      in
+      let attrs = Attr.Set.elements set in
+      let dropped =
+        List.nth attrs (QCheck.Gen.int_bound (List.length attrs - 1) st)
+      in
+      let shrunk = Attr.Set.remove dropped set in
+      let victim' =
+        if from_plain then { victim with Authorization.plain = shrunk }
+        else { victim with Authorization.enc = shrunk }
+      in
+      let rules' =
+        List.map (fun r -> if r == victim then victim' else r) rules
+      in
+      Authorization.make ~schemas:(Authorization.schemas policy) rules'

@@ -1,0 +1,601 @@
+(* The query-serving layer and its verified plan cache. Four pillars:
+
+   1. fingerprints — cache keys are collision-free (length-prefixed
+      fields; the naive concatenation keys they replace demonstrably
+      collided) and structural (node-id independent, so re-parsing a
+      query re-finds its cache entry), and every planner input rotates
+      the environment fingerprint;
+   2. warm = cold — a cache hit returns a plan structurally identical
+      to a cold planning round, and executing both yields
+      byte-identical tables (TPC-H and random queries);
+   3. invalidation — mutating a single permission (or the pricing,
+      network or capability config) makes the next lookup a miss, the
+      replanned plan re-passes the verifier, and stale entries are
+      never served;
+   4. concurrency — replaying a shuffled 200-query stream with
+      interleaved policy mutations at 1 and 4 domains produces
+      identical per-query responses and a deterministic final cache
+      state. *)
+
+open Relalg
+open Authz
+
+let byte_identical a b =
+  List.equal Attr.equal (Engine.Table.attrs a) (Engine.Table.attrs b)
+  && List.equal
+       (fun (r1 : Value.t array) r2 -> r1 = r2)
+       (Engine.Table.rows a) (Engine.Table.rows b)
+
+let outcome_equal a b =
+  match (a, b) with
+  | Serve.Service.Table x, Serve.Service.Table y -> byte_identical x y
+  | Serve.Service.Rejected x, Serve.Service.Rejected y -> x = y
+  | _ -> false
+
+(* --- LRU -------------------------------------------------------------- *)
+
+let test_lru_bounds () =
+  let c = Serve.Lru.create ~capacity:3 in
+  List.iter (fun k -> Serve.Lru.add c k (int_of_string k)) [ "1"; "2"; "3" ];
+  Alcotest.(check (list string)) "MRU order" [ "3"; "2"; "1" ]
+    (Serve.Lru.keys c);
+  (* touching 1 promotes it, so adding a 4th evicts 2 *)
+  Alcotest.(check (option int)) "hit refreshes" (Some 1)
+    (Serve.Lru.find c "1");
+  Serve.Lru.add c "4" 4;
+  Alcotest.(check (list string)) "LRU evicted" [ "4"; "1"; "3" ]
+    (Serve.Lru.keys c);
+  Alcotest.(check (option int)) "evicted entry gone" None
+    (Serve.Lru.find c "2");
+  (* replacement neither grows the cache nor counts as an insertion *)
+  Serve.Lru.add c "4" 44;
+  Alcotest.(check int) "replace keeps length" 3 (Serve.Lru.length c);
+  let s = Serve.Lru.stats c in
+  Alcotest.(check int) "hits" 1 s.Serve.Lru.hits;
+  Alcotest.(check int) "misses" 1 s.Serve.Lru.misses;
+  Alcotest.(check int) "insertions" 4 s.Serve.Lru.insertions;
+  Alcotest.(check int) "evictions" 1 s.Serve.Lru.evictions;
+  Alcotest.(check bool) "mem is pure" true (Serve.Lru.mem c "3");
+  Alcotest.(check (list string)) "mem did not promote" [ "4"; "1"; "3" ]
+    (Serve.Lru.keys c)
+
+(* --- fingerprints ----------------------------------------------------- *)
+
+(* the regression the length prefixes exist for: under the old
+   `id ":" name ";"` concatenation both assignments rendered as
+   "1:A;2:B;" *)
+let test_assignment_fingerprint_collision () =
+  let one =
+    Imap.add 1 (Subject.provider "A;2:B") Imap.empty
+  in
+  let two =
+    Imap.add 1 (Subject.provider "A") (Imap.add 2 (Subject.provider "B") Imap.empty)
+  in
+  Alcotest.(check bool) "crafted assignments no longer collide" false
+    (Planner.Optimizer.fingerprint one = Planner.Optimizer.fingerprint two);
+  (* same names, different roles: also distinct *)
+  let p = Imap.add 1 (Subject.provider "A") Imap.empty in
+  let a = Imap.add 1 (Subject.authority "A") Imap.empty in
+  Alcotest.(check bool) "role is part of the key" false
+    (Planner.Optimizer.fingerprint p = Planner.Optimizer.fingerprint a)
+
+let test_plan_fingerprint_no_set_collision () =
+  (* {ab} vs {a,b}: naive set concatenation renders both as "ab" *)
+  let schema =
+    Schema.make ~name:"R" ~owner:"O"
+      [ ("a", Schema.Tint); ("b", Schema.Tint); ("ab", Schema.Tint) ]
+  in
+  let proj names =
+    Planner.Fingerprint.of_plan
+      (Plan.project (Attr.Set.of_names names) (Plan.base schema))
+  in
+  Alcotest.(check bool) "{ab} vs {a,b}" false (proj [ "ab" ] = proj [ "a"; "b" ])
+
+let test_plan_fingerprint_structural () =
+  (* fresh node ids must not show: two builds of the same TPC-H query
+     fingerprint identically, two different queries differently *)
+  let q5 = Planner.Fingerprint.of_plan (Tpch.Tpch_queries.query 5) in
+  let q5' = Planner.Fingerprint.of_plan (Tpch.Tpch_queries.query 5) in
+  let q3 = Planner.Fingerprint.of_plan (Tpch.Tpch_queries.query 3) in
+  Alcotest.(check string) "rebuild is stable" q5 q5';
+  Alcotest.(check bool) "distinct queries distinct" false (q5 = q3);
+  (* and equal fingerprints track equal shapes *)
+  Alcotest.(check bool) "equal_shape agrees" true
+    (Plan.equal_shape (Tpch.Tpch_queries.query 5) (Tpch.Tpch_queries.query 5))
+
+let example_env () = Policy_dsl.parse Policy_dsl.example
+
+let test_environment_sensitivity () =
+  let env = example_env () in
+  let base ?(policy = env.Policy_dsl.policy)
+      ?(subjects = env.Policy_dsl.subjects) ?config ?pricing ?network
+      ?deliver_to ?max_latency () =
+    Planner.Optimizer.environment_fingerprint ~policy ~subjects ?config
+      ?pricing ?network ?deliver_to ?max_latency ()
+  in
+  let reference = base () in
+  let mutated_policy =
+    (* one permission revoked: Y loses plaintext P on Ins *)
+    (Policy_dsl.parse
+       (Str.global_replace
+          (Str.regexp_string "authorize Ins to Y plain P enc C")
+          "authorize Ins to Y enc C" Policy_dsl.example))
+      .Policy_dsl.policy
+  in
+  let checks =
+    [ ("policy permission", base ~policy:mutated_policy ());
+      ("subject set",
+       base ~subjects:(List.tl env.Policy_dsl.subjects) ());
+      ("config", base ~config:Opreq.strict ());
+      ("pricing",
+       base ~pricing:(Planner.Pricing.make ~user_factor:12.0 ()) ());
+      ("network",
+       base ~network:(Planner.Network.make ~client_mbps:10.0 ()) ());
+      ("deliver_to",
+       base ~deliver_to:(List.hd env.Policy_dsl.subjects) ());
+      ("max_latency", base ~max_latency:1.5 ()) ]
+  in
+  List.iter
+    (fun (what, fp) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rotates the fingerprint" what)
+        false (fp = reference))
+    checks;
+  Alcotest.(check string) "recomputation is stable" reference (base ())
+
+(* --- service fixtures ------------------------------------------------- *)
+
+let demo_tables (env : Policy_dsl.t) =
+  let find name =
+    List.find (fun s -> s.Schema.name = name) env.Policy_dsl.schemas
+  in
+  let s x = Value.Str x and n x = Value.Int x in
+  let v = Value.date_of_string in
+  [ ( "Hosp",
+      Engine.Table.of_schema (find "Hosp")
+        [ [| s "alice"; v "1980-01-01"; s "stroke"; s "tpa" |];
+          [| s "bob"; v "1975-05-12"; s "stroke"; s "surgery" |];
+          [| s "carol"; v "1990-09-30"; s "flu"; s "rest" |];
+          [| s "dave"; v "1968-03-22"; s "stroke"; s "tpa" |] ] );
+    ( "Ins",
+      Engine.Table.of_schema (find "Ins")
+        [ [| s "alice"; n 120 |]; [| s "bob"; n 300 |];
+          [| s "carol"; n 80 |]; [| s "dave"; n 150 |] ] ) ]
+
+let example_service ?pool ?cache_capacity ?max_batch ?policy () =
+  let env = example_env () in
+  Serve.Service.create ?pool ?cache_capacity ?max_batch
+    ~policy:(Option.value ~default:env.Policy_dsl.policy policy)
+    ~subjects:env.Policy_dsl.subjects ~tables:(demo_tables env) ()
+
+let running_query =
+  "select T, avg(P) from Hosp join Ins on S=C where D='stroke' \
+   group by T having P>100"
+
+(* random-catalog tables, deterministic rows *)
+let gen_catalog_tables () =
+  let mk schema n row =
+    (schema.Schema.name, Engine.Table.of_schema schema (List.init n row))
+  in
+  let strs = [| "ga"; "bu"; "zo"; "meu" |] in
+  [ mk Gen.rel1 17 (fun i ->
+        [| Value.Int (i mod 7); Value.Int (i * 3 mod 11);
+           Value.Str strs.(i mod 4); Value.Int (i mod 5) |]);
+    mk Gen.rel2 13 (fun i ->
+        [| Value.Int (i mod 7); Value.Int (i mod 9); Value.Str strs.(i mod 4) |]);
+    mk Gen.rel3 11 (fun i -> [| Value.Int (i mod 6); Value.Int (i mod 4) |]) ]
+
+let udf_impls =
+  [ ( "f",
+      fun vals ->
+        let total =
+          List.fold_left
+            (fun acc v ->
+              match Value.to_float v with Some f -> acc +. f | None -> acc)
+            0.0 vals
+        in
+        Value.Int (int_of_float total mod 97) ) ]
+
+let gen_service ?pool policy =
+  Serve.Service.create ?pool ~policy ~subjects:Gen.subjects
+    ~tables:(gen_catalog_tables ()) ~udfs:udf_impls ~deliver_to:Gen.user ()
+
+(* --- warm = cold ------------------------------------------------------ *)
+
+(* A warm hit must return a plan structurally identical to what cold
+   planning produces, and executing both must coincide byte for byte.
+   The warm submission rebuilds the query (fresh node ids), so this
+   also pins the structural nature of the key. *)
+let test_tpch_warm_equals_cold () =
+  let sf = 0.0005 in
+  let data = Tpch.Tpch_data.generate ~sf () in
+  let tables =
+    List.map
+      (fun (s : Schema.t) ->
+        (s.Schema.name, Engine.Table.of_schema s (List.assoc s.Schema.name data)))
+      Tpch.Tpch_schema.all
+  in
+  List.iter
+    (fun sc ->
+      let service =
+        Serve.Service.create ~policy:(Tpch.Scenarios.policy sc)
+          ~subjects:Tpch.Scenarios.subjects ~pricing:Tpch.Scenarios.pricing
+          ~base:(Tpch.Tpch_schema.base_stats ~sf)
+          ~deliver_to:Tpch.Scenarios.user ~udfs:Tpch.Tpch_queries.udf_impls
+          ~tables ()
+      in
+      List.iter
+        (fun q ->
+          let label fmt =
+            Printf.sprintf "q%d %s %s" q (Tpch.Scenarios.name sc) fmt
+          in
+          let cold = Serve.Service.submit service (Tpch.Tpch_queries.query q) in
+          let warm = Serve.Service.submit service (Tpch.Tpch_queries.query q) in
+          Alcotest.(check bool) (label "cold is a miss") true
+            (cold.Serve.Service.status = Serve.Service.Miss);
+          Alcotest.(check bool) (label "warm is a hit") true
+            (warm.Serve.Service.status = Serve.Service.Hit);
+          Alcotest.(check string) (label "same key") cold.Serve.Service.key
+            warm.Serve.Service.key;
+          let plan_of (r : Serve.Service.response) =
+            (Option.get r.Serve.Service.planned)
+              .Planner.Optimizer.extended.Extend.plan
+          in
+          (* the cached plan against an independent cold planning round *)
+          let fresh =
+            Planner.Optimizer.plan ~policy:(Tpch.Scenarios.policy sc)
+              ~subjects:Tpch.Scenarios.subjects ~pricing:Tpch.Scenarios.pricing
+              ~base:(Tpch.Tpch_schema.base_stats ~sf)
+              ~deliver_to:Tpch.Scenarios.user (Tpch.Tpch_queries.query q)
+          in
+          Alcotest.(check bool) (label "warm plan = cold plan (structure)")
+            true
+            (Plan.equal_shape (plan_of warm) (plan_of cold));
+          Alcotest.(check bool) (label "warm plan = fresh replan (structure)")
+            true
+            (Plan.equal_shape (plan_of warm)
+               fresh.Planner.Optimizer.extended.Extend.plan);
+          match (cold.Serve.Service.outcome, warm.Serve.Service.outcome) with
+          | Serve.Service.Table a, Serve.Service.Table b ->
+              Alcotest.(check bool) (label "results byte-identical") true
+                (byte_identical a b)
+          | _ -> Alcotest.fail (label "expected executed tables"))
+        [ 1; 3; 5; 10 ])
+    Tpch.Scenarios.all
+
+let prop_warm_equals_cold =
+  QCheck.Test.make ~count:40
+    ~name:"warm hit = cold plan (structure and bytes) on random queries"
+    Gen.arbitrary_plan_policy
+    (fun (plan, policy) ->
+      let service = gen_service policy in
+      let cold = Serve.Service.submit service plan in
+      let warm = Serve.Service.submit service plan in
+      if cold.Serve.Service.status <> Serve.Service.Miss then
+        QCheck.Test.fail_report "first submission was not a miss";
+      if warm.Serve.Service.status <> Serve.Service.Hit then
+        QCheck.Test.fail_report "second submission was not a hit";
+      if not (outcome_equal cold.Serve.Service.outcome warm.Serve.Service.outcome)
+      then QCheck.Test.fail_report "warm outcome differs from cold";
+      (match warm.Serve.Service.planned with
+      | None -> ()
+      | Some r ->
+          (* the entry the cache served still satisfies the verifier *)
+          let diags =
+            Verify.Verifier.run
+              { Verify.Verifier.policy;
+                config = r.Planner.Optimizer.config;
+                extended = r.Planner.Optimizer.extended;
+                clusters = r.Planner.Optimizer.clusters;
+                requests = r.Planner.Optimizer.requests }
+          in
+          if not (Verify.Verifier.ok diags) then
+            QCheck.Test.fail_reportf "cached plan fails verification:\n%s"
+              (Verify.Diag.render diags);
+          (* and equals an independent replanning round structurally *)
+          let fresh =
+            Planner.Optimizer.plan ~policy ~subjects:Gen.subjects
+              ~deliver_to:Gen.user plan
+          in
+          if
+            not
+              (Plan.equal_shape r.Planner.Optimizer.extended.Extend.plan
+                 fresh.Planner.Optimizer.extended.Extend.plan)
+          then QCheck.Test.fail_report "cached plan differs from fresh replan");
+      true)
+
+(* --- invalidation ----------------------------------------------------- *)
+
+let test_policy_invalidation () =
+  let original = example_env () in
+  let revoked =
+    (* a single permission revoked: Y loses plaintext P on Ins *)
+    Policy_dsl.parse
+      (Str.global_replace
+         (Str.regexp_string "authorize Ins to Y plain P enc C")
+         "authorize Ins to Y enc C" Policy_dsl.example)
+  in
+  let service = example_service () in
+  let r1 = Serve.Service.submit_sql service running_query in
+  let r1' = Serve.Service.submit_sql service running_query in
+  Alcotest.(check bool) "warmed up" true
+    (r1'.Serve.Service.status = Serve.Service.Hit);
+  let env_before = Serve.Service.environment service in
+  Serve.Service.set_policy service revoked.Policy_dsl.policy;
+  Alcotest.(check bool) "policy change rotates the environment" false
+    (Serve.Service.environment service = env_before);
+  let r2 = Serve.Service.submit_sql service running_query in
+  Alcotest.(check bool) "next lookup is a miss" true
+    (r2.Serve.Service.status = Serve.Service.Miss);
+  Alcotest.(check bool) "new key" false
+    (r2.Serve.Service.key = r1.Serve.Service.key);
+  (* the stale entry is still resident (LRU will age it out), yet was
+     not served: both keys are in the cache, and the replanned entry
+     re-passed the verifier under the new policy *)
+  let keys = Serve.Service.cache_keys service in
+  Alcotest.(check bool) "stale entry resident but unreachable" true
+    (List.mem r1.Serve.Service.key keys && List.mem r2.Serve.Service.key keys);
+  (match r2.Serve.Service.planned with
+  | None -> Alcotest.fail "query should still be plannable after revocation"
+  | Some r ->
+      let diags =
+        Verify.Verifier.run
+          { Verify.Verifier.policy = revoked.Policy_dsl.policy;
+            config = r.Planner.Optimizer.config;
+            extended = r.Planner.Optimizer.extended;
+            clusters = r.Planner.Optimizer.clusters;
+            requests = r.Planner.Optimizer.requests }
+      in
+      Alcotest.(check bool) "replanned entry passes the verifier" true
+        (Verify.Verifier.ok diags));
+  (* restoring the policy reaches the original entry again — hit, and
+     byte-identical to the first answer *)
+  Serve.Service.set_policy service original.Policy_dsl.policy;
+  let r3 = Serve.Service.submit_sql service running_query in
+  Alcotest.(check bool) "restored policy hits the original entry" true
+    (r3.Serve.Service.status = Serve.Service.Hit
+    && r3.Serve.Service.key = r1.Serve.Service.key);
+  Alcotest.(check bool) "original answer unchanged" true
+    (outcome_equal r1.Serve.Service.outcome r3.Serve.Service.outcome)
+
+let test_config_invalidation () =
+  let service = example_service () in
+  let warm () = Serve.Service.submit_sql service running_query in
+  ignore (warm ());
+  Alcotest.(check bool) "warm" true
+    ((warm ()).Serve.Service.status = Serve.Service.Hit);
+  (* pricing change: replanned, and replanning is real — the costed
+     plan may genuinely change, so the entry must re-verify *)
+  Serve.Service.set_pricing service
+    (Planner.Pricing.make ~provider_multipliers:[ ("X", 0.1) ] ());
+  let after_pricing = warm () in
+  Alcotest.(check bool) "pricing change invalidates" true
+    (after_pricing.Serve.Service.status = Serve.Service.Miss);
+  Alcotest.(check bool) "pricing replan warm again" true
+    ((warm ()).Serve.Service.status = Serve.Service.Hit);
+  (* network change *)
+  Serve.Service.set_network service (Planner.Network.make ~client_mbps:1.0 ());
+  Alcotest.(check bool) "network change invalidates" true
+    ((warm ()).Serve.Service.status = Serve.Service.Miss);
+  (* capability config change: strict forbids all computation over
+     ciphertext; the running example is still plannable *)
+  Serve.Service.set_config service Opreq.strict;
+  let after_config = warm () in
+  Alcotest.(check bool) "config change invalidates" true
+    (after_config.Serve.Service.status = Serve.Service.Miss);
+  match after_config.Serve.Service.outcome with
+  | Serve.Service.Table _ -> ()
+  | Serve.Service.Rejected msg ->
+      Alcotest.failf "strict config unexpectedly rejects: %s" msg
+
+(* --- concurrency ------------------------------------------------------ *)
+
+(* Replay the same stream — queries with verbatim repeats, interleaved
+   policy mutations — through two services that differ only in the
+   domain pool, and require identical responses (statuses, bytes) and
+   an identical final cache state. Batches exercise the admission
+   bound: 200 events at max_batch 16 force many rounds. *)
+let test_stream_determinism () =
+  let rand = Random.State.make [| 0xC0FFEE |] in
+  let plan_pool =
+    Array.init 12 (fun _ -> Gen.gen_plan rand)
+  in
+  let policy0 = Gen.gen_policy rand in
+  let events =
+    Gen.gen_stream ~repeat_rate:0.6 ~mutation_rate:0.05 ~pool:plan_pool 200
+      rand
+  in
+  (* concretize mutations once, so both replays see the same policies *)
+  let script =
+    List.rev
+      (snd
+         (List.fold_left
+            (fun (policy, acc) ev ->
+              match ev with
+              | Gen.Squery q -> (policy, `Query q :: acc)
+              | Gen.Smutate ->
+                  let policy' = Gen.mutate_policy policy rand in
+                  (policy', `Set policy' :: acc))
+            (policy0, []) events))
+  in
+  let queries =
+    List.length
+      (List.filter (function `Query _ -> true | _ -> false) script)
+  in
+  let replay pool =
+    let service =
+      gen_service ?pool policy0
+    in
+    let flush batch acc =
+      match batch with
+      | [] -> acc
+      | qs -> acc @ Serve.Service.submit_batch service (List.rev qs)
+    in
+    let responses, pending =
+      List.fold_left
+        (fun (acc, batch) ev ->
+          match ev with
+          | `Query q -> (acc, q :: batch)
+          | `Set policy ->
+              let acc = flush batch acc in
+              Serve.Service.set_policy service policy;
+              (acc, []))
+        ([], []) script
+    in
+    let responses = flush pending responses in
+    (responses, Serve.Service.cache_keys service, Serve.Service.stats service)
+  in
+  let seq, seq_keys, seq_stats = replay None in
+  let pool = Par.create ~name:"serve-test" 4 in
+  let par, par_keys, par_stats =
+    Fun.protect ~finally:(fun () -> Par.shutdown pool) @@ fun () ->
+    replay (Some pool)
+  in
+  Alcotest.(check int) "every query answered" queries (List.length seq);
+  Alcotest.(check int) "same response count" (List.length seq)
+    (List.length par);
+  List.iteri
+    (fun i ((a : Serve.Service.response), (b : Serve.Service.response)) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "response %d: same status" i)
+        true
+        (a.Serve.Service.status = b.Serve.Service.status);
+      Alcotest.(check string)
+        (Printf.sprintf "response %d: same key" i)
+        a.Serve.Service.key b.Serve.Service.key;
+      Alcotest.(check bool)
+        (Printf.sprintf "response %d: same bytes" i)
+        true
+        (outcome_equal a.Serve.Service.outcome b.Serve.Service.outcome))
+    (List.combine seq par);
+  Alcotest.(check (list string)) "deterministic final cache state" seq_keys
+    par_keys;
+  Alcotest.(check int) "same hits" seq_stats.Serve.Service.hits
+    par_stats.Serve.Service.hits;
+  Alcotest.(check int) "same misses" seq_stats.Serve.Service.misses
+    par_stats.Serve.Service.misses;
+  Alcotest.(check int) "same evictions" seq_stats.Serve.Service.evictions
+    par_stats.Serve.Service.evictions
+
+(* a small-capacity cache under the same differential: evictions on the
+   hot path must be deterministic too *)
+let test_eviction_determinism () =
+  let rand = Random.State.make [| 42 |] in
+  let plan_pool = Array.init 10 (fun _ -> Gen.gen_plan rand) in
+  let policy = Gen.gen_policy rand in
+  let events =
+    Gen.gen_stream ~repeat_rate:0.5 ~pool:plan_pool 120 rand
+  in
+  let queries =
+    List.filter_map (function Gen.Squery q -> Some q | Gen.Smutate -> None)
+      events
+  in
+  let replay pool =
+    let service =
+      Serve.Service.create ?pool ~cache_capacity:4 ~max_batch:8 ~policy
+        ~subjects:Gen.subjects ~tables:(gen_catalog_tables ())
+        ~udfs:udf_impls ~deliver_to:Gen.user ()
+    in
+    let responses = Serve.Service.submit_batch service queries in
+    (responses, Serve.Service.cache_keys service, Serve.Service.stats service)
+  in
+  let seq, seq_keys, seq_stats = replay None in
+  let pool = Par.create ~name:"serve-evict" 4 in
+  let par, par_keys, par_stats =
+    Fun.protect ~finally:(fun () -> Par.shutdown pool) @@ fun () ->
+    replay (Some pool)
+  in
+  Alcotest.(check bool) "evictions actually happened" true
+    (seq_stats.Serve.Service.evictions > 0);
+  Alcotest.(check int) "cache bounded" 4
+    (List.length seq_keys);
+  Alcotest.(check (list string)) "same final keys" seq_keys par_keys;
+  Alcotest.(check int) "same evictions" seq_stats.Serve.Service.evictions
+    par_stats.Serve.Service.evictions;
+  List.iteri
+    (fun i ((a : Serve.Service.response), (b : Serve.Service.response)) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "response %d equal" i)
+        true
+        (a.Serve.Service.status = b.Serve.Service.status
+        && outcome_equal a.Serve.Service.outcome b.Serve.Service.outcome))
+    (List.combine seq par)
+
+(* batching is an implementation detail: one-by-one submission and any
+   batch split produce the same responses and cache evolution *)
+let test_batching_transparent () =
+  let rand = Random.State.make [| 7; 11 |] in
+  let plan_pool = Array.init 8 (fun _ -> Gen.gen_plan rand) in
+  let policy = Gen.gen_policy rand in
+  let events = Gen.gen_stream ~repeat_rate:0.5 ~pool:plan_pool 60 rand in
+  let queries =
+    List.filter_map (function Gen.Squery q -> Some q | Gen.Smutate -> None)
+      events
+  in
+  let one_by_one =
+    let service = gen_service policy in
+    ( List.map (Serve.Service.submit service) queries,
+      Serve.Service.cache_keys service )
+  in
+  let batched =
+    let service = gen_service policy in
+    (Serve.Service.submit_batch service queries,
+     Serve.Service.cache_keys service)
+  in
+  List.iteri
+    (fun i ((a : Serve.Service.response), (b : Serve.Service.response)) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "query %d: same status and bytes" i)
+        true
+        (a.Serve.Service.status = b.Serve.Service.status
+        && outcome_equal a.Serve.Service.outcome b.Serve.Service.outcome))
+    (List.combine (fst one_by_one) (fst batched));
+  Alcotest.(check (list string)) "same cache evolution" (snd one_by_one)
+    (snd batched)
+
+(* --- service stats ---------------------------------------------------- *)
+
+let test_stats_accounting () =
+  let service = example_service ~cache_capacity:8 () in
+  ignore (Serve.Service.submit_sql service running_query);
+  ignore (Serve.Service.submit_sql service running_query);
+  ignore (Serve.Service.submit_sql service "select S from Hosp where D='flu'");
+  let s = Serve.Service.stats service in
+  Alcotest.(check int) "queries" 3 s.Serve.Service.queries;
+  Alcotest.(check int) "hits" 1 s.Serve.Service.hits;
+  Alcotest.(check int) "misses" 2 s.Serve.Service.misses;
+  Alcotest.(check int) "entries" 2 s.Serve.Service.entries;
+  Alcotest.(check int) "rejections" 0 s.Serve.Service.rejections;
+  Alcotest.(check bool) "plan time accounted" true
+    (s.Serve.Service.plan_ms > 0.0);
+  (* invalidate drops entries, keeps counters *)
+  Serve.Service.invalidate service;
+  let s' = Serve.Service.stats service in
+  Alcotest.(check int) "cache emptied" 0 s'.Serve.Service.entries;
+  Alcotest.(check int) "history kept" 2 s'.Serve.Service.misses
+
+let () =
+  Alcotest.run "serve"
+    [ ( "lru",
+        [ ("bounds, order, stats", `Quick, test_lru_bounds) ] );
+      ( "fingerprint",
+        [ ("assignment collision regression", `Quick,
+           test_assignment_fingerprint_collision);
+          ("attribute-set collision regression", `Quick,
+           test_plan_fingerprint_no_set_collision);
+          ("structural stability", `Quick, test_plan_fingerprint_structural);
+          ("environment sensitivity", `Quick, test_environment_sensitivity) ] );
+      ( "warm=cold",
+        [ ("tpch 4 queries x 3 scenarios", `Slow, test_tpch_warm_equals_cold);
+          QCheck_alcotest.to_alcotest prop_warm_equals_cold ] );
+      ( "invalidation",
+        [ ("single-permission policy change", `Quick, test_policy_invalidation);
+          ("pricing/network/config change", `Quick, test_config_invalidation) ]
+      );
+      ( "concurrency",
+        [ ("200-query stream, 1 vs 4 domains", `Slow, test_stream_determinism);
+          ("eviction determinism under small cache", `Slow,
+           test_eviction_determinism);
+          ("batching transparency", `Slow, test_batching_transparent) ] );
+      ( "stats",
+        [ ("hit/miss accounting", `Quick, test_stats_accounting) ] ) ]
