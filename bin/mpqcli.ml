@@ -764,6 +764,7 @@ let serve_cmd =
     in
     let ic = match file with Some p -> open_in p | None -> stdin in
     let line_no = ref 0 in
+    let subjects = ref env.Authz.Policy_dsl.subjects in
     let pending = ref [] in
     (* newest first; (line, plan) *)
     let drain () =
@@ -804,9 +805,22 @@ let serve_cmd =
       | [ "\\policy"; path ] -> (
           match Authz.Policy_dsl.load path with
           | e ->
-              Serve.Service.set_policy ~subjects:e.Authz.Policy_dsl.subjects
-                service e.Authz.Policy_dsl.policy;
-              Printf.eprintf "-- policy %s installed, cache rotated\n%!" path
+              (* an unchanged subject population keeps the incremental
+                 migration path; a swap forces the rotation fallback *)
+              let same_subjects =
+                List.sort compare e.Authz.Policy_dsl.subjects
+                = List.sort compare !subjects
+              in
+              if same_subjects then
+                Serve.Service.set_policy service e.Authz.Policy_dsl.policy
+              else
+                Serve.Service.set_policy
+                  ~subjects:e.Authz.Policy_dsl.subjects service
+                  e.Authz.Policy_dsl.policy;
+              subjects := e.Authz.Policy_dsl.subjects;
+              Printf.eprintf "-- policy %s installed, cache %s\n%!" path
+                (if same_subjects then "migrated incrementally"
+                 else "rotated (subjects changed)")
           | exception Authz.Policy_dsl.Syntax_error (l, msg) ->
               Printf.eprintf "-- [%d] policy %s rejected: line %d: %s\n%!"
                 !line_no path l msg
@@ -876,6 +890,61 @@ let serve_cmd =
       const run $ policy_arg $ tables_arg $ file_arg $ cache_arg $ batch_arg
       $ jobs_arg $ obs_args)
 
+(* --- audit ----------------------------------------------------------- *)
+
+let audit_cmd =
+  let attr_arg =
+    Arg.(value & opt (some string) None
+         & info [ "a"; "attr" ] ~docv:"ATTR"
+             ~doc:"Restrict the report to attribute $(docv) (\"who could \
+                   ever see $(docv)?\").")
+  in
+  let subject_arg =
+    Arg.(value & opt (some string) None
+         & info [ "s"; "subject" ] ~docv:"SUBJECT"
+             ~doc:"Restrict the report to subject $(docv) (\"what could \
+                   $(docv) ever see?\").")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the findings as JSON.")
+  in
+  let run policy_path attr subject json obs =
+    guard @@ fun () ->
+    with_obs obs @@ fun () ->
+    let env = load_policy policy_path in
+    let findings =
+      Analysis.Audit.run ~policy:env.Authz.Policy_dsl.policy
+        ~subjects:env.Authz.Policy_dsl.subjects ?attr ?subject ()
+    in
+    if json then
+      print_endline (Json.to_string (Analysis.Audit.to_json findings))
+    else print_string (Analysis.Audit.render findings);
+    exit_ok
+  in
+  let doc =
+    "audit a policy: who could ever see which attribute, at what level, \
+     via which relation or join path"
+  in
+  let man =
+    [ `S Manpage.s_description;
+      `P "Answers the reachability question a policy author actually has \
+          — not \"what does rule 7 say\" but \"who could ever observe \
+          attribute X, in plaintext or as ciphertext, and along which \
+          path?\". Each finding cites its path: a relation the subject's \
+          (explicit, $(b,any), or implicit owner/host) rule covers, or a \
+          type-compatible cross-relation join the subject could lawfully \
+          execute under Def. 4.1 — an equi-join over deterministic \
+          ciphertext still reveals the compared column to its executor.";
+      `P "One line per finding, sorted and deduplicated: \
+          $(i,ATTR): $(i,SUBJECT) $(i,LEVEL) via relation $(i,REL), or \
+          via join $(i,REL.A) = $(i,REL'.B). The output is stable across \
+          runs, so it can be diffed between policy versions." ]
+    @ exit_status_man
+  in
+  Cmd.v (Cmd.info "audit" ~doc ~man)
+    Term.(const run $ policy_arg $ attr_arg $ subject_arg $ json_arg
+          $ obs_args)
+
 (* --- example -------------------------------------------------------- *)
 
 let example_cmd =
@@ -893,7 +962,7 @@ let () =
     Cmd.eval'
       (Cmd.group info
          [ plan_cmd; optimize_cmd; run_cmd; serve_cmd; chaos_cmd; check_cmd;
-           tpch_cmd; scenarios_cmd; example_cmd ])
+           audit_cmd; tpch_cmd; scenarios_cmd; example_cmd ])
   in
   (* cmdliner reserves 124 for CLI parse errors; fold it into our
      documented "1 = usage/parse error" convention *)

@@ -1,0 +1,174 @@
+open Relalg
+open Authz
+
+type via =
+  | Relation of string
+  | Join of { rel : string; attr : Attr.t; other_rel : string; other : Attr.t }
+
+type finding = {
+  subject : Subject.t;
+  attr : Attr.t;
+  level : Fact.level;
+  via : via;
+}
+
+let via_key = function
+  | Relation r -> (0, r, "", "")
+  | Join j ->
+      (1, j.rel, Attr.name j.attr ^ "." ^ j.other_rel, Attr.name j.other)
+
+let compare_finding a b =
+  match String.compare (Attr.name a.attr) (Attr.name b.attr) with
+  | 0 -> (
+      match Subject.compare a.subject b.subject with
+      | 0 -> (
+          match compare (via_key a.via) (via_key b.via) with
+          | 0 -> Fact.compare_level a.level b.level
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let population extra policy =
+  let of_schemas acc =
+    List.fold_left
+      (fun acc s ->
+        let acc = Subject.Set.add (Subject.authority s.Schema.owner) acc in
+        match s.Schema.storage with
+        | Schema.At_authority -> acc
+        | Schema.Outsourced { host; _ } ->
+            Subject.Set.add (Subject.provider host) acc)
+      acc (Authorization.schemas policy)
+  in
+  List.fold_left
+    (fun acc s -> Subject.Set.add s acc)
+    (of_schemas (Authorization.explicit_subjects policy))
+    extra
+
+(* Whether [view] lets a subject execute the comparison [a = b] and so
+   observe both sides at [level] — Def. 4.1 on the joined profile,
+   delegated to the verifier's own check. *)
+let join_visible view level a b =
+  let names = [ Attr.name a; Attr.name b ] in
+  let profile =
+    match level with
+    | Fact.Plain -> Profile.make ~vp:names ~eq:[ names ] ()
+    | Fact.Enc -> Profile.make ~ve:names ~eq:[ names ] ()
+  in
+  Verify.Check_authz.check_view view profile = None
+
+let run ~policy ?(subjects = []) ?attr ?subject () =
+  Obs.with_span "analysis.audit" @@ fun () ->
+  let schemas = Authorization.schemas policy in
+  let acc = ref [] in
+  let emit f = acc := f :: !acc in
+  Subject.Set.iter
+    (fun s ->
+      (* Relation paths: what each per-relation rule grants directly. *)
+      List.iter
+        (fun (sch : Schema.t) ->
+          let rv = Authorization.relation_view policy sch.Schema.name s in
+          let via = Relation sch.Schema.name in
+          Attr.Set.iter
+            (fun a ->
+              emit { subject = s; attr = a; level = Fact.Plain; via })
+            rv.Authorization.plain;
+          Attr.Set.iter
+            (fun a -> emit { subject = s; attr = a; level = Fact.Enc; via })
+            rv.Authorization.enc)
+        schemas;
+      (* Join paths: type-compatible cross-relation comparisons the
+         subject could execute, per its overall view. *)
+      let view = Authorization.view policy s in
+      List.iter
+        (fun (ra : Schema.t) ->
+          List.iter
+            (fun (rb : Schema.t) ->
+              if not (String.equal ra.Schema.name rb.Schema.name) then
+                List.iter
+                  (fun (a, ta) ->
+                    List.iter
+                      (fun (b, tb) ->
+                        if ta = tb then
+                          List.iter
+                            (fun level ->
+                              if join_visible view level a b then
+                                emit
+                                  { subject = s;
+                                    attr = a;
+                                    level;
+                                    via =
+                                      Join
+                                        { rel = ra.Schema.name;
+                                          attr = a;
+                                          other_rel = rb.Schema.name;
+                                          other = b
+                                        }
+                                  })
+                            [ Fact.Plain; Fact.Enc ])
+                      rb.Schema.columns)
+                  ra.Schema.columns)
+            schemas)
+        schemas)
+    (population subjects policy);
+  let keep f =
+    (match attr with
+    | Some a -> String.equal a (Attr.name f.attr)
+    | None -> true)
+    &&
+    match subject with
+    | Some s -> String.equal s (Subject.name f.subject)
+    | None -> true
+  in
+  List.sort_uniq compare_finding (List.filter keep !acc)
+
+let via_string = function
+  | Relation r -> Printf.sprintf "via relation %s" r
+  | Join j ->
+      Printf.sprintf "via join %s.%s = %s.%s" j.rel (Attr.name j.attr)
+        j.other_rel (Attr.name j.other)
+
+let finding_line f =
+  Printf.sprintf "%s: %s %s %s" (Attr.name f.attr) (Subject.name f.subject)
+    (Fact.level_name f.level) (via_string f.via)
+
+let render findings =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (finding_line f);
+      Buffer.add_char buf '\n')
+    findings;
+  Buffer.add_string buf
+    (Printf.sprintf "%d finding%s\n" (List.length findings)
+       (if List.length findings = 1 then "" else "s"));
+  Buffer.contents buf
+
+let to_json findings =
+  let one f =
+    let via =
+      match f.via with
+      | Relation r ->
+          Json.Obj [ ("kind", Json.String "relation"); ("relation", Json.String r) ]
+      | Join j ->
+          Json.Obj
+            [ ("kind", Json.String "join");
+              ("relation", Json.String j.rel);
+              ("attr", Json.String (Attr.name j.attr));
+              ("other_relation", Json.String j.other_rel);
+              ("other_attr", Json.String (Attr.name j.other)) ]
+    in
+    Json.Obj
+      [ ("attr", Json.String (Attr.name f.attr));
+        ("subject", Json.String (Subject.name f.subject));
+        ("role",
+         Json.String
+           (match f.subject.Subject.role with
+           | Subject.User -> "user"
+           | Subject.Authority -> "authority"
+           | Subject.Provider -> "provider"));
+        ("level", Json.String (Fact.level_name f.level));
+        ("via", via) ]
+  in
+  Json.Obj
+    [ ("findings", Json.List (List.map one findings));
+      ("count", Json.Int (List.length findings)) ]

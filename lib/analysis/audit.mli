@@ -1,0 +1,52 @@
+(** Whole-policy audit: who could ever see what, and how.
+
+    For every subject in the policy's population (explicitly named
+    subjects, implicit schema subjects, plus any extra [subjects]), the
+    audit answers "which attributes could this subject ever observe, at
+    which level, via which path?" using the verifier's own Def. 4.1
+    check ({!Verify.Check_authz.check_view}) rather than a parallel
+    reimplementation:
+
+    - {b relation paths}: what the subject's per-relation view
+      ({!Authz.Authorization.relation_view}) grants directly;
+    - {b join paths}: for every type-compatible attribute pair
+      [(ra.a, rb.b)] across distinct relations, whether the subject
+      could lawfully execute the comparison [a = b] — i.e. whether
+      Def. 4.1 accepts the joined profile — thereby observing [a]
+      plaintext ([{a,b} ⊆ P]) or encrypted ([{a,b}] uniformly within
+      [P] or within [E]).
+
+    Findings are deduplicated and sorted (attribute, subject, path,
+    level), so [render] output is stable across runs and suitable for
+    golden tests and CI greps. *)
+
+open Relalg
+open Authz
+
+type via =
+  | Relation of string
+  | Join of { rel : string; attr : Attr.t; other_rel : string; other : Attr.t }
+      (** [attr] observed while executing the join [rel.attr = other_rel.other] *)
+
+type finding = {
+  subject : Subject.t;
+  attr : Attr.t;
+  level : Fact.level;
+  via : via;
+}
+
+val run :
+  policy:Authorization.t ->
+  ?subjects:Subject.t list ->
+  ?attr:string ->
+  ?subject:string ->
+  unit ->
+  finding list
+(** [attr] / [subject] filter the report by attribute or subject name. *)
+
+val render : finding list -> string
+(** One line per finding:
+    [S: U plain via relation Hosp] /
+    [S: X enc via join Hosp.S = Ins.C]. *)
+
+val to_json : finding list -> Json.t

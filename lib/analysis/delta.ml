@@ -1,0 +1,80 @@
+open Relalg
+open Authz
+
+type t = { added : Fact.Set.t; removed : Fact.Set.t }
+
+let is_empty d = Fact.Set.is_empty d.added && Fact.Set.is_empty d.removed
+let grant_only d = Fact.Set.is_empty d.removed
+
+let to_string d =
+  Printf.sprintf "+{%s} -{%s}" (Fact.Set.to_string d.added)
+    (Fact.Set.to_string d.removed)
+
+(* Structural schema equality, field by field (attribute comparison
+   goes through Attr.compare, never polymorphic compare). *)
+let column_equal (a, ta) (b, tb) = Attr.compare a b = 0 && ta = tb
+
+let storage_equal a b =
+  match (a, b) with
+  | Schema.At_authority, Schema.At_authority -> true
+  | ( Schema.Outsourced { host = h1; encrypted = e1 },
+      Schema.Outsourced { host = h2; encrypted = e2 } ) ->
+      String.equal h1 h2 && Attr.Set.equal e1 e2
+  | Schema.At_authority, Schema.Outsourced _
+  | Schema.Outsourced _, Schema.At_authority ->
+      false
+
+let schema_equal (a : Schema.t) (b : Schema.t) =
+  String.equal a.Schema.name b.Schema.name
+  && String.equal a.Schema.owner b.Schema.owner
+  && List.length a.Schema.columns = List.length b.Schema.columns
+  && List.for_all2 column_equal a.Schema.columns b.Schema.columns
+  && storage_equal a.Schema.storage b.Schema.storage
+
+let schemas_equal a b =
+  let sort = List.sort (fun x y -> String.compare x.Schema.name y.Schema.name) in
+  let a = sort a and b = sort b in
+  List.length a = List.length b && List.for_all2 schema_equal a b
+
+(* Subjects whose views the delta covers: the caller's, everyone named
+   explicitly by either policy, and the implicit schema subjects. *)
+let population subjects old_policy new_policy =
+  let of_schemas p acc =
+    List.fold_left
+      (fun acc s ->
+        let acc = Subject.Set.add (Subject.authority s.Schema.owner) acc in
+        match s.Schema.storage with
+        | Schema.At_authority -> acc
+        | Schema.Outsourced { host; _ } ->
+            Subject.Set.add (Subject.provider host) acc)
+      acc (Authorization.schemas p)
+  in
+  let explicit =
+    Subject.Set.union
+      (Authorization.explicit_subjects old_policy)
+      (Authorization.explicit_subjects new_policy)
+  in
+  List.fold_left
+    (fun acc s -> Subject.Set.add s acc)
+    (of_schemas new_policy (of_schemas old_policy explicit))
+    subjects
+
+let diff ?(subjects = []) ~old_policy ~new_policy () =
+  if
+    not
+      (schemas_equal
+         (Authorization.schemas old_policy)
+         (Authorization.schemas new_policy))
+  then `Incompatible
+  else
+    let pop = population subjects old_policy new_policy in
+    let added, removed =
+      Subject.Set.fold
+        (fun s (added, removed) ->
+          let before = Fact.of_view s (Authorization.view old_policy s) in
+          let after = Fact.of_view s (Authorization.view new_policy s) in
+          ( Fact.Set.union (Fact.Set.diff after before) added,
+            Fact.Set.union (Fact.Set.diff before after) removed ))
+        pop (Fact.Set.empty, Fact.Set.empty)
+    in
+    `Delta { added; removed }

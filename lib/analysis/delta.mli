@@ -1,0 +1,42 @@
+(** Structural policy deltas.
+
+    [diff] compares two policies as the set of {!Fact}s they grant to a
+    population of subjects, rather than by fingerprint: two policies
+    with different rule lists but identical subject views produce an
+    empty delta, and a one-attribute revocation produces exactly the
+    facts that changed.
+
+    The delta is exact {e restricted to the population}: the views of
+    the subjects passed in [subjects], of every subject named by an
+    explicit rule of either policy, and of every implicit schema
+    subject (relation owners and outsourcing hosts, which
+    {!Authz.Authorization.make} equips with implicit rules). A change
+    to an [any] rule can alter the view of a subject outside that
+    population — callers must therefore list every subject whose view
+    they rely on (the serve layer passes its configured planning
+    subjects plus every subject occurring in a cached dependency set).
+
+    [`Incompatible] is returned when the base schemas differ
+    structurally (name, owner, columns with types, or storage): plans
+    built against a different schema are not comparable fact-by-fact,
+    so callers should fall back to full invalidation. *)
+
+open Authz
+
+type t = { added : Fact.Set.t; removed : Fact.Set.t }
+
+val is_empty : t -> bool
+
+val grant_only : t -> bool
+(** No removed facts. Grants are monotone for the verifier's
+    authorization checks, so grant-only deltas can never turn a
+    passing plan failing — see {!Deps}. *)
+
+val diff :
+  ?subjects:Subject.t list ->
+  old_policy:Authorization.t ->
+  new_policy:Authorization.t ->
+  unit ->
+  [ `Incompatible | `Delta of t ]
+
+val to_string : t -> string

@@ -1,0 +1,61 @@
+open Relalg
+open Authz
+
+(* Mirror of the verifier's policy reads (see deps.mli). Each block
+   below names the check it shadows; keeping the two in sync is what
+   the soundness property in test/test_analysis.ml enforces. *)
+let of_extended ?deliver_to ?original ~(extended : Extend.t) ~clusters () =
+  Obs.with_span "analysis.deps" @@ fun () ->
+  let acc = ref Fact.Set.empty in
+  let add s = acc := Fact.Set.union s !acc in
+  (* V2/V3 — Check_authz and the Check_minimal probes: executor [s]
+     against operand and result profiles, re-derived like the verifier
+     derives them. Minimality probes check the same executors against
+     profiles over the same attribute carrier (a dropped encryption
+     only moves attributes between plain and encrypted form), so the
+     facts of_profile lists for the lenient derivation cover them. *)
+  let derived, _diags = Verify.Derive.lenient extended.Extend.plan in
+  List.iter
+    (fun n ->
+      match Imap.find_opt (Plan.id n) extended.Extend.assignment with
+      | None -> ()
+      | Some subject ->
+          let against m =
+            match Hashtbl.find_opt derived (Plan.id m) with
+            | Some p -> add (Fact.of_profile subject p)
+            | None -> ()
+          in
+          List.iter against (Plan.children n);
+          against n)
+    (Plan.nodes extended.Extend.plan);
+  (* V4 — Check_keys.distribution (MPQ030): every holder with duty over
+     a cluster must keep plaintext authorization over what it handles. *)
+  List.iter
+    (fun (c : Plan_keys.cluster) ->
+      Subject.Map.iter
+        (fun subject handled ->
+          Attr.Set.iter
+            (fun attr ->
+              acc :=
+                Fact.Set.add
+                  { Fact.subject; attr; level = Fact.Plain }
+                  !acc)
+            handled)
+        (Verify.Check_keys.duty_map extended c.Plan_keys.attrs))
+    clusters;
+  (* The optimizer's recipient gate: deliver_to must be authorized for
+     every maximal source-side node of the original (crypto-stripped)
+     plan. Replayed with the same recursion the optimizer uses. *)
+  (match deliver_to with
+  | None -> ()
+  | Some user ->
+      let rec inputs n =
+        if Candidates.is_source_side n then
+          add (Fact.of_profile user (Profile.of_plan n))
+        else List.iter inputs (Plan.children n)
+      in
+      inputs
+        (match original with
+        | Some q -> q
+        | None -> Plan.strip_crypto extended.Extend.plan));
+  !acc

@@ -1,0 +1,45 @@
+(** Per-plan authorization dependency sets.
+
+    [of_extended] re-derives, for a finished (extended, clusters) plan,
+    the exact set of {!Fact}s the static verifier's policy-consulting
+    checks and the planner's user-input gate read when certifying it —
+    by replaying the same derivations, not by conservatively returning
+    every fact of every subject:
+
+    - {b assignees} (Def. 4.1/4.2, [MPQ010–012] and the [MPQ020]
+      minimality probes): for every node with executor [s], the facts
+      {!Fact.of_profile} lists for [s] against each operand profile and
+      the node's result profile, with profiles re-derived from the plan
+      exactly as {!Verify.Derive} does;
+    - {b key distribution} (Def. 6.1, [MPQ030]): for every cluster and
+      every subject with encryption/decryption duty over it
+      ({!Verify.Check_keys.duty_map}), the [Plain] facts over the
+      attributes it handles;
+    - {b user inputs} (Sec. 6's recipient gate in the optimizer): when
+      [deliver_to] is given, the facts of that subject against the
+      profile of every maximal source-side node of the original plan —
+      [original] when the caller still has the query the gate actually
+      ran on (the serve layer does), else the extended plan with its
+      crypto operations stripped.
+
+    The profile-propagation, scheme-sufficiency and dispatch checks
+    never consult the policy, so they contribute no facts.
+
+    {b Soundness claim} (checked by the qcheck property in
+    [test/test_analysis.ml]): a policy change whose view-level delta
+    ({!Delta.diff}) is disjoint from a plan's dependency set leaves
+    every verifier verdict on that plan unchanged. A delta that only
+    {e adds} facts can never turn a passing check failing (grants are
+    monotone for Def. 4.1), so entries overlapping the delta on added
+    facts alone are safely revalidated by one verifier pass without
+    replanning; removed facts in the set force invalidation. *)
+
+open Authz
+
+val of_extended :
+  ?deliver_to:Subject.t ->
+  ?original:Relalg.Plan.t ->
+  extended:Extend.t ->
+  clusters:Plan_keys.cluster list ->
+  unit ->
+  Fact.Set.t

@@ -1,0 +1,62 @@
+open Relalg
+open Authz
+
+type level = Plain | Enc
+
+type t = { subject : Subject.t; attr : Attr.t; level : level }
+
+let compare_level a b =
+  match (a, b) with
+  | Plain, Plain | Enc, Enc -> 0
+  | Plain, Enc -> -1
+  | Enc, Plain -> 1
+
+let compare a b =
+  match Subject.compare a.subject b.subject with
+  | 0 -> (
+      match Attr.compare a.attr b.attr with
+      | 0 -> compare_level a.level b.level
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let level_name = function Plain -> "plain" | Enc -> "enc"
+
+let to_string f =
+  Printf.sprintf "(%s, %s, %s)" (Subject.name f.subject) (Attr.name f.attr)
+    (level_name f.level)
+
+let pp fmt f = Format.pp_print_string fmt (to_string f)
+
+module Set = struct
+  include Stdlib.Set.Make (struct
+    type nonrec t = t
+
+    let compare = compare
+  end)
+
+  let to_string s =
+    String.concat " " (List.map to_string (elements s))
+end
+
+let of_view subject (view : Authorization.view) =
+  let add level attrs acc =
+    Attr.Set.fold (fun attr acc -> Set.add { subject; attr; level } acc)
+      attrs acc
+  in
+  add Plain view.Authorization.plain
+    (add Enc view.Authorization.enc Set.empty)
+
+let of_profile subject (p : Profile.t) =
+  let add level attrs acc =
+    Attr.Set.fold (fun attr acc -> Set.add { subject; attr; level } acc)
+      attrs acc
+  in
+  let both attrs acc = add Plain attrs (add Enc attrs acc) in
+  let plaintext = Attr.Set.union p.Profile.vp p.Profile.ip in
+  let anything = Attr.Set.union p.Profile.ve p.Profile.ie in
+  let acc = add Plain plaintext Set.empty in
+  let acc = both anything acc in
+  List.fold_left (fun acc cls -> both cls acc) acc
+    (Partition.sets p.Profile.eq)

@@ -500,14 +500,7 @@ let operator_tag plan =
    bytes — so the rng label is the node's preorder position within the
    executing plan, not its allocation id. *)
 let canonical_ids plan =
-  let tbl = Hashtbl.create 64 in
-  let next = ref 0 in
-  let rec visit p =
-    Hashtbl.replace tbl (Plan.id p) !next;
-    incr next;
-    List.iter visit (Plan.children p)
-  in
-  visit plan;
+  let tbl = Plan.preorder_positions plan in
   fun id -> try Hashtbl.find tbl id with Not_found -> id
 
 let run_with_hook ?pool ctx ~hook plan =

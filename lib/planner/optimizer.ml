@@ -72,12 +72,14 @@ let environment_fingerprint ~policy ~subjects ?(config = Authz.Opreq.default)
       Fingerprint.float_field buf l);
   Buffer.contents buf
 
-let cache_key ~env query =
+let cache_key_of ~env qfp =
   let buf = Buffer.create 512 in
   Fingerprint.field buf "mpq-plan-cache-v1";
-  Fingerprint.field buf (Fingerprint.of_plan query);
+  Fingerprint.field buf qfp;
   Fingerprint.field buf env;
   Buffer.contents buf
+
+let cache_key ~env query = cache_key_of ~env (Fingerprint.of_plan query)
 
 let plan ~policy ~subjects ?(config = Authz.Opreq.default)
     ?(pricing = Pricing.make ()) ?(network = Network.make ())

@@ -57,6 +57,13 @@ val environment_fingerprint :
     built from it (explicit invalidation — stale entries become
     unreachable). Defaults mirror {!plan}'s. *)
 
+val cache_key_of : env:string -> string -> string
+(** [cache_key_of ~env qfp] is {!cache_key} for a query whose
+    structural fingerprint [qfp] ({!Fingerprint.of_plan}) is already
+    known — the serve layer uses it to rekey surviving cache entries
+    under a new environment fingerprint without re-fingerprinting the
+    query. *)
+
 val cache_key : env:string -> Relalg.Plan.t -> string
 (** [cache_key ~env query] is the plan-cache key for planning [query]
     under the environment fingerprinted as [env]: the structural query

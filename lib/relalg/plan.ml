@@ -199,3 +199,18 @@ let rec equal_shape a b =
   | Encrypt (x, c1), Encrypt (y, c2) | Decrypt (x, c1), Decrypt (y, c2) ->
       Attr.Set.equal x y && equal_shape c1 c2
   | _ -> false
+
+(* Raw node ids come from a global allocation counter, so two builds of
+   the same query carry different ids. Consumers that must be stable
+   across rebuilds (the executor's ciphertext randomness, the verifier's
+   diagnostics) key on the node's preorder position instead. *)
+let preorder_positions t =
+  let tbl = Hashtbl.create 64 in
+  let next = ref 0 in
+  let rec visit p =
+    Hashtbl.replace tbl p.id !next;
+    incr next;
+    List.iter visit (children p)
+  in
+  visit t;
+  tbl

@@ -86,3 +86,9 @@ val strip_crypto : t -> t
 
 val equal_shape : t -> t -> bool
 (** Structural equality ignoring node ids. *)
+
+val preorder_positions : t -> (int, int) Hashtbl.t
+(** Preorder position (root = 0) of every node, keyed by allocation id.
+    Positions are a function of plan {e structure} only, so two builds
+    of the same query agree — the canonical node numbering used by
+    execution randomness and verifier diagnostics. *)

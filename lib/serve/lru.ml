@@ -67,6 +67,26 @@ let add t key value =
       if Hashtbl.length t.table > t.cap then evict_oldest t);
   ()
 
+let remap t f =
+  let bindings = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.table [] in
+  let dropped = ref 0 in
+  List.iter
+    (fun (k, e) ->
+      match f k e.value with
+      | None ->
+          Hashtbl.remove t.table k;
+          incr dropped
+      | Some (k', v') ->
+          if String.equal k' k then e.value <- v'
+          else begin
+            Hashtbl.remove t.table k;
+            (* keep the entry's stamp: migration must not disturb the
+               recency order the differential tests observe *)
+            Hashtbl.replace t.table k' { value = v'; stamp = e.stamp }
+          end)
+    bindings;
+  !dropped
+
 let keys t =
   let all = Hashtbl.fold (fun key e acc -> (e.stamp, key) :: acc) t.table [] in
   List.map snd (List.sort (fun (a, _) (b, _) -> compare b a) all)

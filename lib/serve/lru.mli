@@ -30,6 +30,16 @@ val add : 'a t -> string -> 'a -> unit
 (** Insert or replace, making the entry most recent; evicts the least
     recently used entry when the cache is over capacity. *)
 
+val remap : 'a t -> (string -> 'a -> (string * 'a) option) -> int
+(** [remap t f] rewrites every binding in place: [f key value] returns
+    [None] to drop the entry or [Some (key', value')] to rebind it —
+    preserving the entry's recency stamp, so migration does not
+    disturb LRU order. Returns the number of entries dropped. No
+    statistics are recorded (this is maintenance, not traffic). When
+    two bindings map to the same new key, the later one visited wins;
+    callers rebinding under an injective key transformation (the
+    serve layer's environment-fingerprint rekeying) never collide. *)
+
 val keys : _ t -> string list
 (** All keys, most recently used first — the cache's observable state,
     compared across job counts by the differential tests. *)

@@ -2,10 +2,30 @@ open Relalg
 
 (* Cached verdicts: a verified plan, or the policy's rejection of the
    query. Both are deterministic in (query, environment), so both are
-   sound to replay until the environment fingerprint rotates. *)
-type entry =
+   sound to replay until the environment changes — and, with the
+   dependency analysis below, across policy changes that provably do
+   not touch what the verdict consulted. *)
+type denial_kind = No_candidate | User_denied | Verify_failed
+
+type verdict =
   | Planned of Planner.Optimizer.result
-  | Denied of string
+  | Denied of { message : string; kind : denial_kind }
+
+(* What the cache stores per key. [deps] is the entry's authorization
+   dependency set (empty for denials — see [set_policy]); [qfp] the
+   structural query fingerprint, kept so surviving entries can be
+   rekeyed under a new environment fingerprint without the query;
+   [env] the environment the verdict was computed under, so entries
+   stranded by a non-policy rotation are never migrated into the
+   current epoch by a later policy delta. *)
+type cached = {
+  verdict : verdict;
+  deps : Analysis.Fact.Set.t;
+  qfp : string;
+  env : string;
+}
+
+type invalidation = Rotate | Incremental
 
 type t = {
   mutable policy : Authz.Authorization.t;
@@ -14,6 +34,7 @@ type t = {
   mutable pricing : Planner.Pricing.t;
   mutable network : Planner.Network.t;
   mutable env : string;  (* environment fingerprint, cached *)
+  invalidation : invalidation;
   base : Planner.Estimate.base_stats;
   deliver_to : Authz.Subject.t option;
   max_latency : float option;
@@ -22,9 +43,12 @@ type t = {
   seed : int64;
   pool : Par.pool option;
   max_batch : int;
-  cache : entry Lru.t;
+  cache : cached Lru.t;
   mutable queries : int;
   mutable rejections : int;
+  mutable invalidated : int;
+  mutable reverified : int;
+  mutable retained : int;
   mutable plan_ms_total : float;
   mutable exec_ms_total : float;
 }
@@ -50,7 +74,8 @@ let compute_env t =
 let create ?(cache_capacity = 128) ?(max_batch = 32) ?pool
     ?(config = Authz.Opreq.default) ?(pricing = Planner.Pricing.make ())
     ?(network = Planner.Network.make ()) ?(base = fun _ -> None) ?deliver_to
-    ?max_latency ?(udfs = []) ?(seed = 42L) ~policy ~subjects ~tables () =
+    ?max_latency ?(udfs = []) ?(seed = 42L) ?(invalidation = Incremental)
+    ~policy ~subjects ~tables () =
   if max_batch < 1 then
     invalid_arg (Printf.sprintf "Service.create: max_batch %d < 1" max_batch);
   let deliver_to =
@@ -62,10 +87,11 @@ let create ?(cache_capacity = 128) ?(max_batch = 32) ?pool
           subjects
   in
   let t =
-    { policy; subjects; config; pricing; network; env = ""; base; deliver_to;
-      max_latency; udfs; tables; seed; pool; max_batch;
+    { policy; subjects; config; pricing; network; env = ""; invalidation;
+      base; deliver_to; max_latency; udfs; tables; seed; pool; max_batch;
       cache = Lru.create ~capacity:cache_capacity; queries = 0;
-      rejections = 0; plan_ms_total = 0.0; exec_ms_total = 0.0 }
+      rejections = 0; invalidated = 0; reverified = 0; retained = 0;
+      plan_ms_total = 0.0; exec_ms_total = 0.0 }
   in
   t.env <- compute_env t;
   t
@@ -74,10 +100,116 @@ let rotate t =
   t.env <- compute_env t;
   Obs.incr "serve.env_rotations"
 
+(* Incremental invalidation (policy changes only): diff the old and new
+   policies as fact sets and migrate each same-epoch entry under the
+   protocol the dependency analysis justifies (see lib/analysis):
+
+   - a removed fact in the entry's dependency set may have been
+     load-bearing for its verification: drop;
+   - added facts cannot break Def. 4.1 checks (grants are monotone),
+     but can make the cached plan cost-stale; the entry is kept after
+     one incremental verifier pass re-certifies it — no replanning;
+   - a delta disjoint from the dependency set provably cannot change
+     any verdict: the entry is rekeyed under the new environment
+     fingerprint, recency intact.
+
+   Denials carry no plan to compute dependencies from, so they use the
+   monotonicity argument alone: planner denials (no candidate, user
+   gate) cannot be fixed by revoking more, so they survive revoke-only
+   deltas and are dropped on any grant; verifier denials are dropped
+   on any view change (re-planning under the new policy may choose a
+   different extension entirely). *)
+let migrate t ~old_policy ~old_env =
+  let dep_subjects = ref Authz.Subject.Set.empty in
+  let _ =
+    Lru.remap t.cache (fun key c ->
+        Analysis.Fact.Set.iter
+          (fun f ->
+            dep_subjects :=
+              Authz.Subject.Set.add f.Analysis.Fact.subject !dep_subjects)
+          c.deps;
+        Some (key, c))
+  in
+  let subjects =
+    t.subjects
+    @ Authz.Subject.Set.elements !dep_subjects
+    @ (match t.deliver_to with Some u -> [ u ] | None -> [])
+  in
+  match
+    Analysis.Delta.diff ~subjects ~old_policy ~new_policy:t.policy ()
+  with
+  | `Incompatible ->
+      (* schema change: old entries are not comparable fact-by-fact.
+         The fingerprint rotation already happened, so they are
+         unreachable; leave them to age out. *)
+      Obs.incr "serve.invalidation.incompatible"
+  | `Delta d ->
+      let any_grant = not (Analysis.Fact.Set.is_empty d.Analysis.Delta.added) in
+      let any_change = not (Analysis.Delta.is_empty d) in
+      let reverified = ref 0 and retained = ref 0 in
+      let rekey c =
+        Some
+          ( Planner.Optimizer.cache_key_of ~env:t.env c.qfp,
+            { c with env = t.env } )
+      in
+      let dropped =
+        Lru.remap t.cache (fun key c ->
+            if not (String.equal c.env old_env) then
+              (* stranded by an earlier non-policy rotation: already
+                 unreachable, not ours to migrate *)
+              Some (key, c)
+            else
+              let keep c =
+                incr retained;
+                rekey c
+              in
+              match c.verdict with
+              | Denied { kind = Verify_failed; _ } ->
+                  if any_change then None else keep c
+              | Denied _ -> if any_grant then None else keep c
+              | Planned r ->
+                  if
+                    not
+                      (Analysis.Fact.Set.is_empty
+                         (Analysis.Fact.Set.inter d.Analysis.Delta.removed
+                            c.deps))
+                  then None
+                  else if
+                    Analysis.Fact.Set.is_empty
+                      (Analysis.Fact.Set.inter d.Analysis.Delta.added c.deps)
+                  then keep c
+                  else begin
+                    incr reverified;
+                    let diags =
+                      Verify.Verifier.run
+                        { Verify.Verifier.policy = t.policy;
+                          config = r.Planner.Optimizer.config;
+                          extended = r.Planner.Optimizer.extended;
+                          clusters = r.Planner.Optimizer.clusters;
+                          requests = r.Planner.Optimizer.requests }
+                    in
+                    if Verify.Diag.has_errors diags then None else keep c
+                  end)
+      in
+      t.invalidated <- t.invalidated + dropped;
+      t.reverified <- t.reverified + !reverified;
+      t.retained <- t.retained + !retained;
+      Obs.incr ~by:dropped "serve.invalidation.dropped";
+      Obs.incr ~by:!reverified "serve.invalidation.reverified";
+      Obs.incr ~by:!retained "serve.invalidation.retained"
+
 let set_policy ?subjects t policy =
+  let old_policy = t.policy and old_env = t.env in
   t.policy <- policy;
   (match subjects with Some s -> t.subjects <- s | None -> ());
-  rotate t
+  rotate t;
+  match t.invalidation with
+  | Rotate -> ()
+  | Incremental ->
+      (* a subject-population swap changes which views matter in ways
+         the per-entry dependency sets cannot bound: fall back to the
+         rotation the fingerprint change already performed *)
+      if subjects = None then migrate t ~old_policy ~old_env
 
 let set_config t config =
   t.config <- config;
@@ -106,9 +238,13 @@ let now_ms () = Unix.gettimeofday () *. 1000.0
    (the default), an explicit pass here when a caller has turned the
    global gate off — the cache's "verified entries only" contract must
    not depend on ambient flag state. *)
-let plan_once t query =
+let plan_once t ~qfp query =
   Obs.with_span "serve.plan" @@ fun () ->
   let verified_by_planner = !Planner.Optimizer.self_check in
+  let denied kind message =
+    { verdict = Denied { message; kind }; deps = Analysis.Fact.Set.empty;
+      qfp; env = t.env }
+  in
   match
     let r =
       Planner.Optimizer.plan ~policy:t.policy ~subjects:t.subjects
@@ -132,21 +268,24 @@ let plan_once t query =
     end;
     r
   with
-  | r -> Planned r
-  | exception Planner.Optimizer.No_candidate msg -> Denied msg
-  | exception Planner.Optimizer.User_not_authorized msg -> Denied msg
+  | r ->
+      let deps =
+        Analysis.Deps.of_extended ?deliver_to:t.deliver_to ~original:query
+          ~extended:r.Planner.Optimizer.extended
+          ~clusters:r.Planner.Optimizer.clusters ()
+      in
+      { verdict = Planned r; deps; qfp; env = t.env }
+  | exception Planner.Optimizer.No_candidate msg -> denied No_candidate msg
+  | exception Planner.Optimizer.User_not_authorized msg ->
+      denied User_denied msg
   | exception Planner.Optimizer.Verification_failed msg ->
       (* fail closed: a plan the verifier will not certify is never
-         served (or cached as servable). The verdict is deterministic
-         in (query, environment) like the other rejections, but the
-         full diagnostic rendering cites plan node ids — allocation-
-         counter artifacts — so only its stable first line is cached. *)
-      let stable =
-        match String.index_opt msg '\n' with
-        | Some i -> String.sub msg 0 i
-        | None -> msg
-      in
-      Denied stable
+         served (or cached as servable). The verdict — including the
+         full diagnostic rendering — is deterministic in
+         (query, environment): diagnostics cite canonical preorder
+         positions, not allocation-counter node ids, so the complete
+         message replays byte-identically from cache. *)
+      denied Verify_failed msg
 
 let execute t (r : Planner.Optimizer.result) =
   Obs.with_span "serve.exec" @@ fun () ->
@@ -173,16 +312,17 @@ let serve_round t queries =
     List.map
       (fun q ->
         let t0 = now_ms () in
-        let key = Planner.Optimizer.cache_key ~env:t.env q in
-        (q, key, now_ms () -. t0))
+        let qfp = Planner.Fingerprint.of_plan q in
+        let key = Planner.Optimizer.cache_key_of ~env:t.env qfp in
+        (q, qfp, key, now_ms () -. t0))
       queries
   in
   let to_plan =
     List.rev
       (List.fold_left
-         (fun acc (q, key, _) ->
+         (fun acc (q, qfp, key, _) ->
            if Lru.mem t.cache key || List.mem_assoc key acc then acc
-           else (key, q) :: acc)
+           else (key, (q, qfp)) :: acc)
          [] keyed)
   in
   (* phase 2 — plan each distinct missing key in parallel. Planning is
@@ -192,9 +332,9 @@ let serve_round t queries =
   let planned =
     run_tasks t
       (List.map
-         (fun (key, q) () ->
+         (fun (key, (q, qfp)) () ->
            let t0 = now_ms () in
-           let entry = plan_once t q in
+           let entry = plan_once t ~qfp q in
            (key, (entry, now_ms () -. t0)))
          to_plan)
   in
@@ -204,7 +344,7 @@ let serve_round t queries =
      misses once and hits from then on, exactly as in serial serving. *)
   let resolved =
     List.map
-      (fun (q, key, key_ms) ->
+      (fun (q, qfp, key, key_ms) ->
         let t0 = now_ms () in
         match Lru.find t.cache key with
         | Some entry ->
@@ -219,7 +359,7 @@ let serve_round t queries =
                      the coordinator: a function of request order and
                      cache state only, so still job-count independent. *)
                   let p0 = now_ms () in
-                  let entry = plan_once t q in
+                  let entry = plan_once t ~qfp q in
                   (entry, now_ms () -. p0)
             in
             Lru.add t.cache key entry;
@@ -232,9 +372,9 @@ let serve_round t queries =
     run_tasks t
       (List.map
          (fun (_, key, entry, status, plan_ms) () ->
-           match entry with
-           | Denied msg ->
-               { outcome = Rejected msg; status; key; planned = None;
+           match entry.verdict with
+           | Denied { message; _ } ->
+               { outcome = Rejected message; status; key; planned = None;
                  plan_ms; exec_ms = 0.0 }
            | Planned r ->
                let t0 = now_ms () in
@@ -294,6 +434,9 @@ type stats = {
   misses : int;
   insertions : int;
   evictions : int;
+  invalidated : int;
+  reverified : int;
+  retained : int;
   entries : int;
   capacity : int;
   plan_ms : float;
@@ -304,9 +447,10 @@ let stats t =
   let c = Lru.stats t.cache in
   { queries = t.queries; rejections = t.rejections; hits = c.Lru.hits;
     misses = c.Lru.misses; insertions = c.Lru.insertions;
-    evictions = c.Lru.evictions; entries = Lru.length t.cache;
-    capacity = Lru.capacity t.cache; plan_ms = t.plan_ms_total;
-    exec_ms = t.exec_ms_total }
+    evictions = c.Lru.evictions; invalidated = t.invalidated;
+    reverified = t.reverified; retained = t.retained;
+    entries = Lru.length t.cache; capacity = Lru.capacity t.cache;
+    plan_ms = t.plan_ms_total; exec_ms = t.exec_ms_total }
 
 let hit_rate s =
   let looked = s.hits + s.misses in
@@ -317,10 +461,12 @@ let cache_keys t = Lru.keys t.cache
 let render_stats s =
   Printf.sprintf
     "%d queries (%d rejected): %d hits, %d misses (%.1f%% hit rate), \
-     %d/%d entries, %d evictions; plan %.2f ms, exec %.2f ms"
+     %d/%d entries, %d evictions; %d invalidated, %d reverified, \
+     %d retained; plan %.2f ms, exec %.2f ms"
     s.queries s.rejections s.hits s.misses
     (100.0 *. hit_rate s)
-    s.entries s.capacity s.evictions s.plan_ms s.exec_ms
+    s.entries s.capacity s.evictions s.invalidated s.reverified s.retained
+    s.plan_ms s.exec_ms
 
 let stats_json s =
   Json.Obj
@@ -331,6 +477,9 @@ let stats_json s =
       ("hit_rate", Json.Float (hit_rate s));
       ("insertions", Json.Int s.insertions);
       ("evictions", Json.Int s.evictions);
+      ("invalidated", Json.Int s.invalidated);
+      ("reverified", Json.Int s.reverified);
+      ("retained", Json.Int s.retained);
       ("entries", Json.Int s.entries);
       ("capacity", Json.Int s.capacity);
       ("plan_ms", Json.Float s.plan_ms);

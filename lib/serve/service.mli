@@ -18,6 +18,23 @@
     key formed under the old environment becomes unreachable — stale
     plans are never served, and the bounded LRU ages them out.
 
+    {2 Incremental policy invalidation}
+
+    Under the default [Incremental] mode, {!set_policy} does better
+    than wholesale rotation: it diffs the old and new policies as
+    {e fact sets} ({!Analysis.Delta}) and consults each cached entry's
+    authorization dependency set ({!Analysis.Deps}) — the exact facts
+    the verifier's certification of that plan consumed. Entries whose
+    dependency set is disjoint from the delta provably keep their
+    verdict and are rekeyed under the new environment fingerprint
+    (recency intact); entries overlapping only on {e added} facts are
+    kept after one incremental verifier pass (grants are monotone for
+    Def. 4.1, so re-verification — not replanning — suffices);
+    entries that lost a fact they depended on are dropped. Planner
+    denials survive revoke-only deltas and drop on any grant;
+    verifier denials drop on any view change. Schema changes and
+    subject-population swaps fall back to full rotation.
+
     {2 Concurrency and determinism}
 
     [submit_batch] serves a batch on the {!Par} pool with a
@@ -36,6 +53,13 @@ open Relalg
 
 type t
 
+(** How {!set_policy} treats resident cache entries: [Rotate] makes
+    them all unreachable (the pre-analysis behaviour); [Incremental]
+    (default) migrates entries the policy delta provably cannot
+    affect. Both modes serve byte-identical responses — [Incremental]
+    just replans less. *)
+type invalidation = Rotate | Incremental
+
 val create :
   ?cache_capacity:int ->
   ?max_batch:int ->
@@ -48,6 +72,7 @@ val create :
   ?max_latency:float ->
   ?udfs:(string * Engine.Exec.udf) list ->
   ?seed:int64 ->
+  ?invalidation:invalidation ->
   policy:Authz.Authorization.t ->
   subjects:Authz.Subject.t list ->
   tables:(string * Engine.Table.t) list ->
@@ -65,9 +90,11 @@ val create :
 (** {2 Environment mutation — explicit invalidation} *)
 
 val set_policy : ?subjects:Authz.Subject.t list -> t -> Authz.Authorization.t -> unit
-(** Swap the policy (and optionally the subject population). Rotates
-    the environment fingerprint: every cached entry keyed under the
-    old policy becomes unreachable. *)
+(** Swap the policy (and optionally the subject population). Always
+    rotates the environment fingerprint; in [Incremental] mode (and
+    when [subjects] is not supplied) surviving entries are then
+    migrated to the new fingerprint per the dependency protocol above,
+    so unaffected plans keep hitting. *)
 
 val set_config : t -> Authz.Opreq.config -> unit
 val set_pricing : t -> Planner.Pricing.t -> unit
@@ -130,6 +157,11 @@ type stats = {
   misses : int;
   insertions : int;
   evictions : int;
+  invalidated : int;
+      (** entries dropped by incremental policy migration *)
+  reverified : int;
+      (** entries re-certified by an incremental verifier pass *)
+  retained : int;  (** entries that survived a policy migration *)
   entries : int;
   capacity : int;
   plan_ms : float;  (** cumulative, across all queries *)

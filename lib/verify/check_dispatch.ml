@@ -57,8 +57,8 @@ let fragment_nodes (extended : Extend.t) root_set root_id =
       in
       collect ~top:true root []
 
-let check ~(extended : Extend.t) ~clusters ~(requests : Dispatch.request list)
-    ~paths =
+let check ?(canon = fun id -> id) ~(extended : Extend.t) ~clusters
+    ~(requests : Dispatch.request list) ~paths () =
   let diags = ref [] in
   let emit d = diags := d :: !diags in
   let roots = fragment_roots extended in
@@ -76,7 +76,7 @@ let check ~(extended : Extend.t) ~clusters ~(requests : Dispatch.request list)
                ~code:"MPQ055" ~severity:Diag.Error
                "fragment rooted at node %d (executor %s) has no dispatch \
                 request"
-               id (Subject.name subject))
+               (canon id) (Subject.name subject))
       | Some r ->
           if not (Subject.equal r.Dispatch.subject subject) then
             emit
@@ -95,7 +95,7 @@ let check ~(extended : Extend.t) ~clusters ~(requests : Dispatch.request list)
           (Diag.makef ~node_id:r.Dispatch.root_id ~code:"MPQ055"
              ~severity:Diag.Error
              "request %s claims fragment root %d, which roots no fragment"
-             r.Dispatch.name r.Dispatch.root_id))
+             r.Dispatch.name (canon r.Dispatch.root_id)))
     requests;
   let names = List.map (fun (r : Dispatch.request) -> r.Dispatch.name) requests in
   let dup =

@@ -16,8 +16,13 @@ val references : string -> string list
     order of appearance. *)
 
 val check :
+  ?canon:(int -> int) ->
   extended:Extend.t ->
   clusters:Plan_keys.cluster list ->
   requests:Dispatch.request list ->
   paths:(int, string) Hashtbl.t ->
+  unit ->
   Diag.t list
+(** [canon] (default: identity) renders the node ids MPQ055 messages
+    embed; the verifier passes the canonical preorder numbering so
+    message text is stable across rebuilds of the same plan. *)

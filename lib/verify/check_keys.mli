@@ -14,7 +14,17 @@
     additive aggregation Phe, LIKE patterns and non-capable udfs nothing
     at all. *)
 
+open Relalg
 open Authz
+
+val duty_map : Extend.t -> Attr.Set.t -> Attr.Set.t Subject.Map.t
+(** Per-subject encryption/decryption duty over the given attributes:
+    which of them each subject encrypts or decrypts somewhere in the
+    plan (including the at-rest encryption a base relation's authority
+    provisioned). The key-distribution check consults exactly
+    [view(holder).plain ⊇ duty]; the dependency analysis
+    ([Analysis.Deps]) re-reads the same map to know which plaintext
+    facts that consultation touched. *)
 
 val distribution :
   policy:Authorization.t ->

@@ -128,10 +128,12 @@ let report_json ds =
       ("warnings", Json.Int (List.length (warnings ds)));
       ("diagnostics", Json.List (List.map to_json ds)) ]
 
-let path_table plan =
+let path_table ?(ids = fun id -> id) plan =
   let tbl = Hashtbl.create 64 in
   let rec go prefix n =
-    let seg = Printf.sprintf "%s#%d" (Plan.operator_name n) (Plan.id n) in
+    let seg =
+      Printf.sprintf "%s#%d" (Plan.operator_name n) (ids (Plan.id n))
+    in
     let path = if prefix = "" then seg else prefix ^ "/" ^ seg in
     Hashtbl.replace tbl (Plan.id n) path;
     List.iter (go path) (Plan.children n)

@@ -69,6 +69,10 @@ val to_json : t -> Json.t
 val report_json : t list -> Json.t
 (** [{ "ok": bool, "errors": n, "warnings": m, "diagnostics": [...] }] *)
 
-val path_table : Plan.t -> (int, string) Hashtbl.t
+val path_table : ?ids:(int -> int) -> Plan.t -> (int, string) Hashtbl.t
 (** Root-to-node paths ("operator#id" segments joined by [/]) for every
-    node of a plan — the [path] component of node-anchored diagnostics. *)
+    node of a plan — the [path] component of node-anchored diagnostics.
+    The table stays keyed by allocation id; [ids] (default: identity)
+    renders each segment's displayed number, so the verifier passes the
+    canonical preorder numbering ({!Relalg.Plan.preorder_positions}) to
+    keep rendered paths stable across rebuilds of the same plan. *)

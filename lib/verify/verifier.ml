@@ -1,3 +1,4 @@
+open Relalg
 open Authz
 
 type input = {
@@ -28,7 +29,16 @@ let check_name = function
 let run ?(checks = all_checks) input =
   Obs.with_span "verify.run" @@ fun () ->
   let { policy; config; extended; clusters; requests } = input in
-  let paths = Diag.path_table extended.Extend.plan in
+  (* Diagnostics must be byte-stable across rebuilds of the same plan
+     (the serving layer caches and replays them verbatim), but raw node
+     ids come from a global allocation counter. Anchor every finding —
+     node_id, path segments, ids embedded in message text — to the
+     node's canonical preorder position instead
+     ({!Relalg.Plan.preorder_positions}, the same numbering the
+     executor's ciphertext randomness uses). *)
+  let positions = Plan.preorder_positions extended.Extend.plan in
+  let canon id = try Hashtbl.find positions id with Not_found -> id in
+  let paths = Diag.path_table ~ids:canon extended.Extend.plan in
   let derived, derive_diags =
     Obs.with_span "verify.derive" (fun () ->
         Derive.lenient ~paths extended.Extend.plan)
@@ -43,9 +53,15 @@ let run ?(checks = all_checks) input =
     | Keys -> Check_keys.distribution ~policy ~extended ~clusters ~paths
     | Schemes ->
         Check_keys.schemes ~config ~extended ~clusters ~derived ~paths
-    | Dispatch -> Check_dispatch.check ~extended ~clusters ~requests ~paths
+    | Dispatch ->
+        Check_dispatch.check ~canon ~extended ~clusters ~requests ~paths ()
   in
-  let diags = Diag.sort (List.concat_map one checks) in
+  let canonicalize (d : Diag.t) =
+    { d with Diag.node_id = Option.map canon d.Diag.node_id }
+  in
+  let diags =
+    Diag.sort (List.map canonicalize (List.concat_map one checks))
+  in
   Obs.incr ~by:(List.length diags) "verify.diagnostics";
   diags
 

@@ -282,13 +282,34 @@ let gen_stream ?(repeat_rate = 0.6) ?(mutation_rate = 0.0) ~pool n :
    non-user rule's plain or enc set. Works on any policy (the random
    ones above, the TPC-H scenarios). User rules are spared — the
    querying user must stay authorized for inputs and results, so
-   revoking there would only produce blanket rejections. Returns the
-   policy unchanged when no rule is mutable. *)
-let mutate_policy policy : Authorization.t QCheck.Gen.t =
- fun st ->
+   revoking there would only produce blanket rejections. Rules granting
+   a relation's storing subject (its owner authority, or the provider
+   hosting the outsourced copy) its own relation are spared too: that
+   subject physically holds the data and is the only possible executor
+   of the base scan, so the "revocation" would not model any transfer
+   of trust — it would only make every query over the relation
+   unverifiable forever. Returns the policy unchanged when no rule is
+   mutable. *)
+let revoke_once policy st =
+  let schemas = Authorization.schemas policy in
+  let stores_relation s rel =
+    match
+      List.find_opt (fun sch -> String.equal sch.Schema.name rel) schemas
+    with
+    | None -> false
+    | Some sch -> (
+        Subject.equal s (Subject.authority sch.Schema.owner)
+        ||
+        match sch.Schema.storage with
+        | Schema.At_authority -> false
+        | Schema.Outsourced { host; _ } ->
+            Subject.equal s (Subject.provider host))
+  in
   let mutable_rule (r : Authorization.rule) =
     (match r.Authorization.grantee with
-    | Authorization.To s -> s.Subject.role <> Subject.User
+    | Authorization.To s ->
+        s.Subject.role <> Subject.User
+        && not (stores_relation s r.Authorization.relation)
     | Authorization.Any -> true)
     && not
          (Attr.Set.is_empty r.Authorization.plain
@@ -322,3 +343,119 @@ let mutate_policy policy : Authorization.t QCheck.Gen.t =
         List.map (fun r -> if r == victim then victim' else r) rules
       in
       Authorization.make ~schemas:(Authorization.schemas policy) rules'
+
+(* Grant one absent attribute to one non-user subject. Pure fact
+   addition only: attributes are added to a rule's plain or enc set,
+   never moved between them (enc→plain upgrades can break equivalence-
+   class uniformity, so they are not monotone). Subjects whose whole
+   visibility is an implicit rule (a relation's owner or outsourcing
+   host without an explicit rule) are skipped — writing them an
+   explicit rule would silently replace the implicit full view with a
+   one-attribute one, a revocation in grant's clothing. *)
+let grant_once policy st =
+  let schemas = Authorization.schemas policy in
+  let rules = Authorization.rules policy in
+  let grantees =
+    List.filter
+      (fun s -> s.Subject.role <> Subject.User)
+      (Subject.Set.elements (Authorization.explicit_subjects policy))
+  in
+  let has_rule s (sch : Schema.t) =
+    List.exists
+      (fun (r : Authorization.rule) ->
+        String.equal r.Authorization.relation sch.Schema.name
+        && match r.Authorization.grantee with
+           | Authorization.To x -> Subject.equal x s
+           | Authorization.Any -> false)
+      rules
+  in
+  let implicit_only s (sch : Schema.t) =
+    (not (has_rule s sch))
+    && (Subject.equal s (Subject.authority sch.Schema.owner)
+       ||
+       match sch.Schema.storage with
+       | Schema.At_authority -> false
+       | Schema.Outsourced { host; _ } ->
+           Subject.equal s (Subject.provider host))
+  in
+  let attempt () =
+    match grantees with
+    | [] -> None
+    | _ -> (
+        let s =
+          List.nth grantees (QCheck.Gen.int_bound (List.length grantees - 1) st)
+        in
+        let sch =
+          List.nth schemas (QCheck.Gen.int_bound (List.length schemas - 1) st)
+        in
+        if implicit_only s sch then None
+        else
+          let held =
+            List.fold_left
+              (fun acc (r : Authorization.rule) ->
+                if
+                  String.equal r.Authorization.relation sch.Schema.name
+                  && (match r.Authorization.grantee with
+                     | Authorization.To x -> Subject.equal x s
+                     | Authorization.Any -> false)
+                then
+                  Attr.Set.union acc
+                    (Attr.Set.union r.Authorization.plain r.Authorization.enc)
+                else acc)
+              Attr.Set.empty rules
+          in
+          let absent = Attr.Set.elements (Attr.Set.diff (Schema.attrs sch) held) in
+          match absent with
+          | [] -> None
+          | _ ->
+              let attr =
+                List.nth absent
+                  (QCheck.Gen.int_bound (List.length absent - 1) st)
+              in
+              let to_plain = QCheck.Gen.bool st in
+              let rules' =
+                if has_rule s sch then
+                  List.map
+                    (fun (r : Authorization.rule) ->
+                      if
+                        String.equal r.Authorization.relation sch.Schema.name
+                        && (match r.Authorization.grantee with
+                           | Authorization.To x -> Subject.equal x s
+                           | Authorization.Any -> false)
+                      then
+                        if to_plain then
+                          { r with
+                            Authorization.plain =
+                              Attr.Set.add attr r.Authorization.plain }
+                        else
+                          { r with
+                            Authorization.enc =
+                              Attr.Set.add attr r.Authorization.enc }
+                      else r)
+                    rules
+                else
+                  { Authorization.relation = sch.Schema.name;
+                    grantee = Authorization.To s;
+                    plain =
+                      (if to_plain then Attr.Set.singleton attr
+                       else Attr.Set.empty);
+                    enc =
+                      (if to_plain then Attr.Set.empty
+                       else Attr.Set.singleton attr) }
+                  :: rules
+              in
+              Some (Authorization.make ~schemas rules'))
+  in
+  let rec try_n n = if n = 0 then policy
+    else match attempt () with Some p -> p | None -> try_n (n - 1)
+  in
+  try_n 5
+
+let mutate_policy ?(mode = `Revoke) policy : Authorization.t QCheck.Gen.t =
+ fun st ->
+  match mode with
+  | `Revoke -> revoke_once policy st
+  | `Grant -> grant_once policy st
+  | `Mixed ->
+      if QCheck.Gen.bool st then grant_once policy st
+      else revoke_once policy st

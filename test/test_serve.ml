@@ -32,6 +32,22 @@ let outcome_equal a b =
   | Serve.Service.Rejected x, Serve.Service.Rejected y -> x = y
   | _ -> false
 
+(* Order-insensitive table equality. An incrementally retained cache
+   entry may carry a differently shaped (but equally verified) plan
+   than a fresh replan would produce, and plan shape decides the
+   arrival order of rows at a final grouping — the answer is the same
+   multiset of rows. *)
+let canonical_equal a b =
+  List.equal Attr.equal (Engine.Table.attrs a) (Engine.Table.attrs b)
+  && List.sort compare (Engine.Table.rows a)
+     = List.sort compare (Engine.Table.rows b)
+
+let outcome_canonical_equal a b =
+  match (a, b) with
+  | Serve.Service.Table x, Serve.Service.Table y -> canonical_equal x y
+  | Serve.Service.Rejected x, Serve.Service.Rejected y -> x = y
+  | _ -> false
+
 (* --- LRU -------------------------------------------------------------- *)
 
 let test_lru_bounds () =
@@ -315,26 +331,68 @@ let test_policy_invalidation () =
          (Str.regexp_string "authorize Ins to Y plain P enc C")
          "authorize Ins to Y enc C" Policy_dsl.example)
   in
+  let granted =
+    (* a brand-new subject: its facts can be in no dependency set *)
+    Policy_dsl.parse
+      (Str.global_replace
+         (Str.regexp_string "authorize Hosp to H")
+         "provider W\nauthorize Hosp to W enc D\nauthorize Hosp to H"
+         Policy_dsl.example)
+  in
+  (* what a cache-less full replan answers under [policy] *)
+  let fresh_outcome policy =
+    let s = example_service ~policy () in
+    (Serve.Service.submit_sql s running_query).Serve.Service.outcome
+  in
   let service = example_service () in
   let r1 = Serve.Service.submit_sql service running_query in
   let r1' = Serve.Service.submit_sql service running_query in
   Alcotest.(check bool) "warmed up" true
     (r1'.Serve.Service.status = Serve.Service.Hit);
+  (* the entry's dependency set contains the fact the revocation below
+     removes — that is what makes the drop mandatory *)
+  (match r1.Serve.Service.planned with
+  | None -> Alcotest.fail "running query should be plannable"
+  | Some r ->
+      let deps =
+        Analysis.Deps.of_extended
+          ~deliver_to:(List.find
+                         (fun s -> s.Subject.role = Subject.User)
+                         original.Policy_dsl.subjects)
+          ~extended:r.Planner.Optimizer.extended
+          ~clusters:r.Planner.Optimizer.clusters ()
+      in
+      Alcotest.(check bool) "revoked fact is a dependency" true
+        (Analysis.Fact.Set.mem
+           { Analysis.Fact.subject = Subject.provider "Y";
+             attr = Attr.make "P"; level = Analysis.Fact.Plain }
+           deps));
+  (* 1 — a disjoint delta: the entry survives, rekeyed, and keeps
+     hitting with the very same plan (hence raw byte equality) *)
   let env_before = Serve.Service.environment service in
-  Serve.Service.set_policy service revoked.Policy_dsl.policy;
+  Serve.Service.set_policy service granted.Policy_dsl.policy;
   Alcotest.(check bool) "policy change rotates the environment" false
     (Serve.Service.environment service = env_before);
+  let ra = Serve.Service.submit_sql service running_query in
+  Alcotest.(check bool) "disjoint delta keeps the entry live" true
+    (ra.Serve.Service.status = Serve.Service.Hit);
+  Alcotest.(check bool) "rekeyed under the new environment" false
+    (ra.Serve.Service.key = r1.Serve.Service.key);
+  Alcotest.(check bool) "same plan, same bytes" true
+    (outcome_equal r1.Serve.Service.outcome ra.Serve.Service.outcome);
+  (* 2 — revoking a fact the plan depends on drops the entry: miss,
+     full replan, and the replanned entry re-passes the verifier *)
+  Serve.Service.set_policy service revoked.Policy_dsl.policy;
   let r2 = Serve.Service.submit_sql service running_query in
-  Alcotest.(check bool) "next lookup is a miss" true
+  Alcotest.(check bool) "dependent revocation forces a miss" true
     (r2.Serve.Service.status = Serve.Service.Miss);
   Alcotest.(check bool) "new key" false
     (r2.Serve.Service.key = r1.Serve.Service.key);
-  (* the stale entry is still resident (LRU will age it out), yet was
-     not served: both keys are in the cache, and the replanned entry
-     re-passed the verifier under the new policy *)
-  let keys = Serve.Service.cache_keys service in
-  Alcotest.(check bool) "stale entry resident but unreachable" true
-    (List.mem r1.Serve.Service.key keys && List.mem r2.Serve.Service.key keys);
+  Alcotest.(check bool) "dropped, not stranded" false
+    (List.mem ra.Serve.Service.key (Serve.Service.cache_keys service));
+  Alcotest.(check bool) "replan equals a cache-less service" true
+    (outcome_equal r2.Serve.Service.outcome
+       (fresh_outcome revoked.Policy_dsl.policy));
   (match r2.Serve.Service.planned with
   | None -> Alcotest.fail "query should still be plannable after revocation"
   | Some r ->
@@ -348,15 +406,22 @@ let test_policy_invalidation () =
       in
       Alcotest.(check bool) "replanned entry passes the verifier" true
         (Verify.Verifier.ok diags));
-  (* restoring the policy reaches the original entry again — hit, and
-     byte-identical to the first answer *)
+  (* 3 — restoring the policy is a grant-only delta: the resident
+     (revocation-era) entry is re-certified by an incremental verifier
+     pass and keeps serving — no replanning, answers canonically equal
+     to both the original response and a cache-less replan *)
   Serve.Service.set_policy service original.Policy_dsl.policy;
   let r3 = Serve.Service.submit_sql service running_query in
-  Alcotest.(check bool) "restored policy hits the original entry" true
-    (r3.Serve.Service.status = Serve.Service.Hit
-    && r3.Serve.Service.key = r1.Serve.Service.key);
-  Alcotest.(check bool) "original answer unchanged" true
-    (outcome_equal r1.Serve.Service.outcome r3.Serve.Service.outcome)
+  Alcotest.(check bool) "grant-only delta retains the entry" true
+    (r3.Serve.Service.status = Serve.Service.Hit);
+  Alcotest.(check bool) "answer canonically unchanged" true
+    (outcome_canonical_equal r1.Serve.Service.outcome r3.Serve.Service.outcome);
+  Alcotest.(check bool) "canonically equal to a cache-less replan" true
+    (outcome_canonical_equal r3.Serve.Service.outcome
+       (fresh_outcome original.Policy_dsl.policy));
+  let s = Serve.Service.stats service in
+  Alcotest.(check bool) "migration accounting" true
+    (s.Serve.Service.invalidated >= 1 && s.Serve.Service.retained >= 1)
 
 let test_config_invalidation () =
   let service = example_service () in
@@ -414,7 +479,9 @@ let test_stream_determinism () =
               match ev with
               | Gen.Squery q -> (policy, `Query q :: acc)
               | Gen.Smutate ->
-                  let policy' = Gen.mutate_policy policy rand in
+                  (* mixed grants and revokes: the differential also
+                     covers incremental retention and re-verification *)
+                  let policy' = Gen.mutate_policy ~mode:`Mixed policy rand in
                   (policy', `Set policy' :: acc))
             (policy0, []) events))
   in
