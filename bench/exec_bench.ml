@@ -1,13 +1,20 @@
 (* exec_bench — sequential vs parallel executor wall-clock over the
-   TPC-H workload.
+   TPC-H workload, with per-operator and per-scheme breakdowns.
 
    For every (query, scenario) configuration the query is planned by the
    authorization-aware optimizer, then the extended plan — Encrypt /
    Decrypt nodes included — is executed over generated TPC-H data twice:
    sequentially and on a [--jobs]-domain pool. Both runs must produce
    byte-identical tables (same attrs, same rows in the same order,
-   ciphertext bytes included); any divergence fails the benchmark.
-   Timings are the minimum over [--repeats] runs.
+   ciphertext bytes included); any divergence fails the benchmark with
+   exit code 2. Timings are the minimum over [--repeats] runs.
+
+   A third, untimed instrumented sequential pass per configuration
+   collects the Obs metrics the engine records — [exec.op_s.<operator>]
+   (flat per-operator time, child recursion excluded) and
+   [enc_exec.pool_s] / [enc_exec.enc_s.<scheme>] /
+   [enc_exec.dec_s.<scheme>] (randomness-pool and per-crypto-scheme
+   kernel time) — aggregated per scenario and overall into the report.
 
      dune exec bench/exec_bench.exe              # full 22 x 3 suite
      dune exec bench/exec_bench.exe -- --quick   # 4-query smoke subset
@@ -17,7 +24,11 @@
    per-configuration numbers plus [host_cores]
    (Domain.recommended_domain_count): on a single-core host the parallel
    run cannot beat the sequential one — domains just interleave — so
-   read the speedup together with that field. *)
+   read the parallel speedup together with that field. The
+   [row_baseline] block compares the sequential encrypted-scenario
+   totals against the last row-at-a-time engine's committed numbers
+   (same sf, same suite, single core) — that ratio is a single-core
+   kernel speedup, independent of [--jobs]. *)
 
 open Relalg
 
@@ -42,6 +53,72 @@ let byte_identical a b =
   && List.equal
        (fun (r1 : Value.t array) r2 -> r1 = r2)
        (Engine.Table.rows a) (Engine.Table.rows b)
+
+(* --- breakdown accumulation ------------------------------------------ *)
+
+(* name -> accumulated seconds, insertion-agnostic, reported sorted *)
+type acc = (string, float ref) Hashtbl.t
+
+let acc_create () : acc = Hashtbl.create 16
+
+let acc_add (t : acc) name s =
+  match Hashtbl.find_opt t name with
+  | Some r -> r := !r +. s
+  | None -> Hashtbl.add t name (ref s)
+
+let acc_sorted (t : acc) =
+  List.sort compare (Hashtbl.fold (fun k r l -> (k, !r) :: l) t [])
+
+let acc_json t = Json.Obj (List.map (fun (k, s) -> (k, Json.Float s)) (acc_sorted t))
+
+(* pull the flat metrics out of [Obs.render_json] as (name, total_s) *)
+let obs_metrics () =
+  match Obs.render_json () with
+  | Json.Obj fields -> (
+      match List.assoc_opt "metrics" fields with
+      | Some (Json.Obj metrics) ->
+          List.filter_map
+            (fun (name, v) ->
+              match v with
+              | Json.Obj mf -> (
+                  match List.assoc_opt "total" mf with
+                  | Some (Json.Float total) -> Some (name, total)
+                  | Some (Json.Int total) -> Some (name, float_of_int total)
+                  | _ -> None)
+              | _ -> None)
+            metrics
+      | _ -> [])
+  | _ -> []
+
+let strip prefix name =
+  let lp = String.length prefix in
+  if String.length name > lp && String.sub name 0 lp = prefix then
+    Some (String.sub name lp (String.length name - lp))
+  else None
+
+(* route a raw metric name into the two breakdown tables *)
+let route ~ops ~schemes (name, total) =
+  match strip "exec.op_s." name with
+  | Some tag -> acc_add ops tag total
+  | None -> (
+      match strip "enc_exec.enc_s." name with
+      | Some scheme -> acc_add schemes ("enc." ^ scheme) total
+      | None -> (
+          match strip "enc_exec.dec_s." name with
+          | Some scheme -> acc_add schemes ("dec." ^ scheme) total
+          | None ->
+              if name = "enc_exec.pool_s" then acc_add schemes "pool" total))
+
+(* --- row-at-a-time baseline ------------------------------------------ *)
+
+(* Sequential encrypted-scenario totals of the last row-at-a-time engine
+   (commit 10815d1's BENCH_exec.json: full 22x3 suite, sf 0.001,
+   repeats 2, host_cores 1), summed over its per_config entries. The
+   columnar engine's sequential totals divide into these to give the
+   single-core kernel speedup the report carries. *)
+let row_baseline_sf = 0.001
+let row_baseline_uapenc_ms = 9042.6
+let row_baseline_uapmix_ms = 11184.4
 
 let () =
   let quick = ref false in
@@ -94,6 +171,14 @@ let () =
   in
   let pool = Par.create ~name:"exec" !jobs in
   let mismatches = ref 0 in
+  (* overall and per-scenario breakdown accumulators *)
+  let all_ops = acc_create () and all_schemes = acc_create () in
+  let scen_tables =
+    List.map
+      (fun sc ->
+        (Tpch.Scenarios.name sc, (acc_create (), acc_create (), ref 0.0, ref 0.0)))
+      Tpch.Scenarios.all
+  in
   let rows =
     List.map
       (fun (q, sc) ->
@@ -119,6 +204,19 @@ let () =
           Printf.eprintf "exec_bench: q%d %s: parallel result differs\n" q
             (Tpch.Scenarios.name sc)
         end;
+        (* untimed instrumented pass: per-operator / per-scheme metrics *)
+        Obs.set_enabled true;
+        Obs.reset ();
+        ignore (Engine.Exec.run (ctx ()) plan);
+        let metrics = obs_metrics () in
+        Obs.set_enabled false;
+        let ops, schemes, scen_seq, scen_par =
+          List.assoc (Tpch.Scenarios.name sc) scen_tables
+        in
+        List.iter (route ~ops ~schemes) metrics;
+        List.iter (route ~ops:all_ops ~schemes:all_schemes) metrics;
+        scen_seq := !scen_seq +. seq_ms;
+        scen_par := !scen_par +. par_ms;
         Printf.printf "q%-3d %-7s %9.2f ms -> %9.2f ms  (%4.2fx)%s\n%!" q
           (Tpch.Scenarios.name sc) seq_ms par_ms (seq_ms /. par_ms)
           (if same then "" else "  RESULT MISMATCH");
@@ -129,6 +227,26 @@ let () =
   let total f = List.fold_left (fun acc row -> acc +. f row) 0.0 rows in
   let seq_total = total (fun (_, _, s, _, _, _) -> s) in
   let par_total = total (fun (_, _, _, p, _, _) -> p) in
+  let scenario_seq name =
+    let _, _, s, _ = List.assoc name scen_tables in
+    !s
+  in
+  (* the row-baseline comparison only means something on the same
+     workload the baseline was measured on *)
+  let baseline_applicable = (not !quick) && !sf = row_baseline_sf in
+  let row_baseline_json =
+    if not baseline_applicable then Json.Null
+    else
+      let enc = scenario_seq "UAPenc" and mix = scenario_seq "UAPmix" in
+      Json.Obj
+        [ ("sf", Json.Float row_baseline_sf);
+          ("row_uapenc_sequential_ms", Json.Float row_baseline_uapenc_ms);
+          ("row_uapmix_sequential_ms", Json.Float row_baseline_uapmix_ms);
+          ("columnar_uapenc_sequential_ms", Json.Float enc);
+          ("columnar_uapmix_sequential_ms", Json.Float mix);
+          ("speedup_uapenc", Json.Float (row_baseline_uapenc_ms /. enc));
+          ("speedup_uapmix", Json.Float (row_baseline_uapmix_ms /. mix)) ]
+  in
   let doc =
     Json.Obj
       [ ("suite", Json.String "exec");
@@ -143,6 +261,20 @@ let () =
         ("parallel_ms", Json.Float par_total);
         ("speedup", Json.Float (seq_total /. par_total));
         ("byte_identical", Json.Bool (!mismatches = 0));
+        ("per_operator_s", acc_json all_ops);
+        ("per_scheme_s", acc_json all_schemes);
+        ("row_baseline", row_baseline_json);
+        ("per_scenario",
+         Json.List
+           (List.map
+              (fun (name, (ops, schemes, s, p)) ->
+                Json.Obj
+                  [ ("scenario", Json.String name);
+                    ("sequential_ms", Json.Float !s);
+                    ("parallel_ms", Json.Float !p);
+                    ("per_operator_s", acc_json ops);
+                    ("per_scheme_s", acc_json schemes) ])
+              scen_tables));
         ("per_config",
          Json.List
            (List.map
@@ -167,4 +299,23 @@ let () =
     !jobs
     (Domain.recommended_domain_count ())
     !out;
+  Printf.printf "\nper-scheme crypto kernel time (all configs, sequential):\n";
+  List.iter
+    (fun (k, s) -> Printf.printf "  %-10s %9.2f ms\n" k (s *. 1000.0))
+    (acc_sorted all_schemes);
+  Printf.printf "\nper-operator time (all configs, sequential, flat):\n";
+  List.iter
+    (fun (k, s) -> Printf.printf "  %-12s %9.2f ms\n" k (s *. 1000.0))
+    (acc_sorted all_ops);
+  if baseline_applicable then begin
+    let enc = scenario_seq "UAPenc" and mix = scenario_seq "UAPmix" in
+    Printf.printf
+      "\nvs row-at-a-time baseline (single-core sequential totals):\n\
+      \  UAPenc %9.2f ms -> %9.2f ms  (%4.2fx)\n\
+      \  UAPmix %9.2f ms -> %9.2f ms  (%4.2fx)\n"
+      row_baseline_uapenc_ms enc
+      (row_baseline_uapenc_ms /. enc)
+      row_baseline_uapmix_ms mix
+      (row_baseline_uapmix_ms /. mix)
+  end;
   if !mismatches > 0 then exit 2

@@ -252,6 +252,168 @@ let mod_pow ~base:b ~exp ~modulus =
   done;
   !result
 
+(* --- Montgomery arithmetic ------------------------------------------ *)
+
+(* Fixed-modulus contexts amortize the reduction work that [mod_pow]'s
+   shift-subtract [rem] pays on every multiplication. A context holds the
+   modulus limbs, the Montgomery constant -m^{-1} mod 2^30 and R^2 mod m
+   (R = 2^(30k)); REDC then replaces each division with a second
+   schoolbook pass, turning a ~512-bit modular multiply from O(bits *
+   limbs) into O(limbs^2). Batched column kernels (Paillier blinding
+   pools, windowed exponentiation) build one context per key and reuse
+   it across the column. *)
+module Mont = struct
+  type ctx = {
+    m : t;
+    mm : int array; (* modulus limbs *)
+    k : int; (* limb count *)
+    m0inv : int; (* -m^{-1} mod 2^30 *)
+    r2 : int array; (* R^2 mod m, padded to k limbs *)
+    one : int array; (* R mod m = mont(1), padded to k limbs *)
+  }
+
+  let pad k mag =
+    let r = Array.make k 0 in
+    Array.blit mag 0 r 0 (Array.length mag);
+    r
+
+  let create m =
+    if m.sign <= 0 then invalid_arg "Bignum.Mont.create: modulus <= 0";
+    if is_even m then invalid_arg "Bignum.Mont.create: modulus must be odd";
+    let k = Array.length m.mag in
+    (* limb inverse by Newton iteration: x -> x * (2 - m0 * x), doubling
+       correct low bits each round; 5 rounds cover 30 bits *)
+    let m0 = m.mag.(0) in
+    let inv = ref 1 in
+    for _ = 1 to 5 do
+      inv := !inv * (2 - (m0 * !inv)) land base_mask
+    done;
+    let m0inv = - !inv land base_mask in
+    let r = shift_left one (base_bits * k) in
+    let r2 = rem (mul r r) m in
+    let one_m = rem r m in
+    { m; mm = m.mag; k; m0inv; r2 = pad k r2.mag; one = pad k one_m.mag }
+
+  (* t <- t * m' (length k each) followed by REDC, result length k.
+     Operands are non-negative magnitudes in Montgomery form. *)
+  let mont_mul ctx a b =
+    let k = ctx.k in
+    let t = Array.make ((2 * k) + 1) 0 in
+    for i = 0 to k - 1 do
+      let ai = a.(i) in
+      if ai <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to k - 1 do
+          let x = (ai * b.(j)) + t.(i + j) + !carry in
+          t.(i + j) <- x land base_mask;
+          carry := x lsr base_bits
+        done;
+        let p = ref (i + k) in
+        while !carry <> 0 do
+          let x = t.(!p) + !carry in
+          t.(!p) <- x land base_mask;
+          carry := x lsr base_bits;
+          incr p
+        done
+      end
+    done;
+    (* REDC: clear the low k limbs by adding multiples of m *)
+    for i = 0 to k - 1 do
+      let u = t.(i) * ctx.m0inv land base_mask in
+      if u <> 0 then begin
+        let carry = ref 0 in
+        for j = 0 to k - 1 do
+          let x = (u * ctx.mm.(j)) + t.(i + j) + !carry in
+          t.(i + j) <- x land base_mask;
+          carry := x lsr base_bits
+        done;
+        let p = ref (i + k) in
+        while !carry <> 0 do
+          let x = t.(!p) + !carry in
+          t.(!p) <- x land base_mask;
+          carry := x lsr base_bits;
+          incr p
+        done
+      end
+    done;
+    let res = Array.sub t k (k + 1) in
+    (* conditional subtraction: res may reach [m, 2m) *)
+    let ge =
+      if res.(k) <> 0 then true
+      else
+        let rec cmp i =
+          if i < 0 then true
+          else if res.(i) <> ctx.mm.(i) then res.(i) > ctx.mm.(i)
+          else cmp (i - 1)
+        in
+        cmp (k - 1)
+    in
+    if ge then begin
+      let borrow = ref 0 in
+      for i = 0 to k - 1 do
+        let d = res.(i) - ctx.mm.(i) - !borrow in
+        if d < 0 then begin
+          res.(i) <- d + base;
+          borrow := 1
+        end
+        else begin
+          res.(i) <- d;
+          borrow := 0
+        end
+      done
+    end;
+    Array.sub res 0 k
+
+  let of_limbs ctx limbs = normalize 1 (Array.copy limbs) |> fun v -> rem v ctx.m
+
+  let to_mont ctx v =
+    let v = rem v ctx.m in
+    mont_mul ctx (pad ctx.k v.mag) ctx.r2
+
+  let from_mont ctx limbs =
+    let one_limb = Array.make ctx.k 0 in
+    one_limb.(0) <- 1;
+    of_limbs ctx (mont_mul ctx limbs one_limb)
+
+  (* a * b mod m through one conversion: REDC(mont(a) * b) = a*b mod m *)
+  let mul ctx a b =
+    let am = to_mont ctx a in
+    let b = rem b ctx.m in
+    of_limbs ctx (mont_mul ctx am (pad ctx.k b.mag))
+
+  (* 4-bit fixed-window left-to-right exponentiation *)
+  let pow ctx base exp =
+    if exp.sign < 0 then invalid_arg "Bignum.Mont.pow: negative exponent";
+    if is_zero exp then rem one ctx.m
+    else begin
+      let bm = to_mont ctx base in
+      let table = Array.make 16 ctx.one in
+      table.(1) <- bm;
+      for i = 2 to 15 do
+        table.(i) <- mont_mul ctx table.(i - 1) bm
+      done;
+      let nbits = bit_length exp in
+      let nwin = (nbits + 3) / 4 in
+      let acc = ref ctx.one in
+      for w = nwin - 1 downto 0 do
+        if w < nwin - 1 then begin
+          acc := mont_mul ctx !acc !acc;
+          acc := mont_mul ctx !acc !acc;
+          acc := mont_mul ctx !acc !acc;
+          acc := mont_mul ctx !acc !acc
+        end;
+        let d =
+          (if testbit exp ((4 * w) + 3) then 8 else 0)
+          + (if testbit exp ((4 * w) + 2) then 4 else 0)
+          + (if testbit exp ((4 * w) + 1) then 2 else 0)
+          + if testbit exp (4 * w) then 1 else 0
+        in
+        if d <> 0 then acc := mont_mul ctx !acc table.(d)
+      done;
+      from_mont ctx !acc
+    end
+end
+
 let rec gcd a b =
   let a = abs a and b = abs b in
   if is_zero b then a else gcd b (rem a b)

@@ -52,6 +52,25 @@ val pow : t -> int -> t
 val mod_pow : base:t -> exp:t -> modulus:t -> t
 (** [mod_pow ~base ~exp ~modulus] with [exp >= 0], [modulus > 0]. *)
 
+(** Montgomery arithmetic over a fixed odd modulus. Building a context
+    costs one division; every subsequent modular multiplication or
+    windowed exponentiation avoids division entirely — the batched
+    Paillier kernels build one context per key and reuse it across a
+    whole column. Results are bit-identical to {!mod_pow}/{!rem}. *)
+module Mont : sig
+  type ctx
+
+  val create : t -> ctx
+  (** Raises [Invalid_argument] unless the modulus is odd and positive. *)
+
+  val mul : ctx -> t -> t -> t
+  (** [mul ctx a b = a * b mod m]. *)
+
+  val pow : ctx -> t -> t -> t
+  (** [pow ctx base exp = base ^ exp mod m] by 4-bit windowed
+      square-and-multiply over Montgomery representatives; [exp >= 0]. *)
+end
+
 val gcd : t -> t -> t
 val lcm : t -> t -> t
 

@@ -57,16 +57,89 @@ let decrypt key c =
     invalid_arg (Printf.sprintf "Ope.decrypt: %d out of range" c);
   dec_range key 0 (plain_size - 1) 0 (cipher_size - 1) c - offset
 
+(* --- memoized batch coder ------------------------------------------- *)
+
+(* The PRF-derived split of a node depends only on (plo, phi, clo, chi),
+   and the (clo, chi) of a node is itself determined by the descent path
+   from the fixed root — so (plo, phi) identifies a node outright. A
+   coder caches each visited node's cipher split point (internal nodes)
+   or leaf cipher value, so a column of values shares the PRF work of
+   their common path prefixes: the ~40 PRF calls per value collapse to
+   a handful of hashtable hits after the tree warms up. Coders are
+   single-domain (a plain Hashtbl); batch kernels create one per task. *)
+type coder = { ckey : key; memo : (int * int, int) Hashtbl.t }
+
+let coder ckey = { ckey; memo = Hashtbl.create 256 }
+
+(* split point cm of internal node (plo, phi, clo, chi); memoized *)
+let split_point t plo phi clo chi =
+  match Hashtbl.find_opt t.memo (plo, phi) with
+  | Some cm -> cm
+  | None ->
+      let pm = plo + ((phi - plo) / 2) in
+      let nl = pm - plo + 1 and nr = phi - pm in
+      let slack = chi - clo + 1 - (nl + nr) in
+      let sl =
+        Prf.int_below t.ckey
+          (Printf.sprintf "node:%d:%d:%d:%d" plo phi clo chi)
+          (slack + 1)
+      in
+      let cm = clo + nl + sl - 1 in
+      Hashtbl.add t.memo (plo, phi) cm;
+      cm
+
+let leaf_point t plo clo chi =
+  match Hashtbl.find_opt t.memo (plo, plo) with
+  | Some c -> c
+  | None ->
+      let c =
+        clo + Prf.int_below t.ckey (Printf.sprintf "leaf:%d" plo) (chi - clo + 1)
+      in
+      Hashtbl.add t.memo (plo, plo) c;
+      c
+
+let rec enc_memo t plo phi clo chi x =
+  if plo = phi then leaf_point t plo clo chi
+  else
+    let pm = plo + ((phi - plo) / 2) in
+    let cm = split_point t plo phi clo chi in
+    if x <= pm then enc_memo t plo pm clo cm x
+    else enc_memo t (pm + 1) phi (cm + 1) chi x
+
+let rec dec_memo t plo phi clo chi c =
+  if plo = phi then plo
+  else
+    let pm = plo + ((phi - plo) / 2) in
+    let cm = split_point t plo phi clo chi in
+    if c <= cm then dec_memo t plo pm clo cm c
+    else dec_memo t (pm + 1) phi (cm + 1) chi c
+
+let encode t x =
+  let v = x + offset in
+  if v < 0 || v >= plain_size then
+    invalid_arg (Printf.sprintf "Ope.encrypt: %d out of domain" x);
+  enc_memo t 0 (plain_size - 1) 0 (cipher_size - 1) v
+
+let decode t c =
+  if c < 0 || c >= cipher_size then
+    invalid_arg (Printf.sprintf "Ope.decrypt: %d out of range" c);
+  dec_memo t 0 (plain_size - 1) 0 (cipher_size - 1) c - offset
+
 let cipher_bytes = (cipher_bits + 7) / 8
 
-let encrypt_bytes key x =
-  let c = encrypt key x in
+let bytes_of_cipher c =
   String.init cipher_bytes (fun i ->
       Char.chr ((c lsr (8 * (cipher_bytes - 1 - i))) land 255))
 
-let decrypt_bytes key s =
+let encrypt_bytes key x = bytes_of_cipher (encrypt key x)
+
+let cipher_of_bytes s =
   if String.length s <> cipher_bytes then
     invalid_arg "Ope.decrypt_bytes: bad width";
   let c = ref 0 in
   String.iter (fun ch -> c := (!c lsl 8) lor Char.code ch) s;
-  decrypt key !c
+  !c
+
+let decrypt_bytes key s = decrypt key (cipher_of_bytes s)
+let encode_bytes t x = bytes_of_cipher (encode t x)
+let decode_bytes t s = decode t (cipher_of_bytes s)

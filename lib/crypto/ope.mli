@@ -30,3 +30,23 @@ val encrypt_bytes : key -> int -> string
     comparison agrees with numeric order. *)
 
 val decrypt_bytes : key -> string -> int
+
+(** {2 Memoized batch coder}
+
+    Encrypting a column repeats the PRF work of the partition tree's
+    upper levels for every value. A [coder] caches the PRF-derived split
+    points it visits, so values sharing path prefixes (any clustered or
+    repeated column) pay the PRF only once per distinct tree node.
+    Output is byte-identical to {!encrypt}/{!decrypt}. A coder is not
+    domain-safe: batch kernels create one per task. *)
+
+type coder
+
+val coder : key -> coder
+
+val encode : coder -> int -> int
+(** Same function as [encrypt key], memoized. *)
+
+val decode : coder -> int -> int
+val encode_bytes : coder -> int -> string
+val decode_bytes : coder -> string -> int

@@ -1,4 +1,4 @@
-type public = { n : Bignum.t; n2 : Bignum.t }
+type public = { n : Bignum.t; n2 : Bignum.t; mont : Bignum.Mont.ctx }
 type secret = { lambda : Bignum.t; mu : Bignum.t }
 
 let keygen ?(bits = 256) rng =
@@ -19,31 +19,43 @@ let keygen ?(bits = 256) rng =
     | Some m -> m
     | None -> failwith "Paillier.keygen: lambda not invertible"
   in
-  ({ n; n2 }, { lambda; mu })
+  (* n is a product of odd primes, so n^2 is odd and Montgomery-friendly *)
+  ({ n; n2; mont = Bignum.Mont.create n2 }, { lambda; mu })
 
 let encode pk m =
   (* signed encoding into [0, n) *)
   if Bignum.sign m >= 0 then Bignum.rem m pk.n
   else Bignum.rem (Bignum.add pk.n m) pk.n
 
-let encrypt pk rng m =
-  let m = encode pk m in
-  let rec random_unit () =
+(* Blinding is the expensive half of encryption (r^n mod n^2, one full
+   exponentiation); it depends only on the key and the randomness, never
+   on the plaintext. [blinding] lets batched kernels precompute a pool of
+   factors off the hot path, drawing from position-derived generators so
+   the pool is byte-identical to on-the-fly sequential draws. *)
+let draw_unit pk rng =
+  let rec go () =
     let r = Bignum.random_below rng pk.n in
     if Bignum.is_zero r || not (Bignum.equal (Bignum.gcd r pk.n) Bignum.one)
-    then random_unit ()
+    then go ()
     else r
   in
-  let r = random_unit () in
+  go ()
+
+let blinding_of_unit pk r = Bignum.Mont.pow pk.mont r pk.n
+let blinding pk rng = blinding_of_unit pk (draw_unit pk rng)
+
+let encrypt_blinded pk rn m =
+  let m = encode pk m in
   (* g^m = (1 + n)^m = 1 + m*n  (mod n^2) *)
   let gm = Bignum.rem (Bignum.succ (Bignum.mul m pk.n)) pk.n2 in
-  let rn = Bignum.mod_pow ~base:r ~exp:pk.n ~modulus:pk.n2 in
-  Bignum.rem (Bignum.mul gm rn) pk.n2
+  Bignum.Mont.mul pk.mont gm rn
+
+let encrypt pk rng m = encrypt_blinded pk (blinding pk rng) m
 
 let lfun pk x = Bignum.div (Bignum.pred x) pk.n
 
 let decrypt pk sk c =
-  let u = Bignum.mod_pow ~base:c ~exp:sk.lambda ~modulus:pk.n2 in
+  let u = Bignum.Mont.pow pk.mont c sk.lambda in
   Bignum.rem (Bignum.mul (lfun pk u) sk.mu) pk.n
 
 let decrypt_signed pk sk c =
@@ -51,8 +63,8 @@ let decrypt_signed pk sk c =
   let half = Bignum.shift_right pk.n 1 in
   if Bignum.compare m half > 0 then Bignum.sub m pk.n else m
 
-let add pk c1 c2 = Bignum.rem (Bignum.mul c1 c2) pk.n2
-let mul_scalar pk c k = Bignum.mod_pow ~base:c ~exp:(encode pk k) ~modulus:pk.n2
+let add pk c1 c2 = Bignum.Mont.mul pk.mont c1 c2
+let mul_scalar pk c k = Bignum.Mont.pow pk.mont c (encode pk k)
 
 let cipher_to_string = Bignum.to_string
 let cipher_of_string = Bignum.of_string

@@ -39,12 +39,13 @@ let xor_strings a b =
   String.init (String.length a) (fun i ->
       Char.chr (Char.code a.[i] lxor Char.code b.[i]))
 
-let encrypt k rng plaintext =
-  let iv = Prng.next64 rng in
+let encrypt_iv k iv plaintext =
   let iv_bytes = bytes_of_int64 iv in
   let body = xor_strings plaintext (keystream k.enc iv (String.length plaintext)) in
   let tag = Prf.mac_bytes k.mac (iv_bytes ^ body) in
   iv_bytes ^ body ^ tag
+
+let encrypt k rng plaintext = encrypt_iv k (Prng.next64 rng) plaintext
 
 let decrypt k ciphertext =
   if String.length ciphertext < 16 then

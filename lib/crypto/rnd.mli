@@ -14,5 +14,12 @@ val encrypt : key -> Prng.t -> string -> string
 (** [encrypt k rng plaintext] draws a fresh IV from [rng]. Layout:
     [iv (8) || body || tag (8)]. *)
 
+val encrypt_iv : key -> int64 -> string -> string
+(** [encrypt_iv k iv plaintext] encrypts under a caller-supplied IV:
+    [encrypt k rng p = encrypt_iv k (Prng.next64 rng) p]. Batched
+    kernels pre-draw the IVs in a deterministic pool pass and hand them
+    to per-column loops; reusing an IV for two plaintexts under one key
+    voids secrecy, so pools must be position-derived and single-use. *)
+
 val decrypt : key -> string -> string
 (** Raises [Failure] on authentication failure. *)

@@ -5,12 +5,46 @@ exception Crypto_error of string
 
 let err fmt = Format.kasprintf (fun s -> raise (Crypto_error s)) fmt
 
+(* Scheme keys are derived from the cluster secret by PRF plus a Speck
+   key schedule — far too expensive to repeat per value, which is what
+   the first row-at-a-time executor did. A ctx derives every cluster's
+   keys eagerly at construction (eager, not lazy: the table is read-only
+   afterwards, so worker domains can share it without synchronization;
+   [Lazy.force] is not domain-safe). *)
+type keys = { det : C.Det.key; rnd : C.Rnd.key; ope : C.Ope.key }
+
 type ctx = {
   keyring : C.Keyring.t;
   clusters : Authz.Plan_keys.cluster list;
+  keys : (string, keys) Hashtbl.t;
+  (* predicate-constant ciphertext memo: the comparable schemes (det,
+     ope) are deterministic, so encrypting the same constant under the
+     same cluster per row is pure waste — a selection over an encrypted
+     column used to pay a full OPE traversal for every row. Guarded by
+     the mutex because selections run on worker domains. *)
+  consts : (string * string * Value.t, Value.t) Hashtbl.t;
+  consts_mu : Mutex.t;
 }
 
-let make keyring clusters = { keyring; clusters }
+let derive_keys keyring id =
+  let s = C.Keyring.cluster_secret keyring id in
+  { det = C.Keyring.det_key_of_secret s;
+    rnd = C.Keyring.rnd_key_of_secret s;
+    ope = C.Keyring.ope_key_of_secret s }
+
+let make keyring clusters =
+  let keys = Hashtbl.create (List.length clusters + 1) in
+  List.iter
+    (fun (c : Authz.Plan_keys.cluster) ->
+      if not (Hashtbl.mem keys c.Authz.Plan_keys.id) then
+        Hashtbl.add keys c.Authz.Plan_keys.id
+          (derive_keys keyring c.Authz.Plan_keys.id))
+    clusters;
+  { keyring;
+    clusters;
+    keys;
+    consts = Hashtbl.create 16;
+    consts_mu = Mutex.create () }
 
 let of_schemes keyring pairs =
   let clusters =
@@ -22,7 +56,7 @@ let of_schemes keyring pairs =
           holders = Authz.Subject.Set.empty })
       pairs
   in
-  { keyring; clusters }
+  make keyring clusters
 
 let clusters ctx = ctx.clusters
 
@@ -40,13 +74,23 @@ let cluster_by_id ctx id =
 
 let scheme_of ctx a = (cluster_of ctx a).Authz.Plan_keys.scheme
 
+let keys_of ctx id =
+  match Hashtbl.find_opt ctx.keys id with
+  | Some k -> k
+  | None -> derive_keys ctx.keyring id
+
 (* --- serialization ------------------------------------------------- *)
+
+(* %h (hexadecimal float) round-trips every float exactly, including
+   the ones string_of_float used to corrupt (it keeps only ~12 digits);
+   float_of_string parses the hex form as well as nan/infinity. *)
+let hex_float f = Printf.sprintf "%h" f
 
 let serialize = function
   | Value.Null -> "n"
   | Value.Bool b -> if b then "b1" else "b0"
   | Value.Int i -> "i" ^ string_of_int i
-  | Value.Float f -> "f" ^ string_of_float f
+  | Value.Float f -> "f" ^ hex_float f
   | Value.Str s -> "s" ^ s
   | Value.Date d -> "d" ^ string_of_int d
   | Value.Enc _ -> err "cannot re-serialize a ciphertext"
@@ -66,29 +110,60 @@ let deserialize s =
 
 (* --- numeric images for OPE / Paillier ----------------------------- *)
 
-let cents f = int_of_float (Float.round (f *. 100.0))
+(* Every numeric image is in cents (value * 100). The checks close two
+   silent-garbage holes: [int_of_float] maps NaN/oversized floats to
+   unspecified ints, and [i * 100] wraps around near [max_int]. *)
 
+let cents f =
+  if not (Float.is_finite f) then
+    err "cannot encode non-finite float %s as cents" (hex_float f);
+  let scaled = Float.round (f *. 100.0) in
+  if Float.abs scaled >= 0x1p62 then
+    err "float %s overflows the cent encoding" (hex_float f);
+  int_of_float scaled
+
+let int_cents i =
+  if i > max_int / 100 || i < min_int / 100 then
+    err "%d overflows the cent encoding" i;
+  i * 100
+
+(* OPE plaintext domain: signed 40-bit (the [Ope] module's own check
+   raises [Invalid_argument]; surface the typed error instead). *)
+let ope_min = -(1 lsl 39)
+let ope_max = (1 lsl 39) - 1
+
+let ope_guard img =
+  if img < ope_min || img > ope_max then
+    err "cent-scaled value %d outside the OPE plaintext domain" img;
+  img
+
+let str_prefix s =
+  (* 4-byte big-endian prefix (fits the 40-bit OPE domain):
+     order-preserving up to prefix ties; the deterministic tail in the
+     payload recovers the exact string *)
+  let v = ref 0 in
+  for i = 0 to 3 do
+    let byte = if i < String.length s then Char.code s.[i] else 0 in
+    v := (!v lsl 8) lor byte
+  done;
+  !v
+
+(* All numeric types share the cents scale so OPE order is preserved
+   across them: Int 4 must land above Float 3.5 (the old unit-scale Int
+   image put 4 below 350 = cents 3.50 — orderings involving an Int
+   column and a Float constant came out wrong). *)
 let ope_image = function
-  | Value.Int i -> (i, 'i')
-  | Value.Date d -> (d, 'd')
-  | Value.Bool b -> ((if b then 1 else 0), 'b')
-  | Value.Float f -> (cents f, 'f')
-  | Value.Str s ->
-      (* 4-byte big-endian prefix (fits the 40-bit OPE domain):
-         order-preserving up to prefix ties; the deterministic tail in the
-         payload recovers the exact string *)
-      let v = ref 0 in
-      for i = 0 to 3 do
-        let byte = if i < String.length s then Char.code s.[i] else 0 in
-        v := (!v lsl 8) lor byte
-      done;
-      (!v, 's')
+  | Value.Int i -> (ope_guard (int_cents i), 'i')
+  | Value.Date d -> (ope_guard (int_cents d), 'd')
+  | Value.Bool b -> ((if b then 100 else 0), 'b')
+  | Value.Float f -> (ope_guard (cents f), 'f')
+  | Value.Str s -> (str_prefix s, 's')
   | Value.Null | Value.Enc _ -> err "no OPE image for this value"
 
 let phe_image = function
-  | Value.Int i -> (i * 100, 'i')
+  | Value.Int i -> (int_cents i, 'i')
   | Value.Float f -> (cents f, 'f')
-  | Value.Date d -> (d * 100, 'd')
+  | Value.Date d -> (int_cents d, 'd')
   | Value.Bool b -> ((if b then 100 else 0), 'b')
   | Value.Null | Value.Str _ | Value.Enc _ ->
       err "no additive image for this value"
@@ -101,16 +176,51 @@ let phe_unscale tag scaled =
   | 'b' -> Value.Bool (scaled <> 0)
   | c -> err "bad phe tag %c" c
 
-(* --- keys ----------------------------------------------------------- *)
+(* --- OPE ciphertext comparison -------------------------------------- *)
 
-let secret ctx (cluster : Authz.Plan_keys.cluster) =
-  C.Keyring.cluster_secret ctx.keyring cluster.Authz.Plan_keys.id
+let ope_bytes = 7
 
-let det_key ctx cluster = C.Keyring.det_key_of_secret (secret ctx cluster)
-let rnd_key ctx cluster = C.Keyring.rnd_key_of_secret (secret ctx cluster)
-let ope_key ctx cluster = C.Keyring.ope_key_of_secret (secret ctx cluster)
+(* An OPE payload is [7-byte big-endian cipher | tag | det tail (strings
+   only)]. The cipher prefix carries the order; the tag byte and the det
+   tail do NOT (the old executor compared whole payloads, so two strings
+   sharing a 4-byte prefix were silently ordered by their
+   non-order-preserving det tails). *)
 
-(* --- encryption ----------------------------------------------------- *)
+let tag_class = function
+  | 'i' | 'f' -> `Num
+  | 'd' -> `Date
+  | 'b' -> `Bool
+  | 's' -> `Str
+  | t -> err "bad OPE tag %c" t
+
+let ope_parts (c : Value.cipher) =
+  let p = c.Value.payload in
+  if String.length p < ope_bytes + 1 then err "truncated OPE payload";
+  (String.sub p 0 ope_bytes, p.[ope_bytes])
+
+let ope_compare a b =
+  let pa, ta = ope_parts a and pb, tb = ope_parts b in
+  if tag_class ta <> tag_class tb then
+    err "incomparable OPE ciphertexts (tags %c / %c)" ta tb;
+  let c = String.compare pa pb in
+  if c <> 0 then c
+  else if ta = 's' then
+    if String.equal a.Value.payload b.Value.payload then 0
+    else
+      err
+        "OPE order undefined: distinct strings share a 4-byte prefix \
+         (ordering beyond the prefix needs plaintext)"
+  else (* numeric images tied at cent precision are equal *) 0
+
+let ope_equal a b =
+  if String.equal a.Value.payload b.Value.payload then true
+  else
+    let pa, ta = ope_parts a and pb, tb = ope_parts b in
+    if tag_class ta <> tag_class tb then false
+    else if ta = 's' then false (* distinct payload = distinct string *)
+    else String.equal pa pb
+
+(* --- encryption (single value) -------------------------------------- *)
 
 let encrypt_with ?rng ctx (cluster : Authz.Plan_keys.cluster) v =
   (* [rng] supplies the encryption randomness (Rnd IVs, Paillier
@@ -120,21 +230,20 @@ let encrypt_with ?rng ctx (cluster : Authz.Plan_keys.cluster) v =
      on scheduling. *)
   let draw () = match rng with Some r -> r | None -> C.Keyring.rng ctx.keyring in
   let key_id = cluster.Authz.Plan_keys.id in
+  let ks = keys_of ctx key_id in
   let mk scheme payload =
     Value.Enc { Value.scheme = C.Scheme.name scheme; key_id; payload }
   in
   match cluster.Authz.Plan_keys.scheme with
-  | C.Scheme.Det -> mk C.Scheme.Det (C.Det.encrypt (det_key ctx cluster) (serialize v))
-  | C.Scheme.Rnd ->
-      mk C.Scheme.Rnd
-        (C.Rnd.encrypt (rnd_key ctx cluster) (draw ()) (serialize v))
+  | C.Scheme.Det -> mk C.Scheme.Det (C.Det.encrypt ks.det (serialize v))
+  | C.Scheme.Rnd -> mk C.Scheme.Rnd (C.Rnd.encrypt ks.rnd (draw ()) (serialize v))
   | C.Scheme.Ope ->
       let image, tag = ope_image v in
-      let prefix = C.Ope.encrypt_bytes (ope_key ctx cluster) image in
+      let prefix = C.Ope.encrypt_bytes ks.ope image in
       let tail =
         (* strings keep a deterministic tail for exact recovery *)
         match v with
-        | Value.Str _ -> C.Det.encrypt (det_key ctx cluster) (serialize v)
+        | Value.Str _ -> C.Det.encrypt ks.det (serialize v)
         | _ -> ""
       in
       mk C.Scheme.Ope (prefix ^ String.make 1 tag ^ tail)
@@ -161,32 +270,204 @@ let prepare_parallel ctx =
      only moves the one-time cost onto the calling domain *)
   ignore (C.Keyring.paillier ctx.keyring)
 
-(* --- decryption ----------------------------------------------------- *)
+(* --- batched column kernels ------------------------------------------ *)
 
-let ope_bytes = 7
+(* Per-(column, row) randomness pool. The pool pass replays the exact
+   draw sequence of the row-at-a-time encryptor — per row [start + k]
+   one generator [Prng.derive rng_root (start + k)], consumed across the
+   encrypted columns in attribute order, Null cells drawing nothing —
+   so the kernels below produce byte-identical ciphertext at any
+   chunking/--jobs, while the expensive per-draw work (Paillier r^n)
+   moves into a tight per-column loop. *)
+type pool_slot =
+  | No_draws
+  | Ivs of int64 array
+  | Units of C.Bignum.t array
 
-let decrypt_cipher ctx (c : Value.cipher) =
-  let cluster = cluster_by_id ctx c.Value.key_id in
+let is_null_cell col k =
+  match col with
+  | Column.Values a -> ( match a.(k) with Value.Null -> true | _ -> false)
+  | _ -> false
+
+let encrypt_batch ctx ~rng_root ~start ~enc =
+  let enc = List.map (fun (a, col) -> (a, cluster_of ctx a, col)) enc in
+  let n = match enc with [] -> 0 | (_, _, c) :: _ -> Column.length c in
+  let needs_phe =
+    List.exists
+      (fun (_, cl, _) -> cl.Authz.Plan_keys.scheme = C.Scheme.Phe)
+      enc
+  in
+  let pk =
+    if needs_phe then Some (fst (C.Keyring.paillier ctx.keyring)) else None
+  in
+  let cols = Array.of_list (List.map (fun (_, _, c) -> c) enc) in
+  let slots =
+    Array.of_list
+      (List.map
+         (fun (_, cl, _) ->
+           match cl.Authz.Plan_keys.scheme with
+           | C.Scheme.Rnd -> Ivs (Array.make n 0L)
+           | C.Scheme.Phe -> Units (Array.make n C.Bignum.zero)
+           | C.Scheme.Det | C.Scheme.Ope -> No_draws)
+         enc)
+  in
+  let any_draws =
+    Array.exists (function No_draws -> false | _ -> true) slots
+  in
+  if any_draws then
+    Obs.time "enc_exec.pool_s" (fun () ->
+        for k = 0 to n - 1 do
+          let rng = C.Prng.derive rng_root (start + k) in
+          Array.iteri
+            (fun e slot ->
+              match slot with
+              | No_draws -> ()
+              | Ivs a ->
+                  if not (is_null_cell cols.(e) k) then
+                    a.(k) <- C.Prng.next64 rng
+              | Units a ->
+                  if not (is_null_cell cols.(e) k) then
+                    a.(k) <- C.Paillier.draw_unit (Option.get pk) rng)
+            slots
+        done);
+  List.mapi
+    (fun e (attr, cl, col) ->
+      let key_id = cl.Authz.Plan_keys.id in
+      let ks = keys_of ctx key_id in
+      let scheme = cl.Authz.Plan_keys.scheme in
+      let already () : Value.t =
+        err "attribute %s is already encrypted" (Attr.name attr)
+      in
+      let mk payload =
+        Value.Enc { Value.scheme = C.Scheme.name scheme; key_id; payload }
+      in
+      let out =
+        Obs.time ("enc_exec.enc_s." ^ C.Scheme.name scheme) @@ fun () ->
+        match scheme with
+        | C.Scheme.Det -> (
+            let enc s = mk (C.Det.encrypt ks.det s) in
+            match col with
+            | Column.Ints a -> Array.map (fun i -> enc ("i" ^ string_of_int i)) a
+            | Column.Dates a -> Array.map (fun d -> enc ("d" ^ string_of_int d)) a
+            | Column.Floats a -> Array.map (fun f -> enc ("f" ^ hex_float f)) a
+            | Column.Bools a -> Array.map (fun b -> enc (if b then "b1" else "b0")) a
+            | Column.Strs a -> Array.map (fun s -> enc ("s" ^ s)) a
+            | Column.Values a ->
+                Array.map
+                  (function
+                    | Value.Null -> Value.Null
+                    | Value.Enc _ -> already ()
+                    | v -> enc (serialize v))
+                  a)
+        | C.Scheme.Rnd -> (
+            let ivs = match slots.(e) with Ivs a -> a | _ -> assert false in
+            let enc k s = mk (C.Rnd.encrypt_iv ks.rnd ivs.(k) s) in
+            match col with
+            | Column.Ints a -> Array.mapi (fun k i -> enc k ("i" ^ string_of_int i)) a
+            | Column.Dates a -> Array.mapi (fun k d -> enc k ("d" ^ string_of_int d)) a
+            | Column.Floats a -> Array.mapi (fun k f -> enc k ("f" ^ hex_float f)) a
+            | Column.Bools a ->
+                Array.mapi (fun k b -> enc k (if b then "b1" else "b0")) a
+            | Column.Strs a -> Array.mapi (fun k s -> enc k ("s" ^ s)) a
+            | Column.Values a ->
+                Array.mapi
+                  (fun k v ->
+                    match v with
+                    | Value.Null -> Value.Null
+                    | Value.Enc _ -> already ()
+                    | v -> enc k (serialize v))
+                  a)
+        | C.Scheme.Ope -> (
+            (* one memoized coder per column: values sharing partition-
+               tree path prefixes pay the PRF once *)
+            let coder = C.Ope.coder ks.ope in
+            let pack img tag tail =
+              mk (C.Ope.encode_bytes coder img ^ String.make 1 tag ^ tail)
+            in
+            match col with
+            | Column.Ints a ->
+                Array.map (fun i -> pack (ope_guard (int_cents i)) 'i' "") a
+            | Column.Dates a ->
+                Array.map (fun d -> pack (ope_guard (int_cents d)) 'd' "") a
+            | Column.Bools a ->
+                Array.map (fun b -> pack (if b then 100 else 0) 'b' "") a
+            | Column.Floats a ->
+                Array.map (fun f -> pack (ope_guard (cents f)) 'f' "") a
+            | Column.Strs a ->
+                Array.map
+                  (fun s ->
+                    pack (str_prefix s) 's' (C.Det.encrypt ks.det ("s" ^ s)))
+                  a
+            | Column.Values a ->
+                Array.map
+                  (function
+                    | Value.Null -> Value.Null
+                    | Value.Enc _ -> already ()
+                    | v ->
+                        let img, tag = ope_image v in
+                        let tail =
+                          match v with
+                          | Value.Str _ -> C.Det.encrypt ks.det (serialize v)
+                          | _ -> ""
+                        in
+                        pack img tag tail)
+                  a)
+        | C.Scheme.Phe -> (
+            let pk = match pk with Some pk -> pk | None -> assert false in
+            let units =
+              match slots.(e) with Units a -> a | _ -> assert false
+            in
+            let enc k img tag =
+              let rn = C.Paillier.blinding_of_unit pk units.(k) in
+              let c = C.Paillier.encrypt_blinded pk rn (C.Bignum.of_int img) in
+              mk (Printf.sprintf "v|%s|%c" (C.Paillier.cipher_to_string c) tag)
+            in
+            match col with
+            | Column.Ints a -> Array.mapi (fun k i -> enc k (int_cents i) 'i') a
+            | Column.Dates a -> Array.mapi (fun k d -> enc k (int_cents d) 'd') a
+            | Column.Bools a ->
+                Array.mapi (fun k b -> enc k (if b then 100 else 0) 'b') a
+            | Column.Floats a -> Array.mapi (fun k f -> enc k (cents f) 'f') a
+            | Column.Strs _ ->
+                err "no additive image for attribute %s (string)"
+                  (Attr.name attr)
+            | Column.Values a ->
+                Array.mapi
+                  (fun k v ->
+                    match v with
+                    | Value.Null -> Value.Null
+                    | Value.Enc _ -> already ()
+                    | v ->
+                        let img, tag = phe_image v in
+                        enc k img tag)
+                  a)
+      in
+      Column.Values out)
+    enc
+
+(* --- decryption ------------------------------------------------------ *)
+
+let decrypt_gen ctx ~coder (c : Value.cipher) =
+  ignore (cluster_by_id ctx c.Value.key_id);
+  let ks = keys_of ctx c.Value.key_id in
   match c.Value.scheme with
-  | "det" -> deserialize (C.Det.decrypt (det_key ctx cluster) c.Value.payload)
-  | "rnd" -> deserialize (C.Rnd.decrypt (rnd_key ctx cluster) c.Value.payload)
+  | "det" -> deserialize (C.Det.decrypt ks.det c.Value.payload)
+  | "rnd" -> deserialize (C.Rnd.decrypt ks.rnd c.Value.payload)
   | "ope" ->
       let p = c.Value.payload in
       if String.length p < ope_bytes + 1 then err "truncated OPE payload";
       let tag = p.[ope_bytes] in
-      let image =
-        C.Ope.decrypt_bytes (ope_key ctx cluster) (String.sub p 0 ope_bytes)
-      in
+      let image = coder c.Value.key_id ks (String.sub p 0 ope_bytes) in
       (match tag with
-      | 'i' -> Value.Int image
-      | 'd' -> Value.Date image
+      | 'i' -> Value.Int (image / 100)
+      | 'd' -> Value.Date (image / 100)
       | 'b' -> Value.Bool (image <> 0)
       | 'f' -> Value.Float (float_of_int image /. 100.0)
       | 's' ->
           let tail =
             String.sub p (ope_bytes + 1) (String.length p - ope_bytes - 1)
           in
-          deserialize (C.Det.decrypt (det_key ctx cluster) tail)
+          deserialize (C.Det.decrypt ks.det tail)
       | t -> err "bad OPE tag %c" t)
   | "phe" -> (
       let pk, sk = C.Keyring.paillier ctx.keyring in
@@ -216,14 +497,48 @@ let decrypt_cipher ctx (c : Value.cipher) =
       | _ -> err "bad phe payload")
   | s -> err "unknown scheme %s" s
 
+let plain_coder _key_id (ks : keys) bytes = C.Ope.decrypt_bytes ks.ope bytes
+let decrypt_cipher ctx c = decrypt_gen ctx ~coder:plain_coder c
+
 let decrypt_value ctx = function
   | Value.Null -> Value.Null
   | Value.Enc c -> decrypt_cipher ctx c
   | _ -> err "decrypt of a plaintext value"
 
+let decrypt_batch ctx col =
+  (* per-batch OPE coder cache: a decrypted column shares the partition
+     tree's upper levels exactly like an encrypted one *)
+  let coders : (string, C.Ope.coder) Hashtbl.t = Hashtbl.create 4 in
+  let coder key_id (ks : keys) bytes =
+    let cd =
+      match Hashtbl.find_opt coders key_id with
+      | Some cd -> cd
+      | None ->
+          let cd = C.Ope.coder ks.ope in
+          Hashtbl.add coders key_id cd;
+          cd
+    in
+    C.Ope.decode_bytes cd bytes
+  in
+  let dec c = decrypt_gen ctx ~coder c in
+  let dec =
+    if Obs.enabled () then fun (c : Value.cipher) ->
+      Obs.time ("enc_exec.dec_s." ^ c.Value.scheme) (fun () -> dec c)
+    else dec
+  in
+  let out =
+    Array.map
+      (function
+        | Value.Null -> Value.Null
+        | Value.Enc c -> dec c
+        | _ -> err "decrypt of a plaintext value")
+      (Column.to_values col)
+  in
+  Column.of_values out
+
 (* --- constants in dispatched conditions ----------------------------- *)
 
-let const_cipher ctx (sample : Value.cipher) const =
+let const_cipher_uncached ctx (sample : Value.cipher) const =
   let cluster = cluster_by_id ctx sample.Value.key_id in
   (* A derived generator keeps this function pure: the comparable schemes
      (det, ope) draw no randomness anyway, and rnd/phe constants only get
@@ -241,6 +556,26 @@ let const_cipher ctx (sample : Value.cipher) const =
         { cluster with Authz.Plan_keys.scheme }
         const
   | None -> err "unknown scheme %s" sample.Value.scheme
+
+let const_cipher ctx (sample : Value.cipher) const =
+  (* The uncached function is deterministic (fresh derived generator per
+     call), so a cache hit returns exactly the bytes a recompute would;
+     racing misses compute duplicates outside the lock, harmlessly. *)
+  let key = (sample.Value.key_id, sample.Value.scheme, const) in
+  let cached =
+    Mutex.lock ctx.consts_mu;
+    let r = Hashtbl.find_opt ctx.consts key in
+    Mutex.unlock ctx.consts_mu;
+    r
+  in
+  match cached with
+  | Some v -> v
+  | None ->
+      let v = const_cipher_uncached ctx sample const in
+      Mutex.lock ctx.consts_mu;
+      if not (Hashtbl.mem ctx.consts key) then Hashtbl.add ctx.consts key v;
+      Mutex.unlock ctx.consts_mu;
+      v
 
 (* --- homomorphic aggregation ---------------------------------------- *)
 

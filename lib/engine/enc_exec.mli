@@ -6,12 +6,19 @@
 
     - [det]: SIV deterministic encryption of the serialized value —
       supports equality, grouping, equi-joins;
-    - [ope]: order-preserving encryption of the numeric image (floats
-      scaled to cents, strings by 4-byte prefix with a deterministic
-      tail for exact recovery) — supports range conditions and min/max;
+    - [ope]: order-preserving encryption of the cent-scaled numeric
+      image (strings by 4-byte prefix with a deterministic tail for
+      exact recovery) — supports range conditions and min/max;
     - [phe]: Paillier over the cent-scaled numeric value — supports
       sum/avg; aggregated ciphertexts carry the divisor for avg;
-    - [rnd]: randomized encryption — supports nothing, protects most. *)
+    - [rnd]: randomized encryption — supports nothing, protects most.
+
+    A ctx caches every cluster's derived scheme keys eagerly at
+    construction, so per-value work is the cipher itself, not the PRF
+    key schedule; the batched column kernels ({!encrypt_batch},
+    {!decrypt_batch}) additionally share OPE partition-tree PRF work
+    and split Paillier encryption into a pooled randomness pass plus a
+    per-column exponentiation loop. *)
 
 open Relalg
 
@@ -49,9 +56,43 @@ val prepare_parallel : ctx -> unit
     call and plans that never touch phe values skip the keygen cost
     entirely. Idempotent. *)
 
+val encrypt_batch :
+  ctx ->
+  rng_root:Mpq_crypto.Prng.t ->
+  start:int ->
+  enc:(Attr.t * Column.t) list ->
+  Column.t list
+(** [encrypt_batch ctx ~rng_root ~start ~enc] encrypts whole column
+    slices. [enc] pairs each encrypted attribute (in the randomness-draw
+    order — ascending attribute order) with its column slice for rows
+    [start .. start + n - 1] of the node's input; the result columns are
+    in the same order. Byte-identical to encrypting the same rows one at
+    a time with [encrypt_value ~rng:(Prng.derive rng_root row)]: a pool
+    pass replays the row-major randomness draws (Rnd IVs, Paillier
+    units; Null cells draw nothing), then per-scheme kernels run
+    column-major — one memoized OPE coder per column, Paillier blinding
+    off the hot path, unboxed loops on typed columns. *)
+
+val decrypt_batch : ctx -> Column.t -> Column.t
+(** Column counterpart of {!decrypt_value} (Null passes through), with
+    per-key OPE coder caching across the batch. *)
+
 val decrypt_value : ctx -> Value.t -> Value.t
 (** Dispatches on the ciphertext's own scheme/key tags; [Null] passes
     through. Raises [Crypto_error] on plaintext input or unknown key. *)
+
+val ope_compare : Value.cipher -> Value.cipher -> int
+(** Order of two OPE ciphertexts under the same key: compares the
+    order-preserving 7-byte prefixes only (the tag byte and a string's
+    deterministic tail carry no order). Numeric images tied at cent
+    precision compare equal. Raises [Crypto_error] for distinct strings
+    sharing a 4-byte prefix (their order is not recoverable from
+    ciphertext) and for ciphertexts of incomparable types. *)
+
+val ope_equal : Value.cipher -> Value.cipher -> bool
+(** Total equality test: payload equality, or prefix equality for
+    numeric images (Int 4 = Float 4.0 at cent precision). Never
+    raises on tied string prefixes — the deterministic tail decides. *)
 
 val const_cipher : ctx -> Value.cipher -> Value.t -> Value.t
 (** [const_cipher ctx sample const] encrypts a comparison constant under

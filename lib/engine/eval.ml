@@ -21,7 +21,15 @@ let cipher_compare op (a : Value.cipher) (b : Value.cipher) =
     | "det", (Predicate.Eq | Predicate.Neq) ->
         of_comparison op (compare a.Value.payload b.Value.payload)
     | "det", _ -> err "deterministic encryption supports only equality"
-    | "ope", _ -> of_comparison op (String.compare a.Value.payload b.Value.payload)
+    | "ope", (Predicate.Eq | Predicate.Neq) ->
+        (* total equality: cent-precision for numeric images, det-tail
+           (exact string) equality for strings *)
+        of_comparison op (if Enc_exec.ope_equal a b then 0 else 1)
+    | "ope", _ ->
+        (* order lives in the 7-byte OPE prefix only; Enc_exec raises
+           Crypto_error for tied-prefix strings instead of silently
+           ordering them by their det tails *)
+        of_comparison op (Enc_exec.ope_compare a b)
     | "rnd", _ -> err "randomized encryption supports no comparison"
     | "phe", _ -> err "homomorphic encryption supports no comparison"
     | s, _ -> err "unknown scheme %s" s

@@ -51,48 +51,61 @@ let pmap_chunks pool ~f rows =
 
 let pconcat pool ~f rows = List.concat (pmap_chunks pool ~f rows)
 
+(* Index-range fan-out over column batches; same determinism contract as
+   [pmap_chunks] (results are a pure function of (range contents, range
+   start)). *)
+let pmap_ranges pool ~f n =
+  match pool with
+  | Some p -> Par.map_ranges p ~f n
+  | None -> if n <= 0 then [] else [ f 0 n ]
+
 (* --- per-column encryption (stored relations, Encrypt/Decrypt) ------- *)
 
-(* One derived generator per (plan node, row index), consumed across the
-   row's encrypted columns in attribute order: ciphertext bytes depend
-   on the row's position, never on which domain (or in which order) the
-   row was processed. *)
+(* Columnar batch encryption. Randomness is still rooted per (plan node,
+   row index) — Enc_exec's pool pass replays the row-major draw order —
+   so ciphertext bytes depend on the row's position, never on which
+   domain (or in which order) the batch was processed. Untouched columns
+   are shared, not copied. *)
 let encrypt_columns crypto pool ~node attrs table =
-  let cols =
-    List.map (fun a -> (a, Table.col_index table a)) (Attr.Set.elements attrs)
-  in
+  let enc_attrs = Attr.Set.elements attrs in
+  let enc_idx = List.map (Table.col_index table) enc_attrs in
   let nrng = Enc_exec.node_rng crypto node in
-  let rows =
-    pconcat pool
-      ~f:(fun start chunk ->
-        List.mapi
-          (fun k row ->
-            let rng = C.Prng.derive nrng (start + k) in
-            let r = Array.copy row in
-            List.iter
-              (fun (a, i) ->
-                r.(i) <- Enc_exec.encrypt_value ~rng crypto a r.(i))
-              cols;
-            r)
-          chunk)
-      (Table.rows table)
+  (* force the column layout on the coordinating domain before fan-out *)
+  let cols = Table.columns table in
+  let n = Table.cardinality table in
+  let parts =
+    pmap_ranges pool
+      ~f:(fun start len ->
+        Enc_exec.encrypt_batch crypto ~rng_root:nrng ~start
+          ~enc:
+            (List.map2
+               (fun a i -> (a, Column.sub cols.(i) start len))
+               enc_attrs enc_idx))
+      n
   in
-  Table.create (Table.attrs table) rows
+  let out = Array.copy cols in
+  List.iteri
+    (fun c_pos i ->
+      out.(i) <- Column.concat (List.map (fun p -> List.nth p c_pos) parts))
+    enc_idx;
+  Table.of_columns (Table.attrs table) out
 
 let decrypt_columns crypto pool attrs table =
-  let cols = List.map (Table.col_index table) (Attr.Set.elements attrs) in
-  let rows =
-    pconcat pool
-      ~f:(fun _ chunk ->
-        List.map
-          (fun row ->
-            let r = Array.copy row in
-            List.iter (fun i -> r.(i) <- Enc_exec.decrypt_value crypto r.(i)) cols;
-            r)
-          chunk)
-      (Table.rows table)
-  in
-  Table.create (Table.attrs table) rows
+  let idx = List.map (Table.col_index table) (Attr.Set.elements attrs) in
+  let cols = Table.columns table in
+  let n = Table.cardinality table in
+  let out = Array.copy cols in
+  List.iter
+    (fun i ->
+      let parts =
+        pmap_ranges pool
+          ~f:(fun start len ->
+            Enc_exec.decrypt_batch crypto (Column.sub cols.(i) start len))
+          n
+      in
+      out.(i) <- Column.concat parts)
+    idx;
+  Table.of_columns (Table.attrs table) out
 
 let crypt ctx pool ~encrypt ~node attrs table =
   match ctx.crypto with
@@ -107,6 +120,10 @@ let base ctx pool ~node s =
   match List.assoc_opt s.Schema.name ctx.tables with
   | None -> err "unknown base relation %s" s.Schema.name
   | Some t ->
+      (* force (and persistently cache) the stored table's column layout
+         so projection shares columns and encryption runs its batch
+         kernels without a transpose per query *)
+      ignore (Table.columns t);
       let t = Table.select_columns t (Schema.attr_list s) in
       (* outsourced relations are served as stored: at-rest-encrypted
          columns come back as ciphertext *)
@@ -318,7 +335,7 @@ let aggregate ?crypto ?rng (agg : Aggregate.t) values =
         match (a, b) with
         | Value.Enc ca, Value.Enc cb
           when ca.Value.scheme = "ope" && cb.Value.scheme = "ope" ->
-            compare ca.Value.payload cb.Value.payload * order < 0
+            Enc_exec.ope_compare ca cb * order < 0
         | Value.Enc _, _ | _, Value.Enc _ ->
             err "min/max over non-OPE ciphertext"
         | _ -> ( try Value.compare a b * order < 0 with Value.Incomparable _ -> false)
@@ -457,7 +474,12 @@ let order_by pool table keys =
           let c =
             match (r1.(i), r2.(i)) with
             | Value.Enc c1, Value.Enc c2 ->
-                String.compare c1.Value.payload c2.Value.payload
+                if c1.Value.scheme = "ope" && c2.Value.scheme = "ope" then
+                  (* order lives in the OPE prefix only; comparing whole
+                     payloads would order tied-prefix strings by their
+                     non-order-preserving det tails *)
+                  Enc_exec.ope_compare c1 c2
+                else String.compare c1.Value.payload c2.Value.payload
             | v1, v2 -> (
                 try Value.compare v1 v2
                 with Value.Incomparable _ ->
@@ -521,39 +543,50 @@ let run_with_hook ?pool ctx ~hook plan =
   let rec go plan =
     let result, logs =
       Obs.with_span ("exec." ^ operator_tag plan) @@ fun () ->
+      (* flat per-operator timer (child recursion excluded), so the
+         bench can report a per-operator breakdown without untangling
+         the span tree *)
+      let op f = Obs.time ("exec.op_s." ^ operator_tag plan) f in
       try
         match Plan.node plan with
-        | Plan.Base s -> (base ctx pool ~node:(canon plan) s, [])
+        | Plan.Base s -> (op (fun () -> base ctx pool ~node:(canon plan) s), [])
         | Plan.Project (attrs, c) ->
             let t, lg = go c in
-            (project pool t attrs, lg)
+            (op (fun () -> project pool t attrs), lg)
         | Plan.Select (pred, c) ->
             let t, lg = go c in
-            (select ?crypto:ctx.crypto pool t pred, lg)
+            (op (fun () -> select ?crypto:ctx.crypto pool t pred), lg)
         | Plan.Product (l, r) ->
             let (tl, ll), (tr, lr) = both_go l r in
-            (product pool tl tr, ll @ lr)
+            (op (fun () -> product pool tl tr), ll @ lr)
         | Plan.Join (pred, l, r) ->
             let (tl, ll), (tr, lr) = both_go l r in
-            (join ?crypto:ctx.crypto pool pred tl tr, ll @ lr)
+            (op (fun () -> join ?crypto:ctx.crypto pool pred tl tr), ll @ lr)
         | Plan.Group_by (keys, aggs, c) ->
             let t, lg = go c in
-            (group_by ?crypto:ctx.crypto pool ~node:(canon plan) t keys aggs, lg)
+            ( op (fun () ->
+                  group_by ?crypto:ctx.crypto pool ~node:(canon plan) t keys
+                    aggs),
+              lg )
         | Plan.Udf (name, inputs, output, c) ->
             let t, lg = go c in
-            (udf_apply ctx pool name inputs output t, lg)
+            (op (fun () -> udf_apply ctx pool name inputs output t), lg)
         | Plan.Order_by (keys, c) ->
             let t, lg = go c in
-            (order_by pool t keys, lg)
+            (op (fun () -> order_by pool t keys), lg)
         | Plan.Limit (n, c) ->
             let t, lg = go c in
-            (limit t n, lg)
+            (op (fun () -> limit t n), lg)
         | Plan.Encrypt (attrs, c) ->
             let t, lg = go c in
-            (crypt ctx pool ~encrypt:true ~node:(canon plan) attrs t, lg)
+            ( op (fun () ->
+                  crypt ctx pool ~encrypt:true ~node:(canon plan) attrs t),
+              lg )
         | Plan.Decrypt (attrs, c) ->
             let t, lg = go c in
-            (crypt ctx pool ~encrypt:false ~node:(canon plan) attrs t, lg)
+            ( op (fun () ->
+                  crypt ctx pool ~encrypt:false ~node:(canon plan) attrs t),
+              lg )
       with Table.Unknown_attribute { attr; columns } ->
         err "%s: unknown attribute %s (table columns: %s)" (operator_tag plan)
           attr

@@ -1,9 +1,17 @@
 open Relalg
 
+(* Dual representation: a table materializes as rows (Value arrays, the
+   operator-at-a-time layout) and/or as typed columns (the batch-kernel
+   layout). Whichever side is missing is derived on demand and cached;
+   the caches are single idempotent writes of structurally-equal values,
+   so a caller must force the representation it needs *before* fanning
+   out to worker domains (Exec does). *)
 type t = {
   attrs : Attr.t list;
   index : int Attr.Map.t;
-  rows : Value.t array list;
+  nrows : int;
+  mutable rows_v : Value.t array list option;
+  mutable cols_v : Column.t array option;
 }
 
 let build_index attrs =
@@ -21,12 +29,66 @@ let create attrs rows =
           (Printf.sprintf "Table.create: row arity %d, header arity %d"
              (Array.length r) n))
     rows;
-  { attrs; index = build_index attrs; rows }
+  { attrs;
+    index = build_index attrs;
+    nrows = List.length rows;
+    rows_v = Some rows;
+    cols_v = None }
+
+let of_columns attrs cols =
+  let n = List.length attrs in
+  if Array.length cols <> n then
+    invalid_arg
+      (Printf.sprintf "Table.of_columns: %d columns, header arity %d"
+         (Array.length cols) n);
+  let nrows = if n = 0 then 0 else Column.length cols.(0) in
+  Array.iteri
+    (fun j c ->
+      if Column.length c <> nrows then
+        invalid_arg
+          (Printf.sprintf
+             "Table.of_columns: column %d has %d rows, column 0 has %d" j
+             (Column.length c) nrows))
+    cols;
+  { attrs;
+    index = build_index attrs;
+    nrows;
+    rows_v = None;
+    cols_v = Some cols }
 
 let of_schema s rows = create (Schema.attr_list s) rows
 let attrs t = t.attrs
-let rows t = t.rows
-let cardinality t = List.length t.rows
+let cardinality t = t.nrows
+
+let rows t =
+  match t.rows_v with
+  | Some r -> r
+  | None ->
+      let cols =
+        match t.cols_v with Some c -> c | None -> assert false
+      in
+      let ncols = Array.length cols in
+      let r =
+        List.init t.nrows (fun i ->
+            Array.init ncols (fun j -> Column.get cols.(j) i))
+      in
+      t.rows_v <- Some r;
+      r
+
+let columns t =
+  match t.cols_v with
+  | Some c -> c
+  | None ->
+      let rs =
+        match t.rows_v with Some r -> r | None -> assert false
+      in
+      let arr = Array.of_list rs in
+      let c =
+        Array.init (List.length t.attrs) (fun j ->
+            Column.of_values (Array.init t.nrows (fun i -> arr.(i).(j))))
+      in
+      t.cols_v <- Some c;
+      c
 
 exception Unknown_attribute of { attr : string; columns : string list }
 
@@ -41,23 +103,35 @@ let col_index t a =
 let value t row a = row.(col_index t a)
 
 let select_columns t cols =
-  let idx = List.map (col_index t) cols in
-  let project r = Array.of_list (List.map (fun i -> r.(i)) idx) in
-  create cols (List.map project t.rows)
+  match t.cols_v with
+  | Some arr ->
+      (* column sharing: projection copies pointers, not cells *)
+      of_columns cols
+        (Array.of_list (List.map (fun a -> arr.(col_index t a)) cols))
+  | None ->
+      let idx = List.map (col_index t) cols in
+      let project r = Array.of_list (List.map (fun i -> r.(i)) idx) in
+      create cols (List.map project (rows t))
 
 let map_column t a f =
   let i = col_index t a in
-  let rows =
-    List.map
-      (fun r ->
-        let r' = Array.copy r in
-        r'.(i) <- f r.(i);
-        r')
-      t.rows
-  in
-  { t with rows }
+  match t.cols_v with
+  | Some arr ->
+      let arr' = Array.copy arr in
+      arr'.(i) <- Column.of_values (Array.map f (Column.to_values arr.(i)));
+      of_columns t.attrs arr'
+  | None ->
+      let rows =
+        List.map
+          (fun r ->
+            let r' = Array.copy r in
+            r'.(i) <- f r.(i);
+            r')
+          (rows t)
+      in
+      create t.attrs rows
 
-let append_rows t extra = create t.attrs (t.rows @ extra)
+let append_rows t extra = create t.attrs (rows t @ extra)
 
 let row_key r = String.concat "\x00" (Array.to_list (Array.map Value.to_string r))
 
@@ -68,7 +142,7 @@ let equal_bag a b =
   &&
   let canon t =
     let t = select_columns t a_sorted in
-    List.sort String.compare (List.map row_key t.rows)
+    List.sort String.compare (List.map row_key (rows t))
   in
   List.equal String.equal (canon a) (canon b)
 
@@ -82,9 +156,24 @@ let value_bytes = function
   | Value.Enc c -> String.length c.Value.payload + 8
 
 let byte_size t =
-  List.fold_left
-    (fun acc r -> Array.fold_left (fun acc v -> acc + value_bytes v) acc r)
-    0 t.rows
+  match t.cols_v with
+  | Some cols ->
+      Array.fold_left
+        (fun acc c ->
+          match c with
+          | Column.Ints a -> acc + (8 * Array.length a)
+          | Column.Dates a -> acc + (4 * Array.length a)
+          | Column.Floats a -> acc + (8 * Array.length a)
+          | Column.Bools a -> acc + Array.length a
+          | Column.Strs a ->
+              Array.fold_left (fun acc s -> acc + String.length s) acc a
+          | Column.Values a ->
+              Array.fold_left (fun acc v -> acc + value_bytes v) acc a)
+        0 cols
+  | None ->
+      List.fold_left
+        (fun acc r -> Array.fold_left (fun acc v -> acc + value_bytes v) acc r)
+        0 (rows t)
 
 let to_string ?(limit = 20) t =
   let buf = Buffer.create 256 in
@@ -99,7 +188,7 @@ let to_string ?(limit = 20) t =
              (Array.to_list (Array.map Value.to_string r)));
         Buffer.add_char buf '\n'
       end)
-    t.rows;
+    (rows t);
   if cardinality t > limit then
     Buffer.add_string buf
       (Printf.sprintf "... (%d rows total)\n" (cardinality t));

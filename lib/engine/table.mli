@@ -1,21 +1,37 @@
 (** In-memory relations.
 
-    A table is an ordered list of attributes plus rows of values in that
-    order. Bag semantics throughout (SQL-style: projection does not
-    deduplicate). *)
+    A table is an ordered list of attributes plus a bag of tuples,
+    held in one (or both) of two layouts: rows ([Value.t array] per
+    tuple, the operator-at-a-time layout) and typed columns
+    ({!Relalg.Column.t} per attribute, the batch-kernel layout). The
+    missing layout is derived on demand and cached. Bag semantics
+    throughout (SQL-style: projection does not deduplicate). *)
 
 open Relalg
 
 type t
 
 val create : Attr.t list -> Value.t array list -> t
-(** Raises [Invalid_argument] when a row's arity differs from the
-    header's. *)
+(** Row-layout constructor. Raises [Invalid_argument] when a row's
+    arity differs from the header's. *)
+
+val of_columns : Attr.t list -> Column.t array -> t
+(** Column-layout constructor; columns are in header order. Raises
+    [Invalid_argument] on arity or length mismatch. *)
 
 val of_schema : Schema.t -> Value.t array list -> t
 
 val attrs : t -> Attr.t list
+
 val rows : t -> Value.t array list
+(** Materializes (and caches) the row layout. Not safe to call for the
+    first time concurrently from several domains — force it on the
+    coordinating domain before fan-out. *)
+
+val columns : t -> Column.t array
+(** Materializes (and caches) the column layout; same single-domain
+    first-call rule as {!rows}. *)
+
 val cardinality : t -> int
 
 exception Unknown_attribute of { attr : string; columns : string list }

@@ -172,3 +172,17 @@ let map_chunks pool ?chunk ~f xs =
 
 let map_list pool ?chunk g xs =
   List.concat (map_chunks pool ?chunk ~f:(fun _ c -> List.map g c) xs)
+
+let map_ranges pool ?chunk ~f n =
+  if n <= 0 then []
+  else
+    let size = match chunk with Some c -> max 1 c | None -> default_chunk pool n in
+    if n <= size then [ f 0 n ]
+    else
+      let rec ranges start =
+        if start >= n then []
+        else
+          let len = min size (n - start) in
+          (start, len) :: ranges (start + len)
+      in
+      run_all pool (List.map (fun (start, len) () -> f start len) (ranges 0))

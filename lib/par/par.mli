@@ -58,3 +58,10 @@ val map_chunks :
 
 val map_list : pool -> ?chunk:int -> ('a -> 'b) -> 'a list -> 'b list
 (** Order-preserving parallel [List.map] built on {!map_chunks}. *)
+
+val map_ranges :
+  pool -> ?chunk:int -> f:(int -> int -> 'a) -> int -> 'a list
+(** [map_ranges pool ~f n] covers [0 .. n - 1] with contiguous ranges,
+    applies [f start len] to each across the pool, and returns the
+    results in range order. The index-based twin of {!map_chunks} for
+    array/column batches, with the same chunk-size policy. *)

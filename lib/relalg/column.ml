@@ -1,0 +1,151 @@
+(* Typed column batches. A column stores a whole attribute's values for
+   a batch of rows; homogeneous non-null columns use unboxed int / float
+   / string arrays so per-scheme crypto kernels and scans run without
+   boxing a Value per cell, while mixed, nullable or encrypted columns
+   fall back to a plain Value array (zero-copy in both directions). *)
+
+type t =
+  | Ints of int array
+  | Floats of float array
+  | Bools of bool array
+  | Strs of string array
+  | Dates of int array
+  | Values of Value.t array
+
+let length = function
+  | Ints a | Dates a -> Array.length a
+  | Floats a -> Array.length a
+  | Bools a -> Array.length a
+  | Strs a -> Array.length a
+  | Values a -> Array.length a
+
+let get c i =
+  match c with
+  | Ints a -> Value.Int a.(i)
+  | Floats a -> Value.Float a.(i)
+  | Bools a -> Value.Bool a.(i)
+  | Strs a -> Value.Str a.(i)
+  | Dates a -> Value.Date a.(i)
+  | Values a -> a.(i)
+
+(* One type-sniffing pass; the typed representations are only used when
+   the whole column is homogeneous and null-free, so [get] needs no null
+   mask. The mixed fallback keeps the argument array itself. *)
+let of_values (vs : Value.t array) =
+  let n = Array.length vs in
+  if n = 0 then Values vs
+  else
+    let uniform = ref true in
+    let tag v =
+      match v with
+      | Value.Int _ -> 1
+      | Value.Float _ -> 2
+      | Value.Bool _ -> 3
+      | Value.Str _ -> 4
+      | Value.Date _ -> 5
+      | Value.Null | Value.Enc _ -> 0
+    in
+    let t0 = tag vs.(0) in
+    if t0 = 0 then Values vs
+    else begin
+      (try
+         for i = 1 to n - 1 do
+           if tag vs.(i) <> t0 then begin
+             uniform := false;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if not !uniform then Values vs
+      else
+        match t0 with
+        | 1 ->
+            Ints
+              (Array.map
+                 (function Value.Int i -> i | _ -> assert false)
+                 vs)
+        | 2 ->
+            Floats
+              (Array.map
+                 (function Value.Float f -> f | _ -> assert false)
+                 vs)
+        | 3 ->
+            Bools
+              (Array.map
+                 (function Value.Bool b -> b | _ -> assert false)
+                 vs)
+        | 4 ->
+            Strs
+              (Array.map
+                 (function Value.Str s -> s | _ -> assert false)
+                 vs)
+        | _ ->
+            Dates
+              (Array.map
+                 (function Value.Date d -> d | _ -> assert false)
+                 vs)
+    end
+
+let to_values = function
+  | Values a -> a
+  | c -> Array.init (length c) (get c)
+
+let sub c pos len =
+  match c with
+  | Ints a -> Ints (Array.sub a pos len)
+  | Floats a -> Floats (Array.sub a pos len)
+  | Bools a -> Bools (Array.sub a pos len)
+  | Strs a -> Strs (Array.sub a pos len)
+  | Dates a -> Dates (Array.sub a pos len)
+  | Values a -> Values (Array.sub a pos len)
+
+(* Concatenate segments of the same underlying type; falls back to a
+   Value array when segment types disagree (e.g. a chunk boundary split
+   a column into differently-sniffed parts). *)
+let concat = function
+  | [] -> Values [||]
+  | [ c ] -> c
+  | first :: _ as segs -> (
+      let same_shape =
+        let shape = function
+          | Ints _ -> 1
+          | Floats _ -> 2
+          | Bools _ -> 3
+          | Strs _ -> 4
+          | Dates _ -> 5
+          | Values _ -> 6
+        in
+        let s0 = shape first in
+        List.for_all (fun c -> shape c = s0) segs
+      in
+      if not same_shape then
+        Values
+          (Array.concat (List.map to_values segs))
+      else
+        match first with
+        | Ints _ ->
+            Ints
+              (Array.concat
+                 (List.map (function Ints a -> a | _ -> assert false) segs))
+        | Floats _ ->
+            Floats
+              (Array.concat
+                 (List.map (function Floats a -> a | _ -> assert false) segs))
+        | Bools _ ->
+            Bools
+              (Array.concat
+                 (List.map (function Bools a -> a | _ -> assert false) segs))
+        | Strs _ ->
+            Strs
+              (Array.concat
+                 (List.map (function Strs a -> a | _ -> assert false) segs))
+        | Dates _ ->
+            Dates
+              (Array.concat
+                 (List.map (function Dates a -> a | _ -> assert false) segs))
+        | Values _ ->
+            Values
+              (Array.concat
+                 (List.map (function Values a -> a | _ -> assert false) segs)))
+
+let is_unboxed = function Values _ -> false | _ -> true
