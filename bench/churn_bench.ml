@@ -227,6 +227,10 @@ let () =
         incr divergences;
         Printf.eprintf "DIVERGENCE at query %d (%s): rejection %s vs table\n" i
           what m
+    | Serve.Service.Expired _, _ | _, Serve.Service.Expired _ ->
+        (* no deadlines anywhere in this bench *)
+        incr divergences;
+        Printf.eprintf "DIVERGENCE at query %d (%s): unexpected expiry\n" i what
   in
   List.iteri
     (fun i ((inc : Serve.Service.response), ((rot : Serve.Service.response), orc)) ->

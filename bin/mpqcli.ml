@@ -751,7 +751,53 @@ let serve_cmd =
              ~doc:"Admission bound: queued queries are served in rounds of \
                    at most $(docv); larger backlogs wait (backpressure).")
   in
-  let run policy_path table_specs file cache batch jobs obs =
+  let listen_arg =
+    Arg.(value & opt (some string) None
+         & info [ "listen" ] ~docv:"ADDR"
+             ~doc:"Serve over a socket instead of standard input: a port \
+                   number listens on the IPv4 loopback ($(b,0) picks a free \
+                   port, printed to standard error), anything containing \
+                   $(b,/) is a Unix-domain socket path. Many concurrent \
+                   sessions share one plan cache; responses use the same \
+                   line protocol as stdin mode.")
+  in
+  let backlog_arg =
+    Arg.(value & opt int 64
+         & info [ "backlog" ] ~docv:"N"
+             ~doc:"Socket mode: global admission bound. A request arriving \
+                   when $(docv) requests are already queued is refused with \
+                   a structured $(b,-- [N] shed:) line — never silently \
+                   dropped.")
+  in
+  let deadline_arg =
+    Arg.(value & opt (some int) None
+         & info [ "deadline-ms" ] ~docv:"T"
+             ~doc:"Socket mode: per-request budget in milliseconds, counted \
+                   from the moment the request line is read. Checked at \
+                   admission to the planner and again between the plan and \
+                   exec phases; an expired request is answered \
+                   $(b,-- [N] deadline exceeded:) and is never half-served.")
+  in
+  let netfaults_arg =
+    Arg.(value & opt (some string) None
+         & info [ "netfaults" ] ~docv:"SPEC"
+             ~doc:"Socket mode: connection-level chaos plan, applied \
+                   per-session from a seeded schedule. $(docv) entries \
+                   (comma-separated): $(b,slow=MS\\[@P\\]) (delay request \
+                   admission), $(b,stall\\@K) (inbound goes silent after K \
+                   requests), $(b,disconnect\\@K) (force-close after K \
+                   responses, at a response boundary), $(b,garbage=P) \
+                   (corrupt request lines), $(b,sessions=P) (fraction of \
+                   sessions affected).")
+  in
+  let fault_seed_arg =
+    Arg.(value & opt int 1337
+         & info [ "fault-seed" ] ~docv:"N"
+             ~doc:"Seed for the $(b,--netfaults) schedule: the same seed \
+                   and spec reproduce the same per-session fault plan.")
+  in
+  let run policy_path table_specs file cache batch listen backlog deadline_ms
+      netfaults fault_seed jobs obs =
     guard @@ fun () ->
     with_obs obs @@ fun () ->
     Par.with_pool ~name:"serve" jobs @@ fun pool ->
@@ -762,6 +808,42 @@ let serve_cmd =
         ~policy:env.Authz.Policy_dsl.policy
         ~subjects:env.Authz.Policy_dsl.subjects ~tables ()
     in
+    match listen with
+    | Some addr_spec ->
+        (* socket mode: the event loop owns the service; SIGTERM/SIGINT
+           request a graceful drain (answer everything admitted, flush,
+           report) rather than killing mid-response *)
+        let addr = Serve.Server.addr_of_string addr_spec in
+        let nf =
+          match netfaults with
+          | None -> Serve.Netfaults.none
+          | Some spec -> Serve.Netfaults.parse spec
+        in
+        let config =
+          { Serve.Server.default_config with
+            Serve.Server.backlog; deadline_ms = deadline_ms;
+            netfaults = nf; fault_seed }
+        in
+        let server = Serve.Server.create ~config ~service addr in
+        let stop _ = Serve.Server.stop server in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+        Printf.eprintf "-- serving on %s (backlog %d%s%s)\n%!"
+          (Serve.Server.addr_to_string (Serve.Server.bound_addr server))
+          backlog
+          (match deadline_ms with
+          | Some t -> Printf.sprintf ", deadline %d ms" t
+          | None -> "")
+          (match netfaults with
+          | Some s -> Printf.sprintf ", netfaults %s seed %d" s fault_seed
+          | None -> "");
+        Serve.Server.run server;
+        prerr_endline
+          (Serve.Server.render_stats (Serve.Server.stats server));
+        prerr_endline
+          (Serve.Service.render_stats (Serve.Service.stats service));
+        exit_ok
+    | None ->
     let ic = match file with Some p -> open_in p | None -> stdin in
     let line_no = ref 0 in
     let subjects = ref env.Authz.Policy_dsl.subjects in
@@ -788,7 +870,11 @@ let serve_cmd =
                     (Engine.Table.cardinality t);
                   print_string (Engine.Csv.to_string t)
               | Serve.Service.Rejected msg ->
-                  Printf.printf "-- [%d] rejected: %s\n" n msg)
+                  Printf.printf "-- [%d] rejected: %s\n" n msg
+              | Serve.Service.Expired why ->
+                  (* stdin mode never sets deadlines, but keep the
+                     rendering uniform with the socket server *)
+                  Printf.printf "-- [%d] deadline exceeded: %s\n" n why)
             batch responses;
           flush stdout
     in
@@ -800,7 +886,11 @@ let serve_cmd =
         List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
       with
       | [ "\\stats" ] ->
-          prerr_endline (Serve.Service.render_stats (Serve.Service.stats service))
+          (* the channel contract: anything answering a request line is a
+             response and belongs on stdout; stderr carries operational
+             notices only *)
+          Printf.printf "%s\n%!"
+            (Serve.Service.render_stats (Serve.Service.stats service))
       | [ "\\invalidate" ] -> Serve.Service.invalidate service
       | [ "\\policy"; path ] -> (
           match Authz.Policy_dsl.load path with
@@ -818,21 +908,27 @@ let serve_cmd =
                   ~subjects:e.Authz.Policy_dsl.subjects service
                   e.Authz.Policy_dsl.policy;
               subjects := e.Authz.Policy_dsl.subjects;
-              Printf.eprintf "-- policy %s installed, cache %s\n%!" path
+              Printf.printf "-- policy %s installed, cache %s\n%!" path
                 (if same_subjects then "migrated incrementally"
                  else "rotated (subjects changed)")
           | exception Authz.Policy_dsl.Syntax_error (l, msg) ->
-              Printf.eprintf "-- [%d] policy %s rejected: line %d: %s\n%!"
+              Printf.printf "-- [%d] policy %s rejected: line %d: %s\n%!"
                 !line_no path l msg
           | exception Sys_error msg ->
-              Printf.eprintf "-- [%d] policy load failed: %s\n%!" !line_no msg)
+              Printf.printf "-- [%d] policy load failed: %s\n%!" !line_no msg)
       | d :: _ ->
-          Printf.eprintf
+          Printf.printf
             "-- [%d] unknown directive %s (try \\stats, \\policy FILE, \
              \\invalidate)\n%!"
             !line_no d
       | [] -> ()
     in
+    (* SIGINT/SIGTERM leave through the same drain-and-report path as
+       end of input: answer what was admitted, then the final stats *)
+    let interrupted = ref false in
+    let break _ = raise Sys.Break in
+    let old_int = Sys.signal Sys.sigint (Sys.Signal_handle break) in
+    let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle break) in
     (try
        while true do
          let raw = input_line ic in
@@ -855,7 +951,14 @@ let serve_cmd =
            if List.length !pending >= batch then drain ()
          end
        done
-     with End_of_file -> ());
+     with
+    | End_of_file -> ()
+    | Sys.Break -> interrupted := true);
+    (* a second signal during the drain kills the process as usual *)
+    Sys.set_signal Sys.sigint old_int;
+    Sys.set_signal Sys.sigterm old_term;
+    if !interrupted then
+      prerr_endline "-- interrupted: draining admitted requests";
     drain ();
     if file <> None then close_in ic;
     prerr_endline (Serve.Service.render_stats (Serve.Service.stats service));
@@ -873,22 +976,40 @@ let serve_cmd =
           the policy rejects report $(b,rejected) and the verdict is cached \
           too.";
       `P "Blank lines and $(b,#) comments are skipped. Directives: \
-          $(b,\\\\stats) prints cache statistics to standard error, \
+          $(b,\\\\stats) prints cache statistics, \
           $(b,\\\\policy FILE) installs a new policy — every cached plan \
           keyed under the old policy becomes unreachable at once — and \
           $(b,\\\\invalidate) drops the cache. Base relations are fixed at \
           startup ($(b,--table)); a swapped policy must keep the relations \
           it queries.";
+      `P "Channel contract: standard output carries exactly the responses \
+          to request lines — status comments, CSV tables, rejections, \
+          parse errors and directive results, in request order. Standard \
+          error carries operational notices only: the listening banner, \
+          interruption notes and the final statistics line. SIGINT and \
+          SIGTERM exit through the same drain as end of input: admitted \
+          requests are answered, then the stats are reported.";
       `P "With $(b,--jobs N) queued queries are planned and executed on N \
           domains in admission-bounded rounds ($(b,--batch)); responses, \
           response order and cache evolution are identical to sequential \
-          serving, byte for byte." ]
+          serving, byte for byte.";
+      `P "With $(b,--listen ADDR) the same service is exposed on a socket \
+          to many concurrent sessions at once, with overload behaviour \
+          engineered in: a bounded global backlog ($(b,--backlog)) that \
+          refuses excess requests with structured $(b,shed) lines, \
+          per-request deadlines ($(b,--deadline-ms)) checked at admission \
+          and between the plan and exec phases, per-session isolation (a \
+          malformed or stalled connection cannot corrupt another session's \
+          responses or the shared cache), and graceful shutdown on \
+          SIGTERM/SIGINT (drain, flush, report). $(b,--netfaults) turns on \
+          deterministic connection-level chaos for testing." ]
     @ exit_status_man
   in
   Cmd.v (Cmd.info "serve" ~doc ~man)
     Term.(
       const run $ policy_arg $ tables_arg $ file_arg $ cache_arg $ batch_arg
-      $ jobs_arg $ obs_args)
+      $ listen_arg $ backlog_arg $ deadline_arg $ netfaults_arg
+      $ fault_seed_arg $ jobs_arg $ obs_args)
 
 (* --- audit ----------------------------------------------------------- *)
 

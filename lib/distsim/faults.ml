@@ -1,4 +1,5 @@
 module C = Mpq_crypto
+module Core = Mpq_faults.Fault_core
 
 type fault =
   | Crash_at of int
@@ -8,23 +9,17 @@ type fault =
 
 type spec = (string * fault) list
 
-exception Bad_spec of string
+exception Bad_spec = Core.Bad_spec
 
-let bad fmt = Printf.ksprintf (fun m -> raise (Bad_spec m)) fmt
+let bad = Core.bad
 
-let parse_prob what s =
-  match float_of_string_opt s with
-  | Some p when p >= 0.0 && p <= 1.0 -> p
-  | _ -> bad "%s wants a probability in [0,1], got %S" what s
-
-let parse_fault entry body =
+let parse_fault ~entry body =
   match String.index_opt body '@' with
   | _ when String.length body = 0 -> bad "empty fault in %S" entry
-  | Some _ when String.length body > 6 && String.sub body 0 6 = "crash@" -> (
-      let k = String.sub body 6 (String.length body - 6) in
-      match int_of_string_opt k with
-      | Some k when k >= 0 -> Crash_at k
-      | _ -> bad "crash@K wants a step number, got %S" k)
+  | Some _ when String.length body > 6 && String.sub body 0 6 = "crash@" ->
+      Crash_at
+        (Core.parse_nonneg_int "crash@K"
+           (String.sub body 6 (String.length body - 6)))
   | _ -> (
       match String.index_opt body '=' with
       | None -> bad "fault %S is not crash@K, transient=P, corrupt=P or slow=MS[@P]" body
@@ -32,9 +27,9 @@ let parse_fault entry body =
           let kind = String.sub body 0 i in
           let arg = String.sub body (i + 1) (String.length body - i - 1) in
           match kind with
-          | "transient" -> Transient (parse_prob "transient" arg)
-          | "corrupt" -> Corrupt (parse_prob "corrupt" arg)
-          | "slow" -> (
+          | "transient" -> Transient (Core.parse_prob "transient" arg)
+          | "corrupt" -> Corrupt (Core.parse_prob "corrupt" arg)
+          | "slow" ->
               let ms, prob =
                 match String.index_opt arg '@' with
                 | None -> (arg, "1.0")
@@ -42,30 +37,12 @@ let parse_fault entry body =
                     ( String.sub arg 0 j,
                       String.sub arg (j + 1) (String.length arg - j - 1) )
               in
-              match int_of_string_opt ms with
-              | Some delay_ms when delay_ms >= 0 ->
-                  Slow { delay_ms; prob = parse_prob "slow" prob }
-              | _ -> bad "slow=MS wants a delay in ms, got %S" ms)
+              Slow
+                { delay_ms = Core.parse_nonneg_int "slow=MS" ms;
+                  prob = Core.parse_prob "slow" prob }
           | k -> bad "unknown fault kind %S in %S" k entry))
 
-let trim = String.trim
-
-let parse s =
-  String.split_on_char ',' s
-  |> List.concat_map (String.split_on_char ';')
-  |> List.filter_map (fun entry ->
-         let entry = trim entry in
-         if entry = "" then None
-         else
-           match String.index_opt entry ':' with
-           | None -> bad "entry %S is not SUBJECT:FAULT" entry
-           | Some i ->
-               let subject = trim (String.sub entry 0 i) in
-               let body =
-                 trim (String.sub entry (i + 1) (String.length entry - i - 1))
-               in
-               if subject = "" then bad "entry %S names no subject" entry;
-               Some (subject, parse_fault entry body))
+let parse s = Core.parse_keyed ~what:"SUBJECT:FAULT" parse_fault s
 
 let render_fault = function
   | Crash_at k -> Printf.sprintf "crash@%d" k
@@ -137,13 +114,12 @@ let interact t participants =
               match f with
               | Crash_at _ -> ()
               | Transient p ->
-                  if C.Prng.float t.rng 1.0 < p && !dropped = None then
-                    dropped := Some s
+                  if Core.draw t.rng p && !dropped = None then dropped := Some s
               | Corrupt p ->
-                  if C.Prng.float t.rng 1.0 < p && !corrupted = None then
+                  if Core.draw t.rng p && !corrupted = None then
                     corrupted := Some s
               | Slow { delay_ms; prob } ->
-                  if C.Prng.float t.rng 1.0 < prob then begin
+                  if Core.draw t.rng prob then begin
                     latency := !latency + delay_ms;
                     slow_by := Some s
                   end)

@@ -1,0 +1,45 @@
+module C = Mpq_crypto
+
+exception Bad_spec of string
+
+let bad fmt = Printf.ksprintf (fun m -> raise (Bad_spec m)) fmt
+
+let split_entries s =
+  String.split_on_char ',' s
+  |> List.concat_map (String.split_on_char ';')
+  |> List.filter_map (fun entry ->
+         let entry = String.trim entry in
+         if entry = "" then None else Some entry)
+
+let parse_prob what s =
+  match float_of_string_opt s with
+  | Some p when p >= 0.0 && p <= 1.0 -> p
+  | _ -> bad "%s wants a probability in [0,1], got %S" what s
+
+let parse_nonneg_int what s =
+  match int_of_string_opt s with
+  | Some k when k >= 0 -> k
+  | _ -> bad "%s wants a non-negative integer, got %S" what s
+
+let parse_keyed ~what parse_fault spec =
+  split_entries spec
+  |> List.map (fun entry ->
+         match String.index_opt entry ':' with
+         | None -> bad "entry %S is not %s" entry what
+         | Some i ->
+             let key = String.trim (String.sub entry 0 i) in
+             let body =
+               String.trim (String.sub entry (i + 1) (String.length entry - i - 1))
+             in
+             if key = "" then bad "entry %S names no subject" entry;
+             (key, parse_fault ~entry body))
+
+(* One fixed parent per seed; [Prng.derive] is pure in (state, index),
+   so each entity's child stream is independent of every other's and of
+   the draw interleaving — see prng.mli. *)
+let session_rng ~seed index =
+  C.Prng.derive (C.Prng.create (Int64.of_int seed)) index
+
+let draw rng p =
+  let u = C.Prng.float rng 1.0 in
+  p > 0.0 && u < p

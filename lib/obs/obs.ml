@@ -96,6 +96,12 @@ let time name f =
 let counter name =
   Option.value ~default:0 (Hashtbl.find_opt global.counter_tbl name)
 
+let counters ?(prefix = "") () =
+  Hashtbl.fold
+    (fun k v acc -> if String.starts_with ~prefix k then (k, v) :: acc else acc)
+    global.counter_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 (* --- buffers (parallel workers) -------------------------------------- *)
 
 let create_buffer () = make_state ()

@@ -39,6 +39,10 @@ val time : string -> (unit -> 'a) -> 'a
 val counter : string -> int
 (** Current value of a counter (0 when absent) — mostly for tests. *)
 
+val counters : ?prefix:string -> unit -> (string * int) list
+(** Snapshot of all counters, sorted by name, optionally restricted to
+    those whose name starts with [prefix] (e.g. ["server."]). *)
+
 (** {2 Domain-local buffers}
 
     Collector state is not safe for concurrent mutation, so parallel

@@ -1,9 +1,24 @@
-type 'a entry = { mutable value : 'a; mutable stamp : int }
+(* Recency is an intrusive doubly-linked list over the hash-table
+   entries: head = most recently used, tail = eviction victim. Every
+   operation the serving path performs — find (touch), add (insert or
+   refresh), eviction at capacity — is O(1); the earlier stamp-scan
+   implementation degraded every insert to O(n) exactly when the cache
+   sat at capacity under overload. [remap] rewrites entries in place
+   without moving their list node, which preserves recency order the
+   way the old implementation preserved stamps. *)
+
+type 'a node = {
+  mutable key : string;
+  mutable value : 'a;
+  mutable prev : 'a node option;  (* toward the head (more recent) *)
+  mutable next : 'a node option;  (* toward the tail (less recent) *)
+}
 
 type 'a t = {
   cap : int;
-  table : (string, 'a entry) Hashtbl.t;
-  mutable clock : int;
+  table : (string, 'a node) Hashtbl.t;
+  mutable head : 'a node option;
+  mutable tail : 'a node option;
   mutable hits : int;
   mutable misses : int;
   mutable insertions : int;
@@ -20,22 +35,41 @@ type stats = {
 let create ~capacity =
   if capacity < 1 then
     invalid_arg (Printf.sprintf "Lru.create: capacity %d < 1" capacity);
-  { cap = capacity; table = Hashtbl.create (2 * capacity); clock = 0;
-    hits = 0; misses = 0; insertions = 0; evictions = 0 }
+  { cap = capacity; table = Hashtbl.create (2 * capacity); head = None;
+    tail = None; hits = 0; misses = 0; insertions = 0; evictions = 0 }
 
 let capacity t = t.cap
 let length t = Hashtbl.length t.table
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
+let unlink t n =
+  (match n.prev with
+  | Some p -> p.next <- n.next
+  | None -> t.head <- n.next);
+  (match n.next with
+  | Some s -> s.prev <- n.prev
+  | None -> t.tail <- n.prev);
+  n.prev <- None;
+  n.next <- None
+
+let push_front t n =
+  n.prev <- None;
+  n.next <- t.head;
+  (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+  t.head <- Some n
+
+let touch t n =
+  match n.prev with
+  | None -> ()  (* already the head *)
+  | Some _ ->
+      unlink t n;
+      push_front t n
 
 let find t key =
   match Hashtbl.find_opt t.table key with
-  | Some e ->
+  | Some n ->
       t.hits <- t.hits + 1;
-      e.stamp <- tick t;
-      Some e.value
+      touch t n;
+      Some n.value
   | None ->
       t.misses <- t.misses + 1;
       None
@@ -43,55 +77,74 @@ let find t key =
 let mem t key = Hashtbl.mem t.table key
 
 let evict_oldest t =
-  let victim = ref None in
-  Hashtbl.iter
-    (fun key e ->
-      match !victim with
-      | Some (_, stamp) when stamp <= e.stamp -> ()
-      | _ -> victim := Some (key, e.stamp))
-    t.table;
-  match !victim with
-  | Some (key, _) ->
-      Hashtbl.remove t.table key;
+  match t.tail with
+  | Some n ->
+      unlink t n;
+      Hashtbl.remove t.table n.key;
       t.evictions <- t.evictions + 1
   | None -> ()
 
 let add t key value =
-  (match Hashtbl.find_opt t.table key with
-  | Some e ->
-      e.value <- value;
-      e.stamp <- tick t
+  match Hashtbl.find_opt t.table key with
+  | Some n ->
+      n.value <- value;
+      touch t n
   | None ->
       t.insertions <- t.insertions + 1;
-      Hashtbl.replace t.table key { value; stamp = tick t };
-      if Hashtbl.length t.table > t.cap then evict_oldest t);
-  ()
+      let n = { key; value; prev = None; next = None } in
+      Hashtbl.replace t.table key n;
+      push_front t n;
+      if Hashtbl.length t.table > t.cap then evict_oldest t
 
 let remap t f =
-  let bindings = Hashtbl.fold (fun k e acc -> (k, e) :: acc) t.table [] in
+  (* walk the recency list (stable under in-place rewrites and
+     unlinking the node just visited), so the migration order is the
+     deterministic MRU-first order rather than hash order *)
   let dropped = ref 0 in
-  List.iter
-    (fun (k, e) ->
-      match f k e.value with
-      | None ->
-          Hashtbl.remove t.table k;
-          incr dropped
-      | Some (k', v') ->
-          if String.equal k' k then e.value <- v'
-          else begin
-            Hashtbl.remove t.table k;
-            (* keep the entry's stamp: migration must not disturb the
-               recency order the differential tests observe *)
-            Hashtbl.replace t.table k' { value = v'; stamp = e.stamp }
-          end)
-    bindings;
+  let rec walk = function
+    | None -> ()
+    | Some n ->
+        let next = ref n.next in
+        (match f n.key n.value with
+        | None ->
+            Hashtbl.remove t.table n.key;
+            unlink t n;
+            incr dropped
+        | Some (k', v') ->
+            n.value <- v';
+            if not (String.equal k' n.key) then begin
+              Hashtbl.remove t.table n.key;
+              (* when two bindings collide on the new key, the later
+                 one visited wins, as documented: drop the node already
+                 holding [k'] (skipping over it if it was next in the
+                 walk) *)
+              (match Hashtbl.find_opt t.table k' with
+              | Some clash when clash != n ->
+                  (match !next with
+                  | Some m when m == clash -> next := clash.next
+                  | _ -> ());
+                  unlink t clash;
+                  incr dropped
+              | _ -> ());
+              n.key <- k';
+              Hashtbl.replace t.table k' n
+            end);
+        walk !next
+  in
+  walk t.head;
   !dropped
 
 let keys t =
-  let all = Hashtbl.fold (fun key e acc -> (e.stamp, key) :: acc) t.table [] in
-  List.map snd (List.sort (fun (a, _) (b, _) -> compare b a) all)
+  let rec collect acc = function
+    | None -> List.rev acc
+    | Some n -> collect (n.key :: acc) n.next
+  in
+  collect [] t.head
 
-let clear t = Hashtbl.reset t.table
+let clear t =
+  Hashtbl.reset t.table;
+  t.head <- None;
+  t.tail <- None
 
 let stats (t : _ t) =
   { hits = t.hits; misses = t.misses; insertions = t.insertions;

@@ -7,10 +7,11 @@
     independent of how many domains execute the work in between (the
     determinism the differential serve tests rely on).
 
-    Recency is tracked with a monotonic stamp per entry; eviction
-    removes the smallest stamp. With the intended capacities (tens to
-    a few hundred plans) the linear eviction scan is noise next to one
-    planning call. *)
+    Recency is an intrusive doubly-linked list threaded through the
+    hash-table entries (head = most recent, tail = victim), so find,
+    insert, refresh and eviction are all O(1) — a cache pinned at
+    capacity under overload pays constant time per insert, where a
+    stamp-scan implementation would pay a full-table walk. *)
 
 type 'a t
 
@@ -33,12 +34,14 @@ val add : 'a t -> string -> 'a -> unit
 val remap : 'a t -> (string -> 'a -> (string * 'a) option) -> int
 (** [remap t f] rewrites every binding in place: [f key value] returns
     [None] to drop the entry or [Some (key', value')] to rebind it —
-    preserving the entry's recency stamp, so migration does not
-    disturb LRU order. Returns the number of entries dropped. No
-    statistics are recorded (this is maintenance, not traffic). When
-    two bindings map to the same new key, the later one visited wins;
-    callers rebinding under an injective key transformation (the
-    serve layer's environment-fingerprint rekeying) never collide. *)
+    the entry keeps its position in the recency list, so migration
+    does not disturb LRU order (the stamp-preservation contract of the
+    original implementation). Bindings are visited most recently used
+    first. Returns the number of entries dropped. No statistics are
+    recorded (this is maintenance, not traffic). When two bindings map
+    to the same new key, the later one visited wins; callers rebinding
+    under an injective key transformation (the serve layer's
+    environment-fingerprint rekeying) never collide. *)
 
 val keys : _ t -> string list
 (** All keys, most recently used first — the cache's observable state,

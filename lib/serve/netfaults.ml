@@ -1,0 +1,148 @@
+module C = Mpq_crypto
+module Core = Mpq_faults.Fault_core
+
+type fault =
+  | Slow of { delay_ms : int; prob : float }
+  | Stall_after of int
+  | Disconnect_after of int
+  | Garbage of float
+
+type spec = { session_prob : float; faults : fault list }
+
+exception Bad_spec = Core.Bad_spec
+
+let bad = Core.bad
+
+let parse_entry entry =
+  let arg_after c =
+    match String.index_opt entry c with
+    | Some i -> Some (String.sub entry (i + 1) (String.length entry - i - 1))
+    | None -> None
+  in
+  let kind =
+    match (String.index_opt entry '=', String.index_opt entry '@') with
+    | Some i, Some j -> String.sub entry 0 (min i j)
+    | Some i, None | None, Some i -> String.sub entry 0 i
+    | None, None -> entry
+  in
+  match kind with
+  | "slow" -> (
+      match arg_after '=' with
+      | None -> bad "slow wants slow=MS or slow=MS@P, got %S" entry
+      | Some arg ->
+          let ms, prob =
+            match String.index_opt arg '@' with
+            | None -> (arg, "1.0")
+            | Some j ->
+                ( String.sub arg 0 j,
+                  String.sub arg (j + 1) (String.length arg - j - 1) )
+          in
+          `Fault
+            (Slow
+               { delay_ms = Core.parse_nonneg_int "slow=MS" ms;
+                 prob = Core.parse_prob "slow" prob }))
+  | "stall" -> (
+      match arg_after '@' with
+      | Some k -> `Fault (Stall_after (Core.parse_nonneg_int "stall@K" k))
+      | None -> bad "stall wants stall@K, got %S" entry)
+  | "disconnect" -> (
+      match arg_after '@' with
+      | Some k ->
+          `Fault (Disconnect_after (Core.parse_nonneg_int "disconnect@K" k))
+      | None -> bad "disconnect wants disconnect@K, got %S" entry)
+  | "garbage" -> (
+      match arg_after '=' with
+      | Some p -> `Fault (Garbage (Core.parse_prob "garbage" p))
+      | None -> bad "garbage wants garbage=P, got %S" entry)
+  | "sessions" -> (
+      match arg_after '=' with
+      | Some p -> `Sessions (Core.parse_prob "sessions" p)
+      | None -> bad "sessions wants sessions=P, got %S" entry)
+  | k ->
+      bad
+        "unknown netfault %S in %S (want slow=MS[@P], stall@K, disconnect@K, \
+         garbage=P or sessions=P)"
+        k entry
+
+let parse s =
+  List.fold_left
+    (fun spec entry ->
+      match parse_entry entry with
+      | `Fault f -> { spec with faults = spec.faults @ [ f ] }
+      | `Sessions p -> { spec with session_prob = p })
+    { session_prob = 1.0; faults = [] }
+    (Core.split_entries s)
+
+let render_fault = function
+  | Slow { delay_ms; prob } ->
+      if prob >= 1.0 then Printf.sprintf "slow=%d" delay_ms
+      else Printf.sprintf "slow=%d@%g" delay_ms prob
+  | Stall_after k -> Printf.sprintf "stall@%d" k
+  | Disconnect_after k -> Printf.sprintf "disconnect@%d" k
+  | Garbage p -> Printf.sprintf "garbage=%g" p
+
+let render spec =
+  String.concat ","
+    ((if spec.session_prob >= 1.0 then []
+      else [ Printf.sprintf "sessions=%g" spec.session_prob ])
+    @ List.map render_fault spec.faults)
+
+let none = { session_prob = 1.0; faults = [] }
+
+type session = { spec : spec; rng : C.Prng.t; active : bool }
+
+let session ~seed spec index =
+  let rng = Core.session_rng ~seed index in
+  (* the activation draw comes first so an inactive session's plan
+     consumes exactly one draw — the schedule of session [i] never
+     depends on any other session's *)
+  let active = Core.draw rng spec.session_prob in
+  { spec; rng; active }
+
+let active s = s.active
+
+type request_verdict = { delay_ms : int; garbage : bool }
+
+let on_request s =
+  if not s.active then { delay_ms = 0; garbage = false }
+  else
+    List.fold_left
+      (fun v f ->
+        match f with
+        | Slow { delay_ms; prob } ->
+            if Core.draw s.rng prob then
+              { v with delay_ms = v.delay_ms + delay_ms }
+            else v
+        | Garbage p -> if Core.draw s.rng p then { v with garbage = true } else v
+        | Stall_after _ | Disconnect_after _ -> v)
+      { delay_ms = 0; garbage = false }
+      s.spec.faults
+
+let first_cut pick s =
+  if not s.active then None
+  else
+    List.fold_left
+      (fun acc f ->
+        match (pick f, acc) with
+        | Some k, Some k' -> Some (min k k')
+        | Some k, None -> Some k
+        | None, acc -> acc)
+      None s.spec.faults
+
+let stall_after s =
+  first_cut (function Stall_after k -> Some k | _ -> None) s
+
+let disconnect_after s =
+  first_cut (function Disconnect_after k -> Some k | _ -> None) s
+
+let garble s line =
+  (* splice seeded garbage into the middle of the line: malformed bytes
+     the SQL lexer must refuse, deterministic per (session, ordinal) *)
+  let junk = C.Prng.bytes s.rng 6 in
+  let junk =
+    String.map
+      (fun c -> Char.chr (0x21 + (Char.code c mod 0x5e)))
+      junk
+  in
+  let cut = String.length line / 2 in
+  String.sub line 0 cut ^ "\x01" ^ junk ^ "\x01" ^ String.sub line cut (String.length line - cut)

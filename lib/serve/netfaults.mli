@@ -1,0 +1,94 @@
+(** Deterministic connection-level fault plans for the socket server.
+
+    The PR-3 fault framework ({!Distsim.Faults}) degrades the
+    {e distributed execution} of one query; this module extends the
+    same idea to the {e serving} layer, where the adversary is a
+    misbehaving connection: a client (or path) that is slow, stalls
+    mid-stream, disconnects mid-batch, or injects garbage bytes. The
+    server's chaos mode ([mpqcli serve --listen … --netfaults SPEC])
+    applies one plan per accepted session, and the seed sweep in
+    [test/test_server.ml] asserts the overload contract under them:
+    every accepted request is answered byte-identically to a direct
+    {!Service.submit_batch} call, every refused request gets a
+    structured refusal, and no session's faults leak into another
+    session's responses.
+
+    Same determinism contract as {!Distsim.Faults}, built on the same
+    {!Mpq_faults.Fault_core}: a session's plan is a pure function of
+    [(seed, session index)] via {!Mpq_crypto.Prng.derive}, so the same
+    seed and spec reproduce the same injected schedule — which
+    sessions are faulty, which request draws a delay or garbage, where
+    the stall and disconnect cuts fall — regardless of how sessions
+    interleave on the wire. *)
+
+type fault =
+  | Slow of { delay_ms : int; prob : float }
+      (** Delay a request's admission by [delay_ms] with probability
+          [prob] per request — a slow client or path. The server holds
+          the request back without blocking the accept loop, so the
+          delay burns the request's deadline budget, not the server's. *)
+  | Stall_after of int
+      (** After [k] requests the session's inbound side goes silent:
+          the server stops reading it, flushes what it owes, and
+          closes — the client sees EOF, never a hang. *)
+  | Disconnect_after of int
+      (** Force-close the session after [k] responses, at a response
+          boundary (a structured cut: no half-written CSV). *)
+  | Garbage of float
+      (** With this probability per request line, garbage bytes are
+          injected into the line before parsing — the request must
+          come back as a structured parse refusal, never corrupt a
+          neighbouring session. *)
+
+type spec = {
+  session_prob : float;
+      (** fraction of sessions the plan applies to (drawn per session
+          from its derived generator; default 1.0 = every session) *)
+  faults : fault list;
+}
+
+exception Bad_spec of string
+
+val parse : string -> spec
+(** Entries separated by [,] or [;]: [slow=MS\[@P\]], [stall@K],
+    [disconnect@K], [garbage=P], and [sessions=P] to set
+    [session_prob]. Example:
+    ["sessions=0.5,slow=40@0.3,garbage=0.1,disconnect@8"]. Raises
+    {!Bad_spec} on malformed input. *)
+
+val render : spec -> string
+(** Inverse of {!parse} (canonical form). *)
+
+val none : spec
+(** The empty plan: no faults, nothing drawn. *)
+
+type session
+(** One session's instantiated schedule. *)
+
+val session : seed:int -> spec -> int -> session
+(** [session ~seed spec index] derives session [index]'s plan. Pure in
+    all three arguments. *)
+
+val active : session -> bool
+(** Whether this session drew the faulty side of [sessions=P]. An
+    inactive session consumes no further randomness and injects
+    nothing. *)
+
+type request_verdict = { delay_ms : int; garbage : bool }
+
+val on_request : session -> request_verdict
+(** Roll the fate of the session's next request line: every
+    probabilistic fault is drawn in spec order whether or not an
+    earlier one fired (the {!Distsim.Faults.interact} discipline), so
+    the schedule depends only on (seed, session index, request
+    ordinal). Inactive sessions draw nothing. *)
+
+val stall_after : session -> int option
+(** The stall cut: stop reading after this many requests. *)
+
+val disconnect_after : session -> int option
+(** The disconnect cut: force-close after this many responses. *)
+
+val garble : session -> string -> string
+(** Deterministically corrupt a request line (the injected garbage
+    bytes come from the session's generator). *)

@@ -1,0 +1,626 @@
+(* Socket front-end: a single-threaded select loop on the accept path,
+   planning/execution on the service's Par pool. Every Service and
+   cache access happens on the loop thread, so sessions are isolated
+   by construction — the only thing a connection can influence is its
+   own byte stream (and, through admission control, how much work the
+   shared backlog accepts).
+
+   Life of a request line:
+
+     read → [netfaults: garble? delay?] → admission
+       admission: backlog full? -> "shed" | parse? -> "parse error"
+                  | enqueue (deadline attached)
+     dispatch (<= cfg.dispatch per loop turn):
+       Service.submit_batch_requests — the service checks the deadline
+       at its admission and again between plan and exec
+     response formatted -> session out-queue -> nonblocking writes
+
+   Nothing is ever silently dropped: each request line ends in exactly
+   one framed response (table / rejected / shed / deadline exceeded /
+   parse error) unless the connection itself dies, which is counted. *)
+
+type addr = Tcp of int | Unix_path of string
+
+let addr_of_string s =
+  match int_of_string_opt s with
+  | Some p when p >= 0 && p < 65536 -> Tcp p
+  | Some p ->
+      invalid_arg (Printf.sprintf "Server.addr_of_string: port %d out of range" p)
+  | None ->
+      if String.contains s '/' then Unix_path s
+      else
+        invalid_arg
+          (Printf.sprintf
+             "Server.addr_of_string: %S is neither a port nor a path (a \
+              socket path must contain '/')"
+             s)
+
+let addr_to_string = function
+  | Tcp p -> string_of_int p
+  | Unix_path p -> p
+
+type config = {
+  backlog : int;
+  dispatch : int;
+  deadline_ms : int option;
+  max_sessions : int;
+  outq_highwater : int;
+  netfaults : Netfaults.spec;
+  fault_seed : int;
+  drain_grace_s : float;
+}
+
+let default_config =
+  { backlog = 64; dispatch = 16; deadline_ms = None; max_sessions = 64;
+    outq_highwater = 1 lsl 20; netfaults = Netfaults.none; fault_seed = 1337;
+    drain_grace_s = 5.0 }
+
+type stats = {
+  sessions : int;
+  sessions_refused : int;
+  requests : int;
+  accepted : int;
+  tables : int;
+  rejected : int;
+  shed : int;
+  expired : int;
+  parse_errors : int;
+  disconnects : int;
+  stalled : int;
+  forced_disconnects : int;
+  garbled : int;
+}
+
+type session = {
+  sid : int;
+  fd : Unix.file_descr;
+  nf : Netfaults.session;
+  inbuf : Buffer.t;  (* bytes read, not yet a complete line *)
+  outq : string Queue.t;  (* responses owed, FIFO *)
+  mutable out_off : int;  (* bytes of the queue head already written *)
+  mutable out_bytes : int;
+  mutable line_no : int;
+  mutable requests_seen : int;
+  mutable responses_enqueued : int;
+  mutable open_requests : int;  (* admitted or delayed, response pending *)
+  mutable eof : bool;  (* inbound done: client EOF, stall cut, shutdown *)
+  mutable closing : bool;  (* flush out-queue, then close *)
+  mutable dead : bool;  (* fd closed *)
+}
+
+(* a request line waiting out a slow-fault delay, pre-admission *)
+type waiting = {
+  w_s : session;
+  w_line : int;
+  w_release : float;
+  w_deadline : float option;
+  w_text : string;
+}
+
+(* an admitted (parsed) request in the global backlog *)
+type admitted = {
+  a_s : session;
+  a_line : int;
+  a_deadline : float option;
+  a_plan : Relalg.Plan.t;
+}
+
+type t = {
+  service : Service.t;
+  cfg : config;
+  listen_fd : Unix.file_descr;
+  bound : addr;
+  stopping : bool Atomic.t;
+  mutable sessions : session list;
+  backlog : admitted Queue.t;
+  mutable delayed : waiting list;
+  mutable next_sid : int;
+  mutable c_sessions : int;
+  mutable c_sessions_refused : int;
+  mutable c_requests : int;
+  mutable c_accepted : int;
+  mutable c_tables : int;
+  mutable c_rejected : int;
+  mutable c_shed : int;
+  mutable c_expired : int;
+  mutable c_parse_errors : int;
+  mutable c_disconnects : int;
+  mutable c_stalled : int;
+  mutable c_forced : int;
+  mutable c_garbled : int;
+}
+
+let create ?(config = default_config) ~service addr =
+  let listen_fd, bound =
+    match addr with
+    | Tcp port ->
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.setsockopt fd Unix.SO_REUSEADDR true;
+        (try Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+         with e -> Unix.close fd; raise e);
+        Unix.listen fd 128;
+        let bound =
+          match Unix.getsockname fd with
+          | Unix.ADDR_INET (_, p) -> Tcp p
+          | _ -> Tcp port
+        in
+        (fd, bound)
+    | Unix_path path ->
+        (try Unix.unlink path with Unix.Unix_error _ -> ());
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        (try
+           Unix.bind fd (Unix.ADDR_UNIX path);
+           Unix.listen fd 128
+         with e -> Unix.close fd; raise e);
+        (fd, Unix_path path)
+  in
+  Unix.set_nonblock listen_fd;
+  { service; cfg = config; listen_fd; bound; stopping = Atomic.make false;
+    sessions = []; backlog = Queue.create (); delayed = []; next_sid = 0;
+    c_sessions = 0; c_sessions_refused = 0; c_requests = 0; c_accepted = 0;
+    c_tables = 0; c_rejected = 0; c_shed = 0; c_expired = 0;
+    c_parse_errors = 0; c_disconnects = 0; c_stalled = 0; c_forced = 0;
+    c_garbled = 0 }
+
+let bound_addr t = t.bound
+let stop t = Atomic.set t.stopping true
+
+(* refusal messages must stay one line to keep the framing parseable *)
+let one_line msg =
+  String.concat " | "
+    (List.filter
+       (fun x -> x <> "")
+       (List.map String.trim (String.split_on_char '\n' msg)))
+
+(* --- output ----------------------------------------------------------- *)
+
+let force_close t s =
+  if not s.dead then begin
+    s.dead <- true;
+    s.eof <- true;
+    s.closing <- true;
+    if s.out_bytes > 0 || s.open_requests > 0 then begin
+      t.c_disconnects <- t.c_disconnects + 1;
+      Obs.incr "server.disconnects"
+    end;
+    Queue.clear s.outq;
+    s.out_bytes <- 0;
+    s.open_requests <- 0;
+    (try Unix.close s.fd with Unix.Unix_error _ -> ())
+  end
+
+let push_out t s text =
+  if not s.dead then
+    match Netfaults.disconnect_after s.nf with
+    | Some k when s.responses_enqueued >= k ->
+        (* past the chaos cut: the connection is gone from the client's
+           point of view, the response is lost with it *)
+        ()
+    | cut ->
+        Queue.push text s.outq;
+        s.out_bytes <- s.out_bytes + String.length text;
+        s.responses_enqueued <- s.responses_enqueued + 1;
+        (match cut with
+        | Some k when s.responses_enqueued >= k ->
+            (* force-close at a response boundary: the k-th response is
+               flushed whole, then the fd is torn down *)
+            s.eof <- true;
+            s.closing <- true;
+            t.c_forced <- t.c_forced + 1;
+            Obs.incr "server.forced_disconnects"
+        | _ -> ())
+
+(* enqueue the one response a pending request is owed *)
+let finish t s text =
+  push_out t s text;
+  if s.open_requests > 0 then s.open_requests <- s.open_requests - 1
+
+let format_response n (r : Service.response) =
+  match r.Service.outcome with
+  | Service.Table tbl ->
+      Printf.sprintf "-- [%d] %s: plan %.2f ms, exec %.2f ms, %d rows\n%s" n
+        (match r.Service.status with
+        | Service.Hit -> "hit"
+        | Service.Miss -> "miss")
+        r.Service.plan_ms r.Service.exec_ms
+        (Engine.Table.cardinality tbl)
+        (Engine.Csv.to_string tbl)
+  | Service.Rejected msg ->
+      Printf.sprintf "-- [%d] rejected: %s\n" n (one_line msg)
+  | Service.Expired why ->
+      Printf.sprintf "-- [%d] deadline exceeded: %s\n" n (one_line why)
+
+(* --- admission -------------------------------------------------------- *)
+
+let admit t w =
+  let s = w.w_s in
+  if Queue.length t.backlog >= t.cfg.backlog then begin
+    t.c_shed <- t.c_shed + 1;
+    Obs.incr "server.shed";
+    finish t s
+      (Printf.sprintf "-- [%d] shed: backlog full (%d queued)\n" w.w_line
+         (Queue.length t.backlog))
+  end
+  else
+    match Service.parse t.service w.w_text with
+    | plan ->
+        t.c_accepted <- t.c_accepted + 1;
+        Obs.incr "server.accepted";
+        Queue.push
+          { a_s = s; a_line = w.w_line; a_deadline = w.w_deadline;
+            a_plan = plan }
+          t.backlog
+    | exception Mpq_sql.Sql_lexer.Lex_error (msg, pos) ->
+        t.c_parse_errors <- t.c_parse_errors + 1;
+        Obs.incr "server.parse_errors";
+        finish t s
+          (Printf.sprintf "-- [%d] parse error at %d: %s\n" w.w_line pos
+             (one_line msg))
+    | exception Mpq_sql.Sql_parser.Parse_error msg
+    | exception Mpq_sql.Sql_plan.Plan_error msg ->
+        t.c_parse_errors <- t.c_parse_errors + 1;
+        Obs.incr "server.parse_errors";
+        finish t s
+          (Printf.sprintf "-- [%d] parse error: %s\n" w.w_line (one_line msg))
+
+let mark_stalled t s =
+  if not s.eof then begin
+    s.eof <- true;
+    Buffer.clear s.inbuf;
+    t.c_stalled <- t.c_stalled + 1;
+    Obs.incr "server.stalled"
+  end
+
+let handle_request t s n line (verdict : Netfaults.request_verdict) =
+  if line.[0] = '\\' then
+    (* directives: \stats is the only one a shared socket can honour —
+       the mutating directives (\policy, \invalidate) would let one
+       session rewrite the environment under every other, exactly the
+       cross-session interference the server promises away *)
+    match
+      List.filter (fun x -> x <> "") (String.split_on_char ' ' line)
+    with
+    | [ "\\stats" ] ->
+        push_out t s
+          (Printf.sprintf "-- [%d] stats: %s\n" n
+             (one_line (Service.render_stats (Service.stats t.service))))
+    | d :: _ ->
+        t.c_rejected <- t.c_rejected + 1;
+        push_out t s
+          (Printf.sprintf
+             "-- [%d] rejected: directive %s is not available over a socket \
+              (sessions are isolated; only \\stats)\n"
+             n d)
+    | [] -> ()
+  else begin
+    s.open_requests <- s.open_requests + 1;
+    let now = Unix.gettimeofday () in
+    (* the budget starts when the line is read, so a slow-fault delay
+       burns the request's deadline, not the server's *)
+    let deadline =
+      Option.map (fun ms -> now +. (float_of_int ms /. 1000.0))
+        t.cfg.deadline_ms
+    in
+    let w =
+      { w_s = s; w_line = n;
+        w_release = now +. (float_of_int verdict.Netfaults.delay_ms /. 1000.0);
+        w_deadline = deadline; w_text = line }
+    in
+    if verdict.Netfaults.delay_ms > 0 then t.delayed <- w :: t.delayed
+    else admit t w
+  end
+
+let handle_line t s raw =
+  s.line_no <- s.line_no + 1;
+  let n = s.line_no in
+  let line = String.trim raw in
+  if line = "" || line.[0] = '#' then ()
+  else begin
+    s.requests_seen <- s.requests_seen + 1;
+    t.c_requests <- t.c_requests + 1;
+    Obs.incr "server.requests";
+    match Netfaults.stall_after s.nf with
+    | Some k when s.requests_seen > k ->
+        (* past the stall cut: the inbound side went silent, this line
+           was never heard *)
+        mark_stalled t s
+    | cut ->
+        let verdict = Netfaults.on_request s.nf in
+        let line =
+          if verdict.Netfaults.garbage then begin
+            t.c_garbled <- t.c_garbled + 1;
+            Obs.incr "server.garbled";
+            Netfaults.garble s.nf line
+          end
+          else line
+        in
+        handle_request t s n line verdict;
+        (match cut with
+        | Some k when s.requests_seen >= k -> mark_stalled t s
+        | _ -> ())
+  end
+
+(* --- dispatch --------------------------------------------------------- *)
+
+let dispatch t =
+  if t.delayed <> [] then begin
+    let now = Unix.gettimeofday () in
+    let due, later =
+      if Atomic.get t.stopping then (t.delayed, [])
+      else List.partition (fun w -> w.w_release <= now) t.delayed
+    in
+    t.delayed <- later;
+    (* release order is deterministic in (release, session, line), not
+       in list-accumulation order *)
+    List.iter (admit t)
+      (List.sort
+         (fun a b ->
+           compare
+             (a.w_release, a.w_s.sid, a.w_line)
+             (b.w_release, b.w_s.sid, b.w_line))
+         due)
+  end;
+  if not (Queue.is_empty t.backlog) then begin
+    let n = min t.cfg.dispatch (Queue.length t.backlog) in
+    let items = List.init n (fun _ -> Queue.pop t.backlog) in
+    let reqs =
+      List.map (fun a -> Service.request ?deadline:a.a_deadline a.a_plan) items
+    in
+    match Service.submit_batch_requests t.service reqs with
+    | resps ->
+        List.iter2
+          (fun a (r : Service.response) ->
+            (match r.Service.outcome with
+            | Service.Table _ ->
+                t.c_tables <- t.c_tables + 1;
+                Obs.incr "server.tables"
+            | Service.Rejected _ ->
+                t.c_rejected <- t.c_rejected + 1;
+                Obs.incr "server.rejected"
+            | Service.Expired _ ->
+                t.c_expired <- t.c_expired + 1;
+                Obs.incr "server.deadline");
+            finish t a.a_s (format_response a.a_line r))
+          items resps
+    | exception e ->
+        (* the structured-refusal contract survives even a service
+           blow-up: every request of the round still gets its line *)
+        List.iter
+          (fun a ->
+            t.c_rejected <- t.c_rejected + 1;
+            finish t a.a_s
+              (Printf.sprintf "-- [%d] rejected: internal error: %s\n"
+                 a.a_line
+                 (one_line (Printexc.to_string e))))
+          items
+  end
+
+(* --- socket IO -------------------------------------------------------- *)
+
+let drain_lines t s =
+  let data = Buffer.contents s.inbuf in
+  Buffer.clear s.inbuf;
+  let len = String.length data in
+  let start = ref 0 in
+  (try
+     while (not s.eof) && not s.dead do
+       match String.index_from_opt data !start '\n' with
+       | Some i ->
+           let line = String.sub data !start (i - !start) in
+           start := i + 1;
+           handle_line t s line
+       | None -> raise Exit
+     done
+   with Exit -> ());
+  if (not s.eof) && (not s.dead) && !start < len then
+    Buffer.add_substring s.inbuf data !start (len - !start)
+
+let read_session t s =
+  let buf = Bytes.create 4096 in
+  match Unix.read s.fd buf 0 (Bytes.length buf) with
+  | 0 -> s.eof <- true
+  | k ->
+      Buffer.add_subbytes s.inbuf buf 0 k;
+      drain_lines t s
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error _ -> force_close t s
+
+let write_session t s =
+  try
+    while not (Queue.is_empty s.outq) do
+      let head = Queue.peek s.outq in
+      let want = String.length head - s.out_off in
+      let k = Unix.write_substring s.fd head s.out_off want in
+      s.out_bytes <- s.out_bytes - k;
+      if k = want then begin
+        ignore (Queue.pop s.outq);
+        s.out_off <- 0
+      end
+      else begin
+        s.out_off <- s.out_off + k;
+        raise Exit
+      end
+    done
+  with
+  | Exit -> ()
+  | Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | Unix.Unix_error _ -> force_close t s
+
+let accept_session t =
+  match Unix.accept t.listen_fd with
+  | fd, _ ->
+      Unix.set_nonblock fd;
+      if List.length t.sessions >= t.cfg.max_sessions then begin
+        t.c_sessions_refused <- t.c_sessions_refused + 1;
+        Obs.incr "server.sessions_refused";
+        let msg =
+          Printf.sprintf "-- [0] shed: session limit (%d active)\n"
+            (List.length t.sessions)
+        in
+        (try ignore (Unix.write_substring fd msg 0 (String.length msg))
+         with Unix.Unix_error _ -> ());
+        (try Unix.close fd with Unix.Unix_error _ -> ())
+      end
+      else begin
+        let sid = t.next_sid in
+        t.next_sid <- sid + 1;
+        t.c_sessions <- t.c_sessions + 1;
+        Obs.incr "server.sessions";
+        let s =
+          { sid; fd;
+            nf = Netfaults.session ~seed:t.cfg.fault_seed t.cfg.netfaults sid;
+            inbuf = Buffer.create 256; outq = Queue.create (); out_off = 0;
+            out_bytes = 0; line_no = 0; requests_seen = 0;
+            responses_enqueued = 0; open_requests = 0; eof = false;
+            closing = false; dead = false }
+        in
+        t.sessions <- t.sessions @ [ s ]
+      end
+  | exception
+      Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR | ECONNABORTED), _, _) ->
+      ()
+
+(* close sessions that owe nothing and have flushed everything *)
+let sweep t =
+  List.iter
+    (fun s ->
+      if not s.dead then begin
+        if s.eof && s.open_requests = 0 then s.closing <- true;
+        if s.closing && Queue.is_empty s.outq then begin
+          s.dead <- true;
+          (try Unix.close s.fd with Unix.Unix_error _ -> ())
+        end
+      end)
+    t.sessions;
+  t.sessions <- List.filter (fun s -> not s.dead) t.sessions
+
+(* --- event loop ------------------------------------------------------- *)
+
+let run t =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ | Sys_error _ -> ());
+  let listener_open = ref true in
+  let drain_deadline = ref infinity in
+  let close_listener () =
+    if !listener_open then begin
+      listener_open := false;
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      match t.bound with
+      | Unix_path p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+      | Tcp _ -> ()
+    end
+  in
+  let rec loop () =
+    if Atomic.get t.stopping && !listener_open then begin
+      (* graceful shutdown: stop accepting and reading, then drain
+         everything already admitted or delayed and flush within the
+         grace budget *)
+      close_listener ();
+      drain_deadline := Unix.gettimeofday () +. t.cfg.drain_grace_s;
+      List.iter (fun s -> s.eof <- true) t.sessions
+    end;
+    dispatch t;
+    sweep t;
+    let stopping = Atomic.get t.stopping in
+    let served =
+      stopping
+      && Queue.is_empty t.backlog
+      && t.delayed = []
+      && List.for_all (fun s -> s.open_requests = 0) t.sessions
+    in
+    if served && List.for_all (fun s -> Queue.is_empty s.outq) t.sessions
+    then
+      (* everything answered and flushed: done *)
+      List.iter (force_close t) t.sessions
+    else if served && Unix.gettimeofday () > !drain_deadline then
+      (* grace exhausted: the remaining bytes belong to clients that
+         stopped reading; cut them (counted as disconnects) *)
+      List.iter (force_close t) t.sessions
+    else begin
+      let reads =
+        (if !listener_open then [ t.listen_fd ] else [])
+        @ List.filter_map
+            (fun s ->
+              if
+                (not s.dead) && (not s.eof) && (not s.closing)
+                && s.out_bytes < t.cfg.outq_highwater
+              then Some s.fd
+              else None)
+            t.sessions
+      in
+      let writes =
+        List.filter_map
+          (fun s ->
+            if (not s.dead) && not (Queue.is_empty s.outq) then Some s.fd
+            else None)
+          t.sessions
+      in
+      let timeout =
+        if not (Queue.is_empty t.backlog) then 0.0
+        else if t.delayed <> [] then begin
+          let now = Unix.gettimeofday () in
+          List.fold_left
+            (fun acc w -> Float.min acc (Float.max 0.0 (w.w_release -. now)))
+            0.05 t.delayed
+        end
+        else if stopping then 0.02
+        else 0.25
+      in
+      (match Unix.select reads writes [] timeout with
+      | exception Unix.Unix_error (EINTR, _, _) -> ()
+      | exception Unix.Unix_error (EBADF, _, _) ->
+          (* an fd died between sweep and select; the per-session IO
+             error paths will reap it next turn *)
+          ()
+      | r, w, _ ->
+          if List.mem t.listen_fd r then accept_session t;
+          List.iter
+            (fun s -> if (not s.dead) && List.mem s.fd w then write_session t s)
+            t.sessions;
+          List.iter
+            (fun s -> if (not s.dead) && List.mem s.fd r then read_session t s)
+            t.sessions);
+      loop ()
+    end
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter (force_close t) t.sessions;
+      t.sessions <- [];
+      close_listener ())
+    loop
+
+(* --- stats ------------------------------------------------------------ *)
+
+let stats t =
+  { sessions = t.c_sessions; sessions_refused = t.c_sessions_refused;
+    requests = t.c_requests; accepted = t.c_accepted; tables = t.c_tables;
+    rejected = t.c_rejected; shed = t.c_shed; expired = t.c_expired;
+    parse_errors = t.c_parse_errors; disconnects = t.c_disconnects;
+    stalled = t.c_stalled; forced_disconnects = t.c_forced;
+    garbled = t.c_garbled }
+
+let render_stats (s : stats) =
+  Printf.sprintf
+    "%d sessions (%d refused), %d requests: %d accepted, %d tables, %d \
+     rejected, %d shed, %d expired, %d parse errors; %d disconnects, %d \
+     stalled, %d forced, %d garbled"
+    s.sessions s.sessions_refused s.requests s.accepted s.tables s.rejected
+    s.shed s.expired s.parse_errors s.disconnects s.stalled
+    s.forced_disconnects s.garbled
+
+let stats_json (s : stats) =
+  Relalg.Json.Obj
+    [ ("sessions", Relalg.Json.Int s.sessions);
+      ("sessions_refused", Relalg.Json.Int s.sessions_refused);
+      ("requests", Relalg.Json.Int s.requests);
+      ("accepted", Relalg.Json.Int s.accepted);
+      ("tables", Relalg.Json.Int s.tables);
+      ("rejected", Relalg.Json.Int s.rejected);
+      ("shed", Relalg.Json.Int s.shed);
+      ("expired", Relalg.Json.Int s.expired);
+      ("parse_errors", Relalg.Json.Int s.parse_errors);
+      ("disconnects", Relalg.Json.Int s.disconnects);
+      ("stalled", Relalg.Json.Int s.stalled);
+      ("forced_disconnects", Relalg.Json.Int s.forced_disconnects);
+      ("garbled", Relalg.Json.Int s.garbled) ]

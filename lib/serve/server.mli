@@ -1,0 +1,104 @@
+(** Overload-safe socket front-end for the query {!Service}.
+
+    One process, one {!Service}, many concurrent client sessions over
+    the same line protocol [mpqcli serve] speaks on stdin: one request
+    per line, one framed response per request — a
+    [-- \[N\] hit|miss: …] status line followed by the CSV table, or a
+    single structured refusal line. The accept path is a
+    single-threaded [select] loop; planning and execution stay on the
+    service's {!Par} pool. Because every cache access happens on the
+    loop thread, session isolation holds by construction: a malformed,
+    slow or faulted connection can corrupt neither another session's
+    response stream nor the shared plan cache.
+
+    The overload behaviour is engineered in, not bolted on:
+
+    - {b admission control} — a bounded global backlog; a request
+      arriving when it is full is refused {e immediately} with
+      [-- \[N\] shed: backlog full …]. Requests are never silently
+      dropped and a response is never a partial table.
+    - {b deadlines} — each request's budget starts when its line is
+      read; the service checks it at admission and again between the
+      plan and exec phases, answering
+      [-- \[N\] deadline exceeded: …].
+    - {b backpressure} — a session that stops reading its responses
+      accumulates output up to a high-water mark, after which the
+      server stops {e reading} it (never drops what it owes).
+    - {b graceful shutdown} — {!stop} (wired to SIGTERM/SIGINT by the
+      CLI) closes the listener, drains every admitted and delayed
+      request through the service, flushes each session's output
+      within a grace budget, and {!run} returns with final stats.
+
+    A {!Netfaults} plan turns the server into its own chaos harness:
+    per-session seeded slow/stall/disconnect/garbage schedules are
+    injected at the connection layer while the contract above is
+    asserted by [test/test_server.ml]. *)
+
+type addr = Tcp of int | Unix_path of string
+    (** [Tcp port] listens on the IPv4 loopback; [Tcp 0] picks a free
+        port (see {!bound_addr}). [Unix_path p] listens on a
+        filesystem socket (any stale file at [p] is replaced). *)
+
+val addr_of_string : string -> addr
+(** ["7401"] → [Tcp 7401]; anything containing ['/'] → [Unix_path].
+    Raises [Invalid_argument] otherwise. *)
+
+val addr_to_string : addr -> string
+
+type config = {
+  backlog : int;  (** global admitted-request bound (default 64) *)
+  dispatch : int;
+      (** requests dispatched to the service per loop iteration — keeps
+          the accept path responsive under a deep backlog (default 16) *)
+  deadline_ms : int option;
+      (** per-request budget from line arrival (default none) *)
+  max_sessions : int;  (** concurrent session bound (default 64) *)
+  outq_highwater : int;
+      (** per-session pending output (bytes) past which the server
+          stops reading that session (default 1 MiB) *)
+  netfaults : Netfaults.spec;  (** chaos plan (default {!Netfaults.none}) *)
+  fault_seed : int;  (** seed for per-session fault derivation *)
+  drain_grace_s : float;
+      (** shutdown bound on flushing already-computed responses
+          (default 5 s) *)
+}
+
+val default_config : config
+
+type stats = {
+  sessions : int;  (** sessions accepted *)
+  sessions_refused : int;  (** refused at the [max_sessions] bound *)
+  requests : int;  (** request lines read (after chaos injection) *)
+  accepted : int;  (** admitted to the backlog *)
+  tables : int;
+  rejected : int;  (** policy rejections (and refused directives) *)
+  shed : int;
+  expired : int;
+  parse_errors : int;
+  disconnects : int;  (** sessions that vanished owing output *)
+  stalled : int;  (** chaos: inbound cut by [stall\@K] *)
+  forced_disconnects : int;  (** chaos: outbound cut by [disconnect\@K] *)
+  garbled : int;  (** chaos: request lines corrupted *)
+}
+
+type t
+
+val create : ?config:config -> service:Service.t -> addr -> t
+(** Bind and listen. Raises [Unix.Unix_error] if the address is taken.
+    The service must not be used concurrently by anyone else while
+    {!run} is live (all access happens on the loop thread). *)
+
+val bound_addr : t -> addr
+(** The actual address — resolves [Tcp 0] to the kernel-picked port. *)
+
+val stop : t -> unit
+(** Request graceful shutdown. Async-signal-safe (sets an atomic
+    flag); callable from a signal handler or another domain. *)
+
+val run : t -> unit
+(** The event loop. Blocks until {!stop} (or a fatal listener error),
+    then drains and returns. Ignores SIGPIPE for the process. *)
+
+val stats : t -> stats
+val render_stats : stats -> string
+val stats_json : stats -> Relalg.Json.t

@@ -43,9 +43,11 @@ type t = {
   seed : int64;
   pool : Par.pool option;
   max_batch : int;
+  now : unit -> float;  (* deadline clock, injectable for tests *)
   cache : cached Lru.t;
   mutable queries : int;
   mutable rejections : int;
+  mutable expired : int;
   mutable invalidated : int;
   mutable reverified : int;
   mutable retained : int;
@@ -55,7 +57,10 @@ type t = {
 
 type status = Hit | Miss
 
-type outcome = Table of Engine.Table.t | Rejected of string
+type outcome =
+  | Table of Engine.Table.t
+  | Rejected of string
+  | Expired of string
 
 type response = {
   outcome : outcome;
@@ -66,6 +71,10 @@ type response = {
   exec_ms : float;
 }
 
+type request = { query : Plan.t; deadline : float option }
+
+let request ?deadline query = { query; deadline }
+
 let compute_env t =
   Planner.Optimizer.environment_fingerprint ~policy:t.policy
     ~subjects:t.subjects ~config:t.config ~pricing:t.pricing
@@ -75,7 +84,7 @@ let create ?(cache_capacity = 128) ?(max_batch = 32) ?pool
     ?(config = Authz.Opreq.default) ?(pricing = Planner.Pricing.make ())
     ?(network = Planner.Network.make ()) ?(base = fun _ -> None) ?deliver_to
     ?max_latency ?(udfs = []) ?(seed = 42L) ?(invalidation = Incremental)
-    ~policy ~subjects ~tables () =
+    ?(now = Unix.gettimeofday) ~policy ~subjects ~tables () =
   if max_batch < 1 then
     invalid_arg (Printf.sprintf "Service.create: max_batch %d < 1" max_batch);
   let deliver_to =
@@ -89,9 +98,9 @@ let create ?(cache_capacity = 128) ?(max_batch = 32) ?pool
   let t =
     { policy; subjects; config; pricing; network; env = ""; invalidation;
       base; deliver_to; max_latency; udfs; tables; seed; pool; max_batch;
-      cache = Lru.create ~capacity:cache_capacity; queries = 0;
-      rejections = 0; invalidated = 0; reverified = 0; retained = 0;
-      plan_ms_total = 0.0; exec_ms_total = 0.0 }
+      now; cache = Lru.create ~capacity:cache_capacity; queries = 0;
+      rejections = 0; expired = 0; invalidated = 0; reverified = 0;
+      retained = 0; plan_ms_total = 0.0; exec_ms_total = 0.0 }
   in
   t.env <- compute_env t;
   t
@@ -302,27 +311,40 @@ let run_tasks t thunks =
   | Some pool, _ :: _ :: _ -> Par.run_all pool thunks
   | _ -> List.map (fun f -> f ()) thunks
 
-(* One admission-bounded round of the three-phase protocol. *)
-let serve_round t queries =
+(* One admission-bounded round of the three-phase protocol. Requests
+   whose deadline has already passed when the round starts are refused
+   up front — no fingerprinting, no cache probe, no planning: a refusal
+   must never disturb the cache's observable evolution. *)
+let serve_round t requests =
   Obs.with_span "serve.batch" @@ fun () ->
   let before = Lru.stats t.cache in
-  (* phase 1 — probe: fingerprint every request, pick the distinct
+  let admit_now = t.now () in
+  let expired_response () =
+    { outcome = Expired "at admission"; status = Miss;
+      key = ""; planned = None; plan_ms = 0.0; exec_ms = 0.0 }
+  in
+  (* phase 1 — probe: fingerprint every live request, pick the distinct
      missing keys. Pure: no cache mutation, no recency refresh. *)
   let keyed =
     List.map
-      (fun q ->
-        let t0 = now_ms () in
-        let qfp = Planner.Fingerprint.of_plan q in
-        let key = Planner.Optimizer.cache_key_of ~env:t.env qfp in
-        (q, qfp, key, now_ms () -. t0))
-      queries
+      (fun { query = q; deadline } ->
+        match deadline with
+        | Some d when admit_now > d -> `Expired
+        | _ ->
+            let t0 = now_ms () in
+            let qfp = Planner.Fingerprint.of_plan q in
+            let key = Planner.Optimizer.cache_key_of ~env:t.env qfp in
+            `Live (q, qfp, key, deadline, now_ms () -. t0))
+      requests
   in
   let to_plan =
     List.rev
       (List.fold_left
-         (fun acc (q, qfp, key, _) ->
-           if Lru.mem t.cache key || List.mem_assoc key acc then acc
-           else (key, (q, qfp)) :: acc)
+         (fun acc -> function
+           | `Expired -> acc
+           | `Live (q, qfp, key, _, _) ->
+               if Lru.mem t.cache key || List.mem_assoc key acc then acc
+               else (key, (q, qfp)) :: acc)
          [] keyed)
   in
   (* phase 2 — plan each distinct missing key in parallel. Planning is
@@ -344,43 +366,64 @@ let serve_round t queries =
      misses once and hits from then on, exactly as in serial serving. *)
   let resolved =
     List.map
-      (fun (q, qfp, key, key_ms) ->
-        let t0 = now_ms () in
-        match Lru.find t.cache key with
-        | Some entry ->
-            (q, key, entry, Hit, key_ms +. (now_ms () -. t0))
-        | None ->
-            let entry, plan_ms =
-              match List.assoc_opt key planned with
-              | Some e -> e
-              | None ->
-                  (* the probe saw this key resident, but an earlier
-                     insertion in this very round evicted it. Replan on
-                     the coordinator: a function of request order and
-                     cache state only, so still job-count independent. *)
-                  let p0 = now_ms () in
-                  let entry = plan_once t ~qfp q in
-                  (entry, now_ms () -. p0)
-            in
-            Lru.add t.cache key entry;
-            (q, key, entry, Miss, key_ms +. (now_ms () -. t0) +. plan_ms))
+      (function
+        | `Expired -> `Expired
+        | `Live (q, qfp, key, deadline, key_ms) -> (
+            let t0 = now_ms () in
+            match Lru.find t.cache key with
+            | Some entry ->
+                `Resolved (key, entry, deadline, Hit, key_ms +. (now_ms () -. t0))
+            | None ->
+                let entry, plan_ms =
+                  match List.assoc_opt key planned with
+                  | Some e -> e
+                  | None ->
+                      (* the probe saw this key resident, but an earlier
+                         insertion in this very round evicted it. Replan on
+                         the coordinator: a function of request order and
+                         cache state only, so still job-count independent. *)
+                      let p0 = now_ms () in
+                      let entry = plan_once t ~qfp q in
+                      (entry, now_ms () -. p0)
+                in
+                Lru.add t.cache key entry;
+                `Resolved
+                  (key, entry, deadline, Miss,
+                   key_ms +. (now_ms () -. t0) +. plan_ms)))
       keyed
   in
+  (* the second deadline checkpoint, between plan and exec: planning
+     (and the cache insertion it fed) is kept — the work is not wasted,
+     the entry serves future hits — but a request past its deadline is
+     refused rather than executed. One clock read for the whole round
+     keeps the refusal set a function of (requests, round start). *)
+  let exec_now = t.now () in
   (* execute in parallel (results are position-deterministic), then
      assemble responses in request order *)
   let responses =
     run_tasks t
       (List.map
-         (fun (_, key, entry, status, plan_ms) () ->
-           match entry.verdict with
-           | Denied { message; _ } ->
-               { outcome = Rejected message; status; key; planned = None;
-                 plan_ms; exec_ms = 0.0 }
-           | Planned r ->
-               let t0 = now_ms () in
-               let table = execute t r in
-               { outcome = Table table; status; key; planned = Some r;
-                 plan_ms; exec_ms = now_ms () -. t0 })
+         (function
+           | `Expired -> fun () -> expired_response ()
+           | `Resolved (key, entry, deadline, status, plan_ms) -> (
+               fun () ->
+                 match entry.verdict with
+                 | Denied { message; _ } ->
+                     { outcome = Rejected message; status; key;
+                       planned = None; plan_ms; exec_ms = 0.0 }
+                 | Planned r -> (
+                     match deadline with
+                     | Some d when exec_now > d ->
+                         { outcome =
+                             Expired "between plan and exec";
+                           status; key; planned = Some r; plan_ms;
+                           exec_ms = 0.0 }
+                     | _ ->
+                         let t0 = now_ms () in
+                         let table = execute t r in
+                         { outcome = Table table; status; key;
+                           planned = Some r; plan_ms;
+                           exec_ms = now_ms () -. t0 })))
          resolved)
   in
   (* accounting (coordinator only, deterministic) *)
@@ -397,6 +440,9 @@ let serve_round t queries =
       | Rejected _ ->
           t.rejections <- t.rejections + 1;
           Obs.incr "serve.rejections"
+      | Expired _ ->
+          t.expired <- t.expired + 1;
+          Obs.incr "serve.expired"
       | Table _ -> ());
       t.plan_ms_total <- t.plan_ms_total +. r.plan_ms;
       t.exec_ms_total <- t.exec_ms_total +. r.exec_ms;
@@ -408,28 +454,31 @@ let serve_round t queries =
 
 let rec admit t = function
   | [] -> []
-  | queries ->
+  | requests ->
       let rec take n acc = function
         | rest when n = 0 -> (List.rev acc, rest)
         | [] -> (List.rev acc, [])
         | q :: rest -> take (n - 1) (q :: acc) rest
       in
-      let round, rest = take t.max_batch [] queries in
+      let round, rest = take t.max_batch [] requests in
       let served = serve_round t round in
       served @ admit t rest
 
-let submit_batch t queries = admit t queries
+let submit_batch_requests t requests = admit t requests
+let submit_batch t queries = admit t (List.map request queries)
 
-let submit t query =
-  match serve_round t [ query ] with
+let submit_request t req =
+  match serve_round t [ req ] with
   | [ r ] -> r
   | _ -> assert false
 
+let submit t query = submit_request t (request query)
 let submit_sql t sql = submit t (parse t sql)
 
 type stats = {
   queries : int;
   rejections : int;
+  expired : int;
   hits : int;
   misses : int;
   insertions : int;
@@ -445,7 +494,8 @@ type stats = {
 
 let stats t =
   let c = Lru.stats t.cache in
-  { queries = t.queries; rejections = t.rejections; hits = c.Lru.hits;
+  { queries = t.queries; rejections = t.rejections; expired = t.expired;
+    hits = c.Lru.hits;
     misses = c.Lru.misses; insertions = c.Lru.insertions;
     evictions = c.Lru.evictions; invalidated = t.invalidated;
     reverified = t.reverified; retained = t.retained;
@@ -460,10 +510,10 @@ let cache_keys t = Lru.keys t.cache
 
 let render_stats s =
   Printf.sprintf
-    "%d queries (%d rejected): %d hits, %d misses (%.1f%% hit rate), \
-     %d/%d entries, %d evictions; %d invalidated, %d reverified, \
+    "%d queries (%d rejected, %d expired): %d hits, %d misses (%.1f%% hit \
+     rate), %d/%d entries, %d evictions; %d invalidated, %d reverified, \
      %d retained; plan %.2f ms, exec %.2f ms"
-    s.queries s.rejections s.hits s.misses
+    s.queries s.rejections s.expired s.hits s.misses
     (100.0 *. hit_rate s)
     s.entries s.capacity s.evictions s.invalidated s.reverified s.retained
     s.plan_ms s.exec_ms
@@ -472,6 +522,7 @@ let stats_json s =
   Json.Obj
     [ ("queries", Json.Int s.queries);
       ("rejections", Json.Int s.rejections);
+      ("expired", Json.Int s.expired);
       ("hits", Json.Int s.hits);
       ("misses", Json.Int s.misses);
       ("hit_rate", Json.Float (hit_rate s));

@@ -73,6 +73,7 @@ val create :
   ?udfs:(string * Engine.Exec.udf) list ->
   ?seed:int64 ->
   ?invalidation:invalidation ->
+  ?now:(unit -> float) ->
   policy:Authz.Authorization.t ->
   subjects:Authz.Subject.t list ->
   tables:(string * Engine.Table.t) list ->
@@ -85,7 +86,10 @@ val create :
     [deliver_to] defaults to the first [User] among [subjects], when
     any. [seed] fixes the keyring so ciphertext bytes are reproducible
     across runs (default [42L]). [base] supplies cardinality
-    statistics to the optimizer (default: none). *)
+    statistics to the optimizer (default: none). [now] is the clock
+    request deadlines are checked against (default
+    [Unix.gettimeofday]; injectable so tests can force the
+    between-plan-and-exec expiry deterministically). *)
 
 (** {2 Environment mutation — explicit invalidation} *)
 
@@ -120,17 +124,33 @@ type outcome =
           required input authorization, or no produced plan passes the
           static verifier — the service fails closed) — a policy
           verdict, not an error, and itself cacheable *)
+  | Expired of string
+      (** the request's deadline passed before the service would have
+          done the work: either at admission (before the cache is even
+          probed — a refused request leaves no trace in the cache) or
+          at the checkpoint between the plan and exec phases (the
+          planned entry is kept for future hits, but the overdue
+          execution is refused). Never cached: the same query
+          resubmitted with a live deadline is served normally. *)
 
 type response = {
   outcome : outcome;
   status : status;
-  key : string;  (** the cache key the request resolved to *)
-  planned : Planner.Optimizer.result option;  (** [None] iff rejected *)
+  key : string;  (** the cache key the request resolved to ([""] when
+                     refused at admission) *)
+  planned : Planner.Optimizer.result option;
+      (** [None] on rejection or admission expiry *)
   plan_ms : float;
       (** fingerprint + cache lookup + (on miss) planning and
           verification — the latency the cache exists to cut *)
   exec_ms : float;
 }
+
+type request = { query : Plan.t; deadline : float option }
+(** A query plus an optional absolute deadline (seconds, on the
+    service's [now] clock — [Unix.gettimeofday] by default). *)
+
+val request : ?deadline:float -> Plan.t -> request
 
 val parse : t -> string -> Plan.t
 (** SQL → plan against the policy's schemas, classically optimized
@@ -148,11 +168,23 @@ val submit_batch : t -> Plan.t list -> response list
     state are identical to submitting the queries one by one. Batches
     larger than [max_batch] are served in admission-bounded rounds. *)
 
+val submit_request : t -> request -> response
+
+val submit_batch_requests : t -> request list -> response list
+(** {!submit_batch} with per-request deadlines. A deadline is checked
+    twice: at admission, before the round's cache probe (an expired
+    request is refused without touching the cache, fingerprinting, or
+    planning), and again between the plan and exec phases (so a
+    request that spent its budget being planned is not also executed).
+    Requests without deadlines behave exactly as {!submit_batch} —
+    in particular the deterministic-replay guarantees are unchanged. *)
+
 (** {2 Introspection} *)
 
 type stats = {
   queries : int;
   rejections : int;
+  expired : int;  (** requests refused for a blown deadline *)
   hits : int;
   misses : int;
   insertions : int;

@@ -75,6 +75,130 @@ let test_lru_bounds () =
   Alcotest.(check (list string)) "mem did not promote" [ "4"; "1"; "3" ]
     (Serve.Lru.keys c)
 
+(* The intrusive-recency-list implementation must be observationally
+   identical — keys order, membership, every statistic — to the obvious
+   stamp-based reference model, across random op sequences that hold
+   the cache at capacity (the regime the O(1) eviction exists for),
+   including remap migrations (drop / rebind / rekey), whose contract
+   is to preserve recency order. *)
+let test_lru_model_differential () =
+  let module Ref = struct
+    (* the old O(n) implementation, reduced to its observable core *)
+    type 'a t = {
+      cap : int;
+      mutable entries : (string * ('a * int)) list;
+      mutable clock : int;
+      mutable hits : int;
+      mutable misses : int;
+      mutable insertions : int;
+      mutable evictions : int;
+    }
+
+    let create cap =
+      { cap; entries = []; clock = 0; hits = 0; misses = 0; insertions = 0;
+        evictions = 0 }
+
+    let tick t =
+      t.clock <- t.clock + 1;
+      t.clock
+
+    let find t k =
+      match List.assoc_opt k t.entries with
+      | Some (v, _) ->
+          t.hits <- t.hits + 1;
+          t.entries <-
+            (k, (v, tick t)) :: List.remove_assoc k t.entries;
+          Some v
+      | None ->
+          t.misses <- t.misses + 1;
+          None
+
+    let add t k v =
+      if List.mem_assoc k t.entries then
+        t.entries <- (k, (v, tick t)) :: List.remove_assoc k t.entries
+      else begin
+        t.insertions <- t.insertions + 1;
+        t.entries <- (k, (v, tick t)) :: t.entries;
+        if List.length t.entries > t.cap then begin
+          let victim, _ =
+            List.fold_left
+              (fun (bk, bs) (k, (_, s)) ->
+                if s < bs then (k, s) else (bk, bs))
+              ("", max_int) t.entries
+          in
+          t.entries <- List.remove_assoc victim t.entries;
+          t.evictions <- t.evictions + 1
+        end
+      end
+
+    let remap t f =
+      let dropped = ref 0 in
+      t.entries <-
+        List.filter_map
+          (fun (k, (v, s)) ->
+            match f k v with
+            | None ->
+                incr dropped;
+                None
+            | Some (k', v') -> Some (k', (v', s)))
+          (List.sort (fun (_, (_, a)) (_, (_, b)) -> compare b a) t.entries);
+      !dropped
+
+    let keys t =
+      List.map fst
+        (List.sort (fun (_, (_, a)) (_, (_, b)) -> compare b a) t.entries)
+  end in
+  let rng = Mpq_crypto.Prng.create 7L in
+  let key () = string_of_int (Mpq_crypto.Prng.int rng 12) in
+  let lru = Serve.Lru.create ~capacity:4 and model = Ref.create 4 in
+  let agree step =
+    Alcotest.(check (list string))
+      (Printf.sprintf "keys agree after step %d" step)
+      (Ref.keys model) (Serve.Lru.keys lru);
+    let s = Serve.Lru.stats lru in
+    Alcotest.(check (list int))
+      (Printf.sprintf "stats agree after step %d" step)
+      [ model.Ref.hits; model.Ref.misses; model.Ref.insertions;
+        model.Ref.evictions ]
+      [ s.Serve.Lru.hits; s.Serve.Lru.misses; s.Serve.Lru.insertions;
+        s.Serve.Lru.evictions ]
+  in
+  for step = 1 to 600 do
+    (match Mpq_crypto.Prng.int rng 10 with
+    | 0 | 1 | 2 | 3 ->
+        let k = key () in
+        Serve.Lru.add lru k step;
+        Ref.add model k step
+    | 4 | 5 | 6 | 7 ->
+        let k = key () in
+        Alcotest.(check (option int)) "find agrees" (Ref.find model k)
+          (Serve.Lru.find lru k)
+    | 8 ->
+        let k = key () in
+        Alcotest.(check bool) "mem agrees"
+          (List.mem_assoc k model.Ref.entries)
+          (Serve.Lru.mem lru k)
+    | _ ->
+        (* a migration pass: drop ~1/4, rekey ~1/4, rewrite the rest in
+           place — recency order must survive on both sides *)
+        let f k v =
+          match (Hashtbl.hash k + step) mod 4 with
+          | 0 -> None
+          | 1 -> Some ("r" ^ string_of_int step ^ "." ^ k, v + 1)
+          | _ -> Some (k, v + 1)
+        in
+        Alcotest.(check int) "remap drop count agrees" (Ref.remap model f)
+          (Serve.Lru.remap lru f));
+    agree step
+  done;
+  (* a rekeyed cache keeps evicting correctly at capacity *)
+  List.iter
+    (fun k ->
+      Serve.Lru.add lru k 0;
+      Ref.add model k 0)
+    [ "a"; "b"; "c"; "d"; "e"; "f" ];
+  agree 601
+
 (* --- fingerprints ----------------------------------------------------- *)
 
 (* the regression the length prefixes exist for: under the old
@@ -452,6 +576,8 @@ let test_config_invalidation () =
   | Serve.Service.Table _ -> ()
   | Serve.Service.Rejected msg ->
       Alcotest.failf "strict config unexpectedly rejects: %s" msg
+  | Serve.Service.Expired why ->
+      Alcotest.failf "no deadline was set, yet expired: %s" why
 
 (* --- concurrency ------------------------------------------------------ *)
 
@@ -644,7 +770,9 @@ let test_stats_accounting () =
 let () =
   Alcotest.run "serve"
     [ ( "lru",
-        [ ("bounds, order, stats", `Quick, test_lru_bounds) ] );
+        [ ("bounds, order, stats", `Quick, test_lru_bounds);
+          ("recency-list vs stamp model, 600 random ops", `Quick,
+           test_lru_model_differential) ] );
       ( "fingerprint",
         [ ("assignment collision regression", `Quick,
            test_assignment_fingerprint_collision);
