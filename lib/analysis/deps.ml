@@ -4,54 +4,103 @@ open Authz
 (* Mirror of the verifier's policy reads (see deps.mli). Each block
    below names the check it shadows; keeping the two in sync is what
    the soundness property in test/test_analysis.ml enforces. *)
-let of_extended ?deliver_to ?original ~(extended : Extend.t) ~clusters () =
-  Obs.with_span "analysis.deps" @@ fun () ->
+(* Shared core: collect the facts for the extended-plan nodes selected
+   by [keep] (applied to each node's preorder position). [of_extended]
+   keeps everything; [of_subplan] keeps one subtree's position range,
+   giving the sub-plan result cache a dependency set that covers
+   exactly the checks whose certification the reused bytes embody. *)
+let collect ?deliver_to ?original ?derive_memo ~(extended : Extend.t)
+    ~clusters ~keep () =
   let acc = ref Fact.Set.empty in
   let add s = acc := Fact.Set.union s !acc in
+  let positions = Plan.preorder_positions extended.Extend.plan in
+  let kept n =
+    match Hashtbl.find_opt positions (Plan.id n) with
+    | Some p -> keep p
+    | None -> true (* unreachable on trees; stay conservative *)
+  in
   (* V2/V3 — Check_authz and the Check_minimal probes: executor [s]
      against operand and result profiles, re-derived like the verifier
      derives them. Minimality probes check the same executors against
      profiles over the same attribute carrier (a dropped encryption
      only moves attributes between plain and encrypted form), so the
      facts of_profile lists for the lenient derivation cover them. *)
-  let derived, _diags = Verify.Derive.lenient extended.Extend.plan in
+  let derived, _diags =
+    Verify.Derive.lenient ?memo:derive_memo extended.Extend.plan
+  in
   List.iter
     (fun n ->
       match Imap.find_opt (Plan.id n) extended.Extend.assignment with
       | None -> ()
-      | Some subject ->
+      | Some subject when kept n ->
           let against m =
             match Hashtbl.find_opt derived (Plan.id m) with
             | Some p -> add (Fact.of_profile subject p)
             | None -> ()
           in
           List.iter against (Plan.children n);
-          against n)
+          against n
+      | Some _ -> ())
     (Plan.nodes extended.Extend.plan);
   (* V4 — Check_keys.distribution (MPQ030): every holder with duty over
-     a cluster must keep plaintext authorization over what it handles. *)
+     a cluster must keep plaintext authorization over what it handles.
+     For a subtree, restrict to the attributes whose encryption or
+     decryption operations live inside it: their handlers' duties are
+     what the reused ciphertext bytes rely on. (A handler elsewhere in
+     the plan over the same attribute is included too — over-inclusion
+     is conservative.) *)
+  let crypto_attrs =
+    List.fold_left
+      (fun s n ->
+        if not (kept n) then s
+        else
+          match Plan.node n with
+          | Plan.Encrypt (a, _) | Plan.Decrypt (a, _) -> Attr.Set.union a s
+          | Plan.Base sch -> Attr.Set.union (Schema.stored_encrypted sch) s
+          | _ -> s)
+      Attr.Set.empty
+      (Plan.nodes extended.Extend.plan)
+  in
   List.iter
     (fun (c : Plan_keys.cluster) ->
       Subject.Map.iter
         (fun subject handled ->
           Attr.Set.iter
             (fun attr ->
-              acc :=
-                Fact.Set.add
-                  { Fact.subject; attr; level = Fact.Plain }
-                  !acc)
+              if Attr.Set.mem attr crypto_attrs then
+                acc :=
+                  Fact.Set.add { Fact.subject; attr; level = Fact.Plain } !acc)
             handled)
         (Verify.Check_keys.duty_map extended c.Plan_keys.attrs))
     clusters;
   (* The optimizer's recipient gate: deliver_to must be authorized for
      every maximal source-side node of the original (crypto-stripped)
-     plan. Replayed with the same recursion the optimizer uses. *)
+     plan. Replayed with the same recursion the optimizer uses. For a
+     subtree, only gates whose base relations all feed the subtree are
+     included (membership judged by relation name — the gate guards
+     input data, not plan positions). *)
+  let kept_bases =
+    List.fold_left
+      (fun s n ->
+        if kept n then
+          match Plan.node n with
+          | Plan.Base sch -> sch.Schema.name :: s
+          | _ -> s
+        else s)
+      []
+      (Plan.nodes extended.Extend.plan)
+  in
   (match deliver_to with
   | None -> ()
   | Some user ->
       let rec inputs n =
-        if Candidates.is_source_side n then
-          add (Fact.of_profile user (Profile.of_plan n))
+        if Candidates.is_source_side n then begin
+          if
+            List.for_all
+              (fun (sch : Schema.t) -> List.mem sch.Schema.name kept_bases)
+              (Plan.base_relations n)
+          then add (Fact.of_profile user (Profile.of_plan n))
+        end
         else List.iter inputs (Plan.children n)
       in
       inputs
@@ -59,3 +108,16 @@ let of_extended ?deliver_to ?original ~(extended : Extend.t) ~clusters () =
         | Some q -> q
         | None -> Plan.strip_crypto extended.Extend.plan));
   !acc
+
+let of_extended ?deliver_to ?original ?derive_memo ~extended ~clusters () =
+  Obs.with_span "analysis.deps" @@ fun () ->
+  collect ?deliver_to ?original ?derive_memo ~extended ~clusters
+    ~keep:(fun _ -> true)
+    ()
+
+let of_subplan ?deliver_to ?original ?derive_memo ~extended ~clusters
+    ~range:(lo, len) () =
+  Obs.with_span "analysis.subdeps" @@ fun () ->
+  collect ?deliver_to ?original ?derive_memo ~extended ~clusters
+    ~keep:(fun p -> lo <= p && p < lo + len)
+    ()

@@ -39,7 +39,41 @@ open Authz
 val of_extended :
   ?deliver_to:Subject.t ->
   ?original:Relalg.Plan.t ->
+  ?derive_memo:Verify.Derive.memo ->
   extended:Extend.t ->
   clusters:Plan_keys.cluster list ->
   unit ->
   Fact.Set.t
+(** [derive_memo] shares the lenient profile re-derivation across
+    calls by structural fingerprint (identical result either way);
+    the serve layer threads one memo through every dependency
+    computation of a service so a subtree shared by many cached plans
+    is derived once. *)
+
+val of_subplan :
+  ?deliver_to:Subject.t ->
+  ?original:Relalg.Plan.t ->
+  ?derive_memo:Verify.Derive.memo ->
+  extended:Extend.t ->
+  clusters:Plan_keys.cluster list ->
+  range:int * int ->
+  unit ->
+  Fact.Set.t
+(** Dependency set of one subtree of [extended.plan], identified by
+    its preorder position range [range = (pos, size)] — the facts whose
+    revocation must invalidate a {e cached sub-plan result} whose bytes
+    embody that subtree's execution:
+
+    - assignee facts restricted to nodes inside the range;
+    - key-distribution facts restricted to the attributes whose
+      encryption/decryption operations (or encrypted-at-rest base
+      scans) live inside the range;
+    - recipient-gate facts for the source-side inputs whose base
+      relations all feed the subtree.
+
+    [of_subplan ~range:(0, size plan)] equals {!of_extended}. Each
+    restriction only removes facts provably tied to plan parts outside
+    the subtree, so a delta disjoint from this set cannot change any
+    verifier verdict {e about the subtree} — the invalidation protocol
+    the sub-plan cache replays is the one the soundness property in
+    [test/test_analysis.ml] checks for whole plans. *)

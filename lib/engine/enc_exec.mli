@@ -40,14 +40,18 @@ val scheme_of : ctx -> Attr.t -> Mpq_crypto.Scheme.t
 
 val encrypt_value : ?rng:Mpq_crypto.Prng.t -> ctx -> Attr.t -> Value.t -> Value.t
 (** [Null] passes through unencrypted. [rng] overrides the keyring's
-    shared randomness stream; the executor passes generators derived from
-    (plan-node id, row index) so ciphertext bytes are a function of
-    position, not of evaluation order — the property that makes parallel
-    execution byte-identical to sequential. *)
+    shared randomness stream; the executor passes generators derived
+    from (node preorder position, row index) so ciphertext bytes are a
+    function of position, not of evaluation order or physical plan
+    identity — the property that makes parallel execution
+    byte-identical to sequential, and DAG-interned plans (where one
+    physical node occurs at several positions) byte-identical to their
+    tree-shaped originals. *)
 
 val node_rng : ctx -> int -> Mpq_crypto.Prng.t
-(** [node_rng ctx id] is the randomness root for plan node [id]; derive
-    one child per row ({!Mpq_crypto.Prng.derive}) to encrypt under it. *)
+(** [node_rng ctx pos] is the randomness root for the plan-node
+    occurrence at preorder position [pos]; derive one child per row
+    ({!Mpq_crypto.Prng.derive}) to encrypt under it. *)
 
 val prepare_parallel : ctx -> unit
 (** Force lazily-generated key material (the Paillier pair) up front.

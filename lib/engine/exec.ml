@@ -514,22 +514,20 @@ let operator_tag plan =
   | Plan.Base _ -> "base"
   | _ -> Plan.operator_name plan
 
-(* Encryption randomness is rooted per plan node (see
-   [encrypt_columns]), but raw node ids come from a global counter: two
-   structurally identical plans built at different times carry different
-   ids. Executions must be reproducible from plan {e structure} — a
-   re-planned copy of a cached query has to produce the same ciphertext
-   bytes — so the rng label is the node's preorder position within the
-   executing plan, not its allocation id. *)
-let canonical_ids plan =
-  let tbl = Plan.preorder_positions plan in
-  fun id -> try Hashtbl.find tbl id with Not_found -> id
+(* Sub-plan result memoization hooks (multi-query work sharing).
+   [lookup] may satisfy a whole subtree from a previous execution —
+   sound only when the caller's key covers everything the subtree's
+   bytes depend on (structure, preorder position when ciphertext is
+   produced inside, key clusters, environment; see Serve.Service);
+   [store] observes every computed subtree. Both may be called from
+   worker domains concurrently when siblings run in parallel, so
+   implementations must synchronize their own state. *)
+type subplan_memo = {
+  lookup : pos:int -> Plan.t -> Table.t option;
+  store : pos:int -> Plan.t -> Table.t -> unit;
+}
 
-let run_with_hook ?pool ctx ~hook plan =
-  let canon =
-    let f = canonical_ids plan in
-    fun p -> f (Plan.id p)
-  in
+let run_with_hook ?pool ?memo ctx ~hook plan =
   (* Lazy key material (the Paillier pair) is generated under a lock in
      Keyring, so worker domains may trigger it on demand; no eager
      [Enc_exec.prepare_parallel] here — plans that never touch phe
@@ -539,8 +537,31 @@ let run_with_hook ?pool ctx ~hook plan =
      sequentially on the calling domain once the plan has run. Hook
      invocation order is therefore the plan's post-order — the same
      whether siblings ran concurrently or not — and hooks may keep
-     unsynchronized state. *)
-  let rec go plan =
+     unsynchronized state. A memo hit contributes only its root to the
+     log (the subtree was not executed here), so hook consumers are not
+     combined with [?memo] — the serving layer, which uses the memo,
+     runs hook-free. *)
+  (* Encryption randomness is rooted per plan node (see
+     [encrypt_columns]), but raw node ids come from a global counter:
+     two structurally identical plans built at different times carry
+     different ids. Executions must be reproducible from plan
+     {e structure} — a re-planned copy of a cached query has to produce
+     the same ciphertext bytes — so the rng label is the node's
+     preorder position within the executing plan, not its allocation
+     id. Positions are threaded through the traversal itself (not read
+     off an id-keyed table): on a hash-consed DAG a node reachable from
+     two parents occupies two positions, and an id lookup would give
+     both occurrences the {e same} label — the last (previously) or
+     first (now) visit's — diverging from the tree-planned oracle's
+     ciphertext bytes (regression: test_dag.ml). *)
+  let rec go pos plan =
+    match memo with
+    | Some m -> (
+        match m.lookup ~pos plan with
+        | Some t -> (t, [ (plan, t) ])
+        | None -> compute pos plan)
+    | None -> compute pos plan
+  and compute pos plan =
     let result, logs =
       Obs.with_span ("exec." ^ operator_tag plan) @@ fun () ->
       (* flat per-operator timer (child recursion excluded), so the
@@ -549,44 +570,39 @@ let run_with_hook ?pool ctx ~hook plan =
       let op f = Obs.time ("exec.op_s." ^ operator_tag plan) f in
       try
         match Plan.node plan with
-        | Plan.Base s -> (op (fun () -> base ctx pool ~node:(canon plan) s), [])
+        | Plan.Base s -> (op (fun () -> base ctx pool ~node:pos s), [])
         | Plan.Project (attrs, c) ->
-            let t, lg = go c in
+            let t, lg = go (pos + 1) c in
             (op (fun () -> project pool t attrs), lg)
         | Plan.Select (pred, c) ->
-            let t, lg = go c in
+            let t, lg = go (pos + 1) c in
             (op (fun () -> select ?crypto:ctx.crypto pool t pred), lg)
         | Plan.Product (l, r) ->
-            let (tl, ll), (tr, lr) = both_go l r in
+            let (tl, ll), (tr, lr) = both_go pos l r in
             (op (fun () -> product pool tl tr), ll @ lr)
         | Plan.Join (pred, l, r) ->
-            let (tl, ll), (tr, lr) = both_go l r in
+            let (tl, ll), (tr, lr) = both_go pos l r in
             (op (fun () -> join ?crypto:ctx.crypto pool pred tl tr), ll @ lr)
         | Plan.Group_by (keys, aggs, c) ->
-            let t, lg = go c in
+            let t, lg = go (pos + 1) c in
             ( op (fun () ->
-                  group_by ?crypto:ctx.crypto pool ~node:(canon plan) t keys
-                    aggs),
+                  group_by ?crypto:ctx.crypto pool ~node:pos t keys aggs),
               lg )
         | Plan.Udf (name, inputs, output, c) ->
-            let t, lg = go c in
+            let t, lg = go (pos + 1) c in
             (op (fun () -> udf_apply ctx pool name inputs output t), lg)
         | Plan.Order_by (keys, c) ->
-            let t, lg = go c in
+            let t, lg = go (pos + 1) c in
             (op (fun () -> order_by pool t keys), lg)
         | Plan.Limit (n, c) ->
-            let t, lg = go c in
+            let t, lg = go (pos + 1) c in
             (op (fun () -> limit t n), lg)
         | Plan.Encrypt (attrs, c) ->
-            let t, lg = go c in
-            ( op (fun () ->
-                  crypt ctx pool ~encrypt:true ~node:(canon plan) attrs t),
-              lg )
+            let t, lg = go (pos + 1) c in
+            (op (fun () -> crypt ctx pool ~encrypt:true ~node:pos attrs t), lg)
         | Plan.Decrypt (attrs, c) ->
-            let t, lg = go c in
-            ( op (fun () ->
-                  crypt ctx pool ~encrypt:false ~node:(canon plan) attrs t),
-              lg )
+            let t, lg = go (pos + 1) c in
+            (op (fun () -> crypt ctx pool ~encrypt:false ~node:pos attrs t), lg)
       with Table.Unknown_attribute { attr; columns } ->
         err "%s: unknown attribute %s (table columns: %s)" (operator_tag plan)
           attr
@@ -596,20 +612,24 @@ let run_with_hook ?pool ctx ~hook plan =
       Obs.incr "exec.operators";
       Obs.incr ~by:(Table.cardinality result) "exec.rows_out"
     end;
+    (match memo with Some m -> m.store ~pos plan result | None -> ());
     (result, logs @ [ (plan, result) ])
-  and both_go l r =
+  and both_go pos l r =
+    let lpos = pos + 1 in
+    let rpos = pos + 1 + Plan.size l in
     (* run sibling subplans on separate domains when both are real
        subtrees; trivial sides aren't worth a task *)
     match pool with
     | Some p when Plan.size l > 2 && Plan.size r > 2 ->
-        Par.both p (fun () -> go l) (fun () -> go r)
+        Par.both p (fun () -> go lpos l) (fun () -> go rpos r)
     | _ ->
-        let a = go l in
-        let b = go r in
+        let a = go lpos l in
+        let b = go rpos r in
         (a, b)
   in
-  let result, log = go plan in
+  let result, log = go 0 plan in
   List.iter (fun (n, t) -> hook n t) log;
   result
 
-let run ?pool ctx plan = run_with_hook ?pool ctx ~hook:(fun _ _ -> ()) plan
+let run ?pool ?memo ctx plan =
+  run_with_hook ?pool ?memo ctx ~hook:(fun _ _ -> ()) plan

@@ -16,8 +16,9 @@
     subplans of a join/product run concurrently. The result is
     {e byte-identical} to the sequential run: every operator reproduces
     the sequential output order, and encryption randomness is derived
-    from (plan-node id, row index) rather than a shared stream, so even
-    ciphertext bytes are a function of position, not scheduling. *)
+    from (plan-node preorder position, row index) rather than a shared
+    stream, so even ciphertext bytes are a function of position, not
+    scheduling. *)
 
 open Relalg
 
@@ -40,16 +41,41 @@ val context :
   (string * Table.t) list ->
   context
 
-val run : ?pool:Par.pool -> context -> Plan.t -> Table.t
+type subplan_memo = {
+  lookup : pos:int -> Plan.t -> Table.t option;
+  store : pos:int -> Plan.t -> Table.t -> unit;
+}
+(** Sub-plan result memoization (multi-query work sharing). Before
+    executing a subtree at preorder position [pos], the executor asks
+    [lookup]; a [Some table] answer stands in for the whole subtree.
+    Every subtree computed locally is offered to [store] afterwards.
+    Soundness is the caller's burden: the memo key must cover
+    everything the subtree's bytes depend on — structure, preorder
+    position when ciphertext is produced inside, key clusters,
+    environment (see [Serve.Service]). Under [?pool] both callbacks
+    may run on worker domains concurrently; implementations
+    synchronize their own state. *)
+
+val run : ?pool:Par.pool -> ?memo:subplan_memo -> context -> Plan.t -> Table.t
+(** Positions passed to [?memo] are per-occurrence preorder positions,
+    threaded through the traversal itself — sound on hash-consed DAG
+    plans ({!Planner.Dag}) where one physical node occupies several
+    positions. Encryption randomness uses the same per-occurrence
+    labels, so a DAG-interned plan produces ciphertext byte-identical
+    to its tree-shaped original. *)
 
 val run_with_hook :
   ?pool:Par.pool ->
+  ?memo:subplan_memo ->
   context ->
   hook:(Plan.t -> Table.t -> unit) ->
   Plan.t ->
   Table.t
 (** Like {!run}, invoking [hook] on every node's output; used by the
-    runtime monitor and the distributed simulator.
+    runtime monitor and the distributed simulator. A [?memo] hit
+    contributes only the subtree root to the hook log (its interior was
+    not executed here), so memoization and hook consumers are not
+    combined in practice — the serving layer runs hook-free.
 
     Determinism guarantee: hooks are invoked sequentially on the calling
     domain, in the plan's post-order (left subtree, right subtree, node),

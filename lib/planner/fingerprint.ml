@@ -104,7 +104,11 @@ let of_aggregate (a : Aggregate.t) =
       field buf (of_attr x));
   field buf (of_attr a.Aggregate.output)
 
-let rec of_plan plan =
+(* One node level, children delegated to [child]: the hash-consed DAG
+   store (Dag) computes subtree fingerprints bottom-up with memoized
+   children, and the encoding must stay byte-identical to [of_plan] so
+   DAG-level keys line up with the plan cache's structural keys. *)
+let of_plan_via child plan =
   in_buf @@ fun buf ->
   (match Plan.node plan with
   | Plan.Base s ->
@@ -146,7 +150,9 @@ let rec of_plan plan =
   | Plan.Decrypt (attrs, _) ->
       field buf "decrypt";
       attr_set buf attrs);
-  list_field buf of_plan (Plan.children plan)
+  list_field buf child (Plan.children plan)
+
+let rec of_plan plan = of_plan_via of_plan plan
 
 let of_subject (s : Authz.Subject.t) =
   in_buf @@ fun buf ->

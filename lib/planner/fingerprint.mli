@@ -35,6 +35,13 @@ val of_plan : Plan.t -> string
 (** Structural fingerprint of a query plan, independent of node ids:
     two plans have equal fingerprints iff {!Plan.equal_shape} holds. *)
 
+val of_plan_via : (Plan.t -> string) -> Plan.t -> string
+(** One node level of {!of_plan}, with child fingerprints delegated to
+    the given function. [of_plan_via of_plan] ≡ [of_plan]; the
+    hash-consed DAG store ({!Dag}) passes a memoized child function so
+    a batch's subtree fingerprints are computed bottom-up in linear
+    total time while staying byte-identical to {!of_plan}. *)
+
 val of_subject : Authz.Subject.t -> string
 (** Role and name (two subjects may share a name across roles). *)
 

@@ -132,6 +132,29 @@ let decrypt attrs child =
 
 let is_leaf t = match t.node with Base _ -> true | _ -> false
 
+(* Rebuild one node over replacement children (through the smart
+   constructors, so schema/arity invariants are re-checked and a fresh
+   id is allocated). The hash-consing DAG store uses this to splice
+   canonical shared subtrees under existing operators. *)
+let with_children t cs =
+  match (t.node, cs) with
+  | Base _, [] -> t
+  | Project (a, _), [ c ] -> project a c
+  | Select (p, _), [ c ] -> select p c
+  | Product _, [ l; r ] -> product l r
+  | Join (p, _, _), [ l; r ] -> join p l r
+  | Group_by (k, ag, _), [ c ] -> group_by k ag c
+  | Udf (n, i, o, _), [ c ] -> udf n i o c
+  | Order_by (k, _), [ c ] -> order_by k c
+  | Limit (n, _), [ c ] -> limit n c
+  | Encrypt (a, _), [ c ] -> encrypt a c
+  | Decrypt (a, _), [ c ] -> decrypt a c
+  | _ ->
+      invalid_arg
+        (Printf.sprintf "Plan.with_children: %s given %d children"
+           (match t.node with Base s -> s.Schema.name | _ -> "operator")
+           (List.length cs))
+
 let rec fold f acc t = List.fold_left (fold f) (f acc t) (children t)
 let iter f t = fold (fun () n -> f n) () t
 let size t = fold (fun n _ -> n + 1) 0 t
@@ -208,9 +231,35 @@ let preorder_positions t =
   let tbl = Hashtbl.create 64 in
   let next = ref 0 in
   let rec visit p =
-    Hashtbl.replace tbl p.id !next;
-    incr next;
-    List.iter visit (children p)
+    (* First visit wins. On trees every id is visited once; on a
+       hash-consed DAG a shared node is reached once per parent, and
+       an id-keyed table can only record one of its occurrence
+       positions — so consumers that must label every {e occurrence}
+       (the executor's ciphertext randomness) thread positions through
+       their own traversal instead ({!child_positions}). Keeping the first
+       (leftmost) occurrence makes the one recorded position stable
+       rather than traversal-order dependent. *)
+    if not (Hashtbl.mem tbl p.id) then begin
+      Hashtbl.add tbl p.id !next;
+      incr next;
+      List.iter visit (children p)
+    end
+    else
+      (* the subtree below a shared node still advances the counter
+         once per occurrence, as in the equivalent tree *)
+      next := !next + size p
   in
   visit t;
   tbl
+
+(* Per-occurrence preorder arithmetic: the position of child [i] is its
+   parent's position + 1 + the (occurrence-counting) sizes of the
+   earlier siblings' subtrees. A pure function of structure, valid on
+   DAGs — the caller supplies the occurrence's own position. *)
+let child_positions t pos =
+  let _, rev =
+    List.fold_left
+      (fun (p, acc) c -> (p + size c, (c, p) :: acc))
+      (pos + 1, []) (children t)
+  in
+  List.rev rev

@@ -87,8 +87,27 @@ val strip_crypto : t -> t
 val equal_shape : t -> t -> bool
 (** Structural equality ignoring node ids. *)
 
+val with_children : t -> t list -> t
+(** Rebuild the node over replacement children (fresh id, invariants
+    re-checked). Raises [Invalid_argument] on arity mismatch. Used by
+    the hash-consing DAG store to splice shared subtrees in place. *)
+
 val preorder_positions : t -> (int, int) Hashtbl.t
 (** Preorder position (root = 0) of every node, keyed by allocation id.
     Positions are a function of plan {e structure} only, so two builds
     of the same query agree — the canonical node numbering used by
-    execution randomness and verifier diagnostics. *)
+    execution randomness and verifier diagnostics.
+
+    On a hash-consed DAG (where one node is reachable from several
+    parents) an id-keyed table records only the {e first} (leftmost)
+    occurrence's position, while the numbering itself still advances
+    exactly as in the equivalent tree. Consumers that must label every
+    occurrence — the executor's per-position ciphertext randomness —
+    thread positions through their own traversal with
+    {!child_positions} instead of looking ids up here. *)
+
+val child_positions : t -> int -> (t * int) list
+(** [child_positions n pos] pairs each child of [n] with its preorder
+    position, given that this {e occurrence} of [n] sits at [pos]:
+    child [i] is at [pos + 1 + Σ_{j<i} size child_j]. Pure occurrence
+    arithmetic, sound on shared-node DAGs. *)

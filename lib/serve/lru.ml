@@ -76,6 +76,15 @@ let find t key =
 
 let mem t key = Hashtbl.mem t.table key
 
+(* Pure read: no recency refresh, no statistics, no mutation at all —
+   safe for concurrent readers on worker domains provided nothing
+   writes in parallel (the serving layer's exec phase freezes the
+   sub-plan cache and replays its mutations afterwards). *)
+let peek t key =
+  match Hashtbl.find_opt t.table key with
+  | Some n -> Some n.value
+  | None -> None
+
 let evict_oldest t =
   match t.tail with
   | Some n ->

@@ -27,6 +27,14 @@ val find : 'a t -> string -> 'a option
 val mem : _ t -> string -> bool
 (** Pure probe: no recency refresh, no stats. *)
 
+val peek : 'a t -> string -> 'a option
+(** Pure lookup: no recency refresh, no stats, no mutation. Because it
+    touches nothing, concurrent [peek]s from several domains are safe
+    as long as no mutating operation runs in parallel — the serving
+    layer's exec phase reads the sub-plan cache this way against a
+    frozen snapshot, deferring the [find]/[add] replay to the
+    coordinator. *)
+
 val add : 'a t -> string -> 'a -> unit
 (** Insert or replace, making the entry most recent; evicts the least
     recently used entry when the cache is over capacity. *)

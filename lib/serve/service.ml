@@ -23,6 +23,30 @@ type cached = {
   deps : Analysis.Fact.Set.t;
   qfp : string;
   env : string;
+  exec_plan : Plan.t option;
+      (* the hash-consed (DAG-interned) executable form of the
+         extended plan, when sharing is on: structurally identical to
+         [extended.plan], with subtrees shared across every cached
+         plan of the service. Execution runs this form so the sub-plan
+         result cache and the batch grouping see one physical node per
+         distinct shape. *)
+}
+
+(* A cached sub-plan result: one subtree's output table, reusable by
+   any plan occurrence whose subcache key matches. The key covers
+   everything the bytes depend on — subtree structure, preorder
+   position when ciphertext is produced inside (encryption randomness
+   is position-derived), the key clusters and schemes over the
+   subtree's encrypted attributes, the executor assignment, and the
+   environment fingerprint — so equal key implies equal bytes by
+   construction. [sub_deps] is the subtree's authorization dependency
+   set (Analysis.Deps.of_subplan), consulted by incremental policy
+   migration exactly like the plan cache's [deps]. *)
+type subentry = {
+  table : Engine.Table.t;
+  sub_deps : Analysis.Fact.Set.t;
+  sub_env : string;
+  base_key : string;  (* key minus the environment component *)
 }
 
 type invalidation = Rotate | Incremental
@@ -45,12 +69,20 @@ type t = {
   max_batch : int;
   now : unit -> float;  (* deadline clock, injectable for tests *)
   cache : cached Lru.t;
+  sharing : bool;
+  dag : Planner.Dag.t;
+  subcache : subentry Lru.t;
+  derive_memo : Verify.Derive.memo;
   mutable queries : int;
   mutable rejections : int;
   mutable expired : int;
   mutable invalidated : int;
   mutable reverified : int;
   mutable retained : int;
+  mutable subplan_hits : int;
+  mutable subplan_stores : int;
+  mutable subplan_invalidated : int;
+  mutable shared_execs : int;
   mutable plan_ms_total : float;
   mutable exec_ms_total : float;
 }
@@ -84,7 +116,8 @@ let create ?(cache_capacity = 128) ?(max_batch = 32) ?pool
     ?(config = Authz.Opreq.default) ?(pricing = Planner.Pricing.make ())
     ?(network = Planner.Network.make ()) ?(base = fun _ -> None) ?deliver_to
     ?max_latency ?(udfs = []) ?(seed = 42L) ?(invalidation = Incremental)
-    ?(now = Unix.gettimeofday) ~policy ~subjects ~tables () =
+    ?(sharing = true) ?(subcache_capacity = 256) ?(now = Unix.gettimeofday)
+    ~policy ~subjects ~tables () =
   if max_batch < 1 then
     invalid_arg (Printf.sprintf "Service.create: max_batch %d < 1" max_batch);
   let deliver_to =
@@ -95,12 +128,18 @@ let create ?(cache_capacity = 128) ?(max_batch = 32) ?pool
           (fun s -> s.Authz.Subject.role = Authz.Subject.User)
           subjects
   in
+  let dag = Planner.Dag.create () in
   let t =
     { policy; subjects; config; pricing; network; env = ""; invalidation;
       base; deliver_to; max_latency; udfs; tables; seed; pool; max_batch;
-      now; cache = Lru.create ~capacity:cache_capacity; queries = 0;
+      now; cache = Lru.create ~capacity:cache_capacity; sharing; dag;
+      subcache = Lru.create ~capacity:subcache_capacity;
+      derive_memo = Verify.Derive.memo ~fp:(Planner.Dag.fingerprint dag) ();
+      queries = 0;
       rejections = 0; expired = 0; invalidated = 0; reverified = 0;
-      retained = 0; plan_ms_total = 0.0; exec_ms_total = 0.0 }
+      retained = 0; subplan_hits = 0; subplan_stores = 0;
+      subplan_invalidated = 0; shared_execs = 0;
+      plan_ms_total = 0.0; exec_ms_total = 0.0 }
   in
   t.env <- compute_env t;
   t
@@ -108,6 +147,194 @@ let create ?(cache_capacity = 128) ?(max_batch = 32) ?pool
 let rotate t =
   t.env <- compute_env t;
   Obs.incr "serve.env_rotations"
+
+(* ---- sub-plan cache keys ----
+
+   A subtree occurrence's key must cover every input its result bytes
+   are a function of:
+
+   - structure: the collision-free structural fingerprint;
+   - position: ciphertext bytes derive randomness from preorder
+     positions, so any subtree producing or carrying ciphertext is
+     keyed by its root position (crypto-free subtrees — no
+     Encrypt/Decrypt, no encrypted-at-rest base — are
+     position-independent and share across positions);
+   - key clusters: each encrypted attribute's cluster id and scheme
+     (cluster keys derive from the keyring by cluster id; clustering
+     is a whole-query property, so the same subtree under different
+     clusterings yields different bytes);
+   - assignment: the executors of the subtree's nodes, conservatively
+     — execution is locally simulated so bytes do not depend on it,
+     but the dependency facts stored for invalidation do;
+   - environment: the leakage gate. Structurally equal subtrees
+     planned under different policies, subject populations, recipients
+     or configs must never observe each other's results (the paper's
+     series-of-queries rule); the environment fingerprint separates
+     them even though their bytes would coincide. *)
+
+let kfield s = string_of_int (String.length s) ^ ":" ^ s
+let subcache_key ~env base = "mpq-subplan-v1|" ^ base ^ kfield env
+
+let subtree_crypto_attrs plan =
+  Plan.fold
+    (fun acc n ->
+      match Plan.node n with
+      | Plan.Encrypt (a, _) | Plan.Decrypt (a, _) -> Attr.Set.union a acc
+      | Plan.Base s -> Attr.Set.union (Schema.stored_encrypted s) acc
+      | _ -> acc)
+    Attr.Set.empty plan
+
+(* Executor name per preorder position of the extended plan — the
+   bridge between the DAG-interned executable plan (whose node ids are
+   fresh) and the id-keyed assignment: the two are structurally
+   identical, so position [p] in one is position [p] in the other. *)
+let subjects_by_pos (extended : Authz.Extend.t) =
+  let positions = Plan.preorder_positions extended.Authz.Extend.plan in
+  let arr = Array.make (Plan.size extended.Authz.Extend.plan) "" in
+  Plan.iter
+    (fun node ->
+      match Hashtbl.find_opt positions (Plan.id node) with
+      | Some p ->
+          arr.(p) <-
+            (match
+               Authz.Imap.find_opt (Plan.id node)
+                 extended.Authz.Extend.assignment
+             with
+            | Some s -> Authz.Subject.name s
+            | None -> "")
+      | None -> ())
+    extended.Authz.Extend.plan;
+  arr
+
+let base_key_of t ~clusters ~subjects ~pos n =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (kfield (Planner.Dag.fingerprint t.dag n));
+  let crypto_free =
+    match Planner.Dag.find t.dag n with
+    | Some i -> i.Planner.Dag.crypto_free
+    | None -> Planner.Dag.crypto_free n
+  in
+  Buffer.add_string buf
+    (kfield (if crypto_free then "" else string_of_int pos));
+  Attr.Set.iter
+    (fun a ->
+      Buffer.add_string buf (kfield (Attr.name a));
+      match Authz.Plan_keys.cluster_of_attr clusters a with
+      | Some c ->
+          Buffer.add_string buf (kfield c.Authz.Plan_keys.id);
+          Buffer.add_string buf
+            (kfield (Mpq_crypto.Scheme.name c.Authz.Plan_keys.scheme))
+      | None -> Buffer.add_string buf (kfield ""))
+    (subtree_crypto_attrs n);
+  let sz = Plan.size n in
+  for p = pos to pos + sz - 1 do
+    Buffer.add_string buf (kfield subjects.(p))
+  done;
+  Buffer.contents buf
+
+(* The positions at which an execution of [exec_plan] may consult or
+   feed the sub-plan cache: the root (whole-result memoization — a
+   cache-hit query's re-execution becomes one lookup) plus each
+   {e maximal} shared subtree (admitting nested shared nodes under an
+   already-admitted one would store the same bytes twice; a query
+   where only the inner node is shared admits it as its own maximal
+   node). Computed on the coordinator — DAG fingerprints and
+   occurrence counts are not synchronized. *)
+let memo_positions t (r : Planner.Optimizer.result) exec_plan =
+  let subjects = subjects_by_pos r.Planner.Optimizer.extended in
+  let clusters = r.Planner.Optimizer.clusters in
+  let keys = Hashtbl.create 16 in
+  let rec walk ~search pos n =
+    let shared = Planner.Dag.occurrences t.dag n > 1 in
+    if pos = 0 || (search && shared) then begin
+      let base = base_key_of t ~clusters ~subjects ~pos n in
+      Hashtbl.replace keys pos
+        (subcache_key ~env:t.env base, base, Plan.size n)
+    end;
+    List.iter
+      (fun (c, p) -> walk ~search:(not shared) p c)
+      (Plan.child_positions n pos)
+  in
+  walk ~search:true 0 exec_plan;
+  keys
+
+type subcache_event =
+  | Sub_hit of { pos : int; key : string }
+  | Sub_store of {
+      pos : int;
+      key : string;
+      base : string;
+      size : int;
+      table : Engine.Table.t;
+    }
+
+let event_pos = function Sub_hit e -> e.pos | Sub_store e -> e.pos
+
+(* Worker-domain-safe memo closures over a frozen subcache snapshot:
+   lookups are pure [Lru.peek]s, every observation is buffered under a
+   mutex, and the coordinator replays the buffer — sorted by position,
+   so sibling-parallel execution order cannot leak into the replay —
+   after the exec phase. The subcache therefore evolves identically at
+   any job count, like the plan cache. *)
+let make_memo t keys =
+  let mutex = Mutex.create () in
+  let events = ref [] in
+  let record e =
+    Mutex.lock mutex;
+    events := e :: !events;
+    Mutex.unlock mutex
+  in
+  let memo =
+    { Engine.Exec.lookup =
+        (fun ~pos _plan ->
+          match Hashtbl.find_opt keys pos with
+          | None -> None
+          | Some (key, _, _) -> (
+              match Lru.peek t.subcache key with
+              | Some (se : subentry) ->
+                  record (Sub_hit { pos; key });
+                  Some se.table
+              | None -> None));
+      store =
+        (fun ~pos _plan table ->
+          match Hashtbl.find_opt keys pos with
+          | None -> ()
+          | Some (key, base, size) ->
+              record (Sub_store { pos; key; base; size; table }));
+    }
+  in
+  (memo, events)
+
+(* Coordinator-side replay of one execution's buffered events, in
+   position order: hits refresh recency and count; stores compute the
+   subtree's dependency facts (against the extended tree's matching
+   position range) and insert. A key two same-round executions both
+   computed is stored once — the bytes are identical by key
+   construction. *)
+let replay_subcache t (r : Planner.Optimizer.result) events =
+  let evs =
+    List.sort (fun a b -> compare (event_pos a) (event_pos b)) !events
+  in
+  List.iter
+    (function
+      | Sub_hit { key; _ } ->
+          ignore (Lru.find t.subcache key);
+          t.subplan_hits <- t.subplan_hits + 1;
+          Obs.incr "serve.subcache.hits"
+      | Sub_store { pos; key; base; size; table } ->
+          if not (Lru.mem t.subcache key) then begin
+            let sub_deps =
+              Analysis.Deps.of_subplan ?deliver_to:t.deliver_to
+                ~derive_memo:t.derive_memo
+                ~extended:r.Planner.Optimizer.extended
+                ~clusters:r.Planner.Optimizer.clusters ~range:(pos, size) ()
+            in
+            t.subplan_stores <- t.subplan_stores + 1;
+            Obs.incr "serve.subcache.stores";
+            Lru.add t.subcache key
+              { table; sub_deps; sub_env = t.env; base_key = base }
+          end)
+    evs
 
 (* Incremental invalidation (policy changes only): diff the old and new
    policies as fact sets and migrate each same-epoch entry under the
@@ -205,7 +432,31 @@ let migrate t ~old_policy ~old_env =
       t.retained <- t.retained + !retained;
       Obs.incr ~by:dropped "serve.invalidation.dropped";
       Obs.incr ~by:!reverified "serve.invalidation.reverified";
-      Obs.incr ~by:!retained "serve.invalidation.retained"
+      Obs.incr ~by:!retained "serve.invalidation.retained";
+      (* Sub-plan results migrate under a simpler protocol than whole
+         plans: result bytes are policy-independent (the key fixes
+         them), so there is nothing to re-verify — the dependency set
+         gates only whether reusing the result remains {e authorized}.
+         A removed fact the subtree's certification consumed drops the
+         entry for every consumer at once (shared nodes invalidate
+         once, not per query); grants are monotone, so any other delta
+         rekeys the entry under the new environment, recency intact. *)
+      let sub_dropped =
+        Lru.remap t.subcache (fun key se ->
+            if not (String.equal se.sub_env old_env) then Some (key, se)
+            else if
+              not
+                (Analysis.Fact.Set.is_empty
+                   (Analysis.Fact.Set.inter d.Analysis.Delta.removed
+                      se.sub_deps))
+            then None
+            else
+              Some
+                ( subcache_key ~env:t.env se.base_key,
+                  { se with sub_env = t.env } ))
+      in
+      t.subplan_invalidated <- t.subplan_invalidated + sub_dropped;
+      Obs.incr ~by:sub_dropped "serve.subcache.invalidated"
 
 let set_policy ?subjects t policy =
   let old_policy = t.policy and old_env = t.env in
@@ -232,7 +483,12 @@ let set_network t network =
   t.network <- network;
   rotate t
 
-let invalidate t = Lru.clear t.cache
+let invalidate t =
+  Lru.clear t.cache;
+  Lru.clear t.subcache;
+  Planner.Dag.clear t.dag;
+  Verify.Derive.memo_clear t.derive_memo
+
 let environment t = t.env
 
 let parse t sql =
@@ -252,7 +508,7 @@ let plan_once t ~qfp query =
   let verified_by_planner = !Planner.Optimizer.self_check in
   let denied kind message =
     { verdict = Denied { message; kind }; deps = Analysis.Fact.Set.empty;
-      qfp; env = t.env }
+      qfp; env = t.env; exec_plan = None }
   in
   match
     let r =
@@ -278,12 +534,12 @@ let plan_once t ~qfp query =
     r
   with
   | r ->
-      let deps =
-        Analysis.Deps.of_extended ?deliver_to:t.deliver_to ~original:query
-          ~extended:r.Planner.Optimizer.extended
-          ~clusters:r.Planner.Optimizer.clusters ()
-      in
-      { verdict = Planned r; deps; qfp; env = t.env }
+      (* deps and the DAG interning happen in [finalize], on the
+         coordinator: both thread shared un-synchronized state (the
+         derivation memo, the DAG store) and this function runs in the
+         parallel plan phase *)
+      { verdict = Planned r; deps = Analysis.Fact.Set.empty; qfp;
+        env = t.env; exec_plan = None }
   | exception Planner.Optimizer.No_candidate msg -> denied No_candidate msg
   | exception Planner.Optimizer.User_not_authorized msg ->
       denied User_denied msg
@@ -296,15 +552,38 @@ let plan_once t ~qfp query =
          message replays byte-identically from cache. *)
       denied Verify_failed msg
 
-let execute t (r : Planner.Optimizer.result) =
+(* Coordinator-side completion of a freshly planned entry, at cache
+   insertion: compute the dependency facts (sharing profile
+   derivations through the service memo) and intern the extended plan
+   into the DAG so its subtrees join the shared-node store. *)
+let finalize t query entry =
+  match entry.verdict with
+  | Denied _ -> entry
+  | Planned r ->
+      let deps =
+        Analysis.Deps.of_extended ?deliver_to:t.deliver_to ~original:query
+          ~derive_memo:t.derive_memo ~extended:r.Planner.Optimizer.extended
+          ~clusters:r.Planner.Optimizer.clusters ()
+      in
+      let exec_plan =
+        if t.sharing then
+          Some
+            (Planner.Dag.intern t.dag
+               r.Planner.Optimizer.extended.Authz.Extend.plan)
+        else None
+      in
+      { entry with deps; exec_plan }
+
+let execute ?memo t (r : Planner.Optimizer.result) plan =
   Obs.with_span "serve.exec" @@ fun () ->
   (* fresh keyring per execution: ciphertext randomness derives from
-     (node id, row index), so equal seeds reproduce equal bytes *)
+     (node preorder position, row index), so equal seeds reproduce
+     equal bytes — on the DAG-interned plan exactly as on the original
+     tree, since the executor threads positions per occurrence *)
   let keyring = Mpq_crypto.Keyring.create ~seed:t.seed () in
   let crypto = Engine.Enc_exec.make keyring r.Planner.Optimizer.clusters in
   let ctx = Engine.Exec.context ~udfs:t.udfs ~crypto t.tables in
-  Engine.Exec.run ?pool:t.pool ctx
-    r.Planner.Optimizer.extended.Authz.Extend.plan
+  Engine.Exec.run ?pool:t.pool ?memo ctx plan
 
 let run_tasks t thunks =
   match (t.pool, thunks) with
@@ -386,6 +665,10 @@ let serve_round t requests =
                       let entry = plan_once t ~qfp q in
                       (entry, now_ms () -. p0)
                 in
+                (* dependency facts + DAG interning: coordinator-only
+                   state, so it happens here rather than in the
+                   parallel plan phase *)
+                let entry = finalize t q entry in
                 Lru.add t.cache key entry;
                 `Resolved
                   (key, entry, deadline, Miss,
@@ -398,33 +681,95 @@ let serve_round t requests =
      refused rather than executed. One clock read for the whole round
      keeps the refusal set a function of (requests, round start). *)
   let exec_now = t.now () in
-  (* execute in parallel (results are position-deterministic), then
-     assemble responses in request order *)
-  let responses =
+  (* classify executions on the coordinator: batch-level work sharing
+     groups live planned requests by cache key, so each distinct entry
+     executes once per round and later occurrences alias the
+     (immutable) result table. With sharing on, executions run the
+     DAG-interned plan under the sub-plan memo (frozen-snapshot
+     lookups, buffered stores). Classification order is request order,
+     so the representative choice — and with it every observable
+     effect — is job-count independent. *)
+  let rep_seen = Hashtbl.create 8 in
+  let classified =
+    List.map
+      (function
+        | `Expired -> `Expired
+        | `Resolved (key, entry, deadline, status, plan_ms) -> (
+            match entry.verdict with
+            | Denied { message; _ } -> `Denied (key, message, status, plan_ms)
+            | Planned r -> (
+                match deadline with
+                | Some d when exec_now > d -> `Late (key, r, status, plan_ms)
+                | _ ->
+                    if t.sharing && Hashtbl.mem rep_seen key then
+                      `Alias (key, r, status, plan_ms)
+                    else begin
+                      Hashtbl.replace rep_seen key ();
+                      let memo =
+                        match (t.sharing, entry.exec_plan) with
+                        | true, Some ep ->
+                            let keys = memo_positions t r ep in
+                            let memo, events = make_memo t keys in
+                            Some (ep, memo, events)
+                        | _ -> None
+                      in
+                      `Run (key, r, status, plan_ms, memo)
+                    end)))
+      resolved
+  in
+  (* execute representatives in parallel (results are
+     position-deterministic) *)
+  let executed =
     run_tasks t
-      (List.map
+      (List.filter_map
          (function
-           | `Expired -> fun () -> expired_response ()
-           | `Resolved (key, entry, deadline, status, plan_ms) -> (
-               fun () ->
-                 match entry.verdict with
-                 | Denied { message; _ } ->
-                     { outcome = Rejected message; status; key;
-                       planned = None; plan_ms; exec_ms = 0.0 }
-                 | Planned r -> (
-                     match deadline with
-                     | Some d when exec_now > d ->
-                         { outcome =
-                             Expired "between plan and exec";
-                           status; key; planned = Some r; plan_ms;
-                           exec_ms = 0.0 }
-                     | _ ->
-                         let t0 = now_ms () in
-                         let table = execute t r in
-                         { outcome = Table table; status; key;
-                           planned = Some r; plan_ms;
-                           exec_ms = now_ms () -. t0 })))
-         resolved)
+           | `Run (key, r, _, _, memo) ->
+               Some
+                 (fun () ->
+                   let t0 = now_ms () in
+                   let table =
+                     match memo with
+                     | Some (ep, m, _) -> execute ~memo:m t r ep
+                     | None ->
+                         execute t r
+                           r.Planner.Optimizer.extended.Authz.Extend.plan
+                   in
+                   (key, (table, now_ms () -. t0)))
+           | _ -> None)
+         classified)
+  in
+  (* replay the buffered sub-plan cache events sequentially, in
+     request order (and position order within one execution): the only
+     subcache mutations, so its evolution matches any job count *)
+  List.iter
+    (function
+      | `Run (_, r, _, _, Some (_, _, events)) -> replay_subcache t r events
+      | _ -> ())
+    classified;
+  (* assemble responses in request order *)
+  let responses =
+    List.map
+      (function
+        | `Expired -> expired_response ()
+        | `Denied (key, message, status, plan_ms) ->
+            { outcome = Rejected message; status; key; planned = None;
+              plan_ms; exec_ms = 0.0 }
+        | `Late (key, r, status, plan_ms) ->
+            { outcome = Expired "between plan and exec"; status; key;
+              planned = Some r; plan_ms; exec_ms = 0.0 }
+        | `Run (key, r, status, plan_ms, _) ->
+            let table, exec_ms = List.assoc key executed in
+            { outcome = Table table; status; key; planned = Some r; plan_ms;
+              exec_ms }
+        | `Alias (key, r, status, plan_ms) ->
+            (* aliased onto the representative execution of the same
+               key: same immutable table, no second execution *)
+            t.shared_execs <- t.shared_execs + 1;
+            Obs.incr "serve.exec.shared";
+            let table, _ = List.assoc key executed in
+            { outcome = Table table; status; key; planned = Some r; plan_ms;
+              exec_ms = 0.0 })
+      classified
   in
   (* accounting (coordinator only, deterministic) *)
   let after = Lru.stats t.cache in
@@ -488,6 +833,11 @@ type stats = {
   retained : int;
   entries : int;
   capacity : int;
+  subplan_hits : int;
+  subplan_stores : int;
+  subplan_invalidated : int;
+  subplan_entries : int;
+  shared_execs : int;
   plan_ms : float;
   exec_ms : float;
 }
@@ -500,6 +850,9 @@ let stats t =
     evictions = c.Lru.evictions; invalidated = t.invalidated;
     reverified = t.reverified; retained = t.retained;
     entries = Lru.length t.cache; capacity = Lru.capacity t.cache;
+    subplan_hits = t.subplan_hits; subplan_stores = t.subplan_stores;
+    subplan_invalidated = t.subplan_invalidated;
+    subplan_entries = Lru.length t.subcache; shared_execs = t.shared_execs;
     plan_ms = t.plan_ms_total; exec_ms = t.exec_ms_total }
 
 let hit_rate s =
@@ -507,16 +860,26 @@ let hit_rate s =
   if looked = 0 then 0.0 else float_of_int s.hits /. float_of_int looked
 
 let cache_keys t = Lru.keys t.cache
+let subcache_keys t = Lru.keys t.subcache
+let dag_stats t = Planner.Dag.stats t.dag
+let derivations_shared t = Verify.Derive.memo_hits t.derive_memo
+
+let subplan_hit_rate s =
+  let looked = s.subplan_hits + s.subplan_stores in
+  if looked = 0 then 0.0
+  else float_of_int s.subplan_hits /. float_of_int looked
 
 let render_stats s =
   Printf.sprintf
     "%d queries (%d rejected, %d expired): %d hits, %d misses (%.1f%% hit \
      rate), %d/%d entries, %d evictions; %d invalidated, %d reverified, \
-     %d retained; plan %.2f ms, exec %.2f ms"
+     %d retained; subplans %d hits / %d stores (%d entries, %d \
+     invalidated), %d shared execs; plan %.2f ms, exec %.2f ms"
     s.queries s.rejections s.expired s.hits s.misses
     (100.0 *. hit_rate s)
     s.entries s.capacity s.evictions s.invalidated s.reverified s.retained
-    s.plan_ms s.exec_ms
+    s.subplan_hits s.subplan_stores s.subplan_entries s.subplan_invalidated
+    s.shared_execs s.plan_ms s.exec_ms
 
 let stats_json s =
   Json.Obj
@@ -533,5 +896,11 @@ let stats_json s =
       ("retained", Json.Int s.retained);
       ("entries", Json.Int s.entries);
       ("capacity", Json.Int s.capacity);
+      ("subplan_hits", Json.Int s.subplan_hits);
+      ("subplan_stores", Json.Int s.subplan_stores);
+      ("subplan_hit_rate", Json.Float (subplan_hit_rate s));
+      ("subplan_invalidated", Json.Int s.subplan_invalidated);
+      ("subplan_entries", Json.Int s.subplan_entries);
+      ("shared_execs", Json.Int s.shared_execs);
       ("plan_ms", Json.Float s.plan_ms);
       ("exec_ms", Json.Float s.exec_ms) ]

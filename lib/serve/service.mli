@@ -47,7 +47,48 @@
     cache, the cache's evolution (hit/miss sequence, insertion order,
     evictions) is identical at any job count, and results are
     byte-identical to serial execution (ciphertext bytes included —
-    the {!Engine.Exec} position-derived randomness guarantee). *)
+    the {!Engine.Exec} position-derived randomness guarantee).
+
+    {2 Multi-query optimization: plan DAGs and sub-plan sharing}
+
+    With [~sharing:true] (the default) the service hash-conses every
+    cached executable plan into a shared-node DAG ({!Planner.Dag}):
+    structurally identical authorized subplans across the cached
+    queries become one physical node. Three kinds of work are then
+    shared, all without changing a single response byte:
+
+    - {b batch grouping}: requests in one round that resolve to the
+      same cache key execute once; the other responses alias the
+      immutable result table;
+    - {b sub-plan result memoization}: each execution consults a
+      second, first-class LRU tier keyed by (subtree structure ×
+      preorder position when ciphertext is produced inside × key
+      clusters/schemes × executor assignment × environment
+      fingerprint). Equal key implies equal bytes by construction, so
+      a shared subtree — and the whole plan, via its root — executes
+      once and is replayed from the cache afterwards. Sub-plan hits
+      survive full-query misses: a new query shape still reuses the
+      shared scans/joins it has in common with resident plans.
+      Crypto-free subtrees share across positions; anything producing
+      ciphertext is position-bound (randomness derives from preorder
+      positions). Structurally equal subtrees under {e different
+      environments} (policy epoch, subject population, recipient,
+      config) never share — the environment fingerprint in the key is
+      the leakage gate for the paper's series-of-queries rule;
+    - {b derivation sharing}: the dependency-analysis profile
+      re-derivations share a fingerprint-keyed memo
+      ({!Verify.Derive.memo}), so a shared subtree is derived once per
+      service, not once per consuming query.
+
+    During the parallel exec phase the sub-plan cache is a frozen
+    snapshot (pure {!Lru.peek} lookups); hits and stores are buffered
+    and replayed by the coordinator in request order, position order
+    within a plan — so the subcache evolves identically at any job
+    count. Incremental policy migration treats sub-plan entries like
+    plan entries: an entry whose per-subtree dependency facts
+    ({!Analysis.Deps.of_subplan}) consumed a revoked grant is dropped
+    (once, for every consumer); any other delta rekeys it under the
+    new environment fingerprint. *)
 
 open Relalg
 
@@ -73,6 +114,8 @@ val create :
   ?udfs:(string * Engine.Exec.udf) list ->
   ?seed:int64 ->
   ?invalidation:invalidation ->
+  ?sharing:bool ->
+  ?subcache_capacity:int ->
   ?now:(unit -> float) ->
   policy:Authz.Authorization.t ->
   subjects:Authz.Subject.t list ->
@@ -89,7 +132,12 @@ val create :
     statistics to the optimizer (default: none). [now] is the clock
     request deadlines are checked against (default
     [Unix.gettimeofday]; injectable so tests can force the
-    between-plan-and-exec expiry deterministically). *)
+    between-plan-and-exec expiry deterministically). [sharing]
+    (default [true]) enables the multi-query optimizations above;
+    [false] is the isolated baseline the differential tests compare
+    against — responses are byte-identical either way.
+    [subcache_capacity] bounds the sub-plan result tier (default 256
+    entries, LRU). *)
 
 (** {2 Environment mutation — explicit invalidation} *)
 
@@ -196,15 +244,39 @@ type stats = {
   retained : int;  (** entries that survived a policy migration *)
   entries : int;
   capacity : int;
+  subplan_hits : int;
+      (** subtree executions answered from the sub-plan result cache *)
+  subplan_stores : int;  (** distinct sub-plan results inserted *)
+  subplan_invalidated : int;
+      (** sub-plan entries dropped by incremental policy migration *)
+  subplan_entries : int;  (** resident sub-plan results *)
+  shared_execs : int;
+      (** responses aliased onto a same-key execution in their round *)
   plan_ms : float;  (** cumulative, across all queries *)
   exec_ms : float;
 }
 
 val stats : t -> stats
 val hit_rate : stats -> float
+
+val subplan_hit_rate : stats -> float
+(** [subplan_hits / (subplan_hits + subplan_stores)] — the fraction of
+    memoizable subtree executions answered from cache. *)
+
 val cache_keys : t -> string list
 (** Most recently used first ({!Lru.keys}) — the deterministic final
     state the differential tests compare. *)
+
+val subcache_keys : t -> string list
+(** Sub-plan result cache keys, most recently used first — compared
+    across job counts by the sharing differential tests. *)
+
+val dag_stats : t -> Planner.Dag.stats
+(** Node/occurrence/sharing counts of the hash-consed plan store. *)
+
+val derivations_shared : t -> int
+(** Profile derivations answered from the service's fingerprint-keyed
+    derivation memo. *)
 
 val render_stats : stats -> string
 (** One line: queries, hits/misses/rate, evictions, latencies. *)

@@ -278,6 +278,41 @@ let gen_stream ?(repeat_rate = 0.6) ?(mutation_rate = 0.0) ~pool n :
       then Squery (pick_issued ())
       else Squery (pick_fresh ()))
 
+(* --- overlapping batches ---------------------------------------------- *)
+
+(* [gen_batch ~overlap n]: a batch of [n] queries designed to exercise
+   multi-query work sharing. A few random "cores" are generated first;
+   each batch member is, with probability [overlap], one shared core
+   under a fresh single-operator top (project/select/order-by/limit),
+   otherwise an independent random plan. A single-operator top leaves
+   the core at preorder position 1 in every wrapped query, so
+   position-bound sub-plan sharing (ciphertext-producing cores) can
+   actually fire across batch members — crypto-free cores share
+   position-independently anyway. Cores are reused as physically
+   shared [Plan.t] values, which additionally exercises DAG-safe
+   position labelling on the consumer side. *)
+let gen_batch ?(overlap = 0.7) n : Plan.t list QCheck.Gen.t =
+ fun st ->
+  if n < 1 then invalid_arg "gen_batch: n < 1";
+  let cores =
+    Array.init (1 + QCheck.Gen.int_bound 1 st) (fun _ -> gen_plan st)
+  in
+  let wrap core =
+    let schema = Plan.schema core in
+    match QCheck.Gen.int_bound 3 st with
+    | 0 when Attr.Set.cardinal schema > 1 ->
+        Plan.project (pick_subset st schema) core
+    | 1 -> Plan.select (Predicate.conj [ gen_const_atom st schema ]) core
+    | 2 ->
+        let dir = if QCheck.Gen.bool st then Plan.Asc else Plan.Desc in
+        Plan.order_by [ (pick_one st schema, dir) ] core
+    | _ -> Plan.limit (1 + QCheck.Gen.int_bound 20 st) core
+  in
+  List.init n (fun _ ->
+      if QCheck.Gen.float_bound_inclusive 1.0 st < overlap then
+        wrap cores.(QCheck.Gen.int_bound (Array.length cores - 1) st)
+      else gen_plan st)
+
 (* Revoke one permission: drop a random attribute from a random
    non-user rule's plain or enc set. Works on any policy (the random
    ones above, the TPC-H scenarios). User rules are spared — the

@@ -336,8 +336,8 @@ let udf_impls =
         in
         Value.Int (int_of_float total mod 97) ) ]
 
-let gen_service ?pool policy =
-  Serve.Service.create ?pool ~policy ~subjects:Gen.subjects
+let gen_service ?pool ?sharing policy =
+  Serve.Service.create ?pool ?sharing ~policy ~subjects:Gen.subjects
     ~tables:(gen_catalog_tables ()) ~udfs:udf_impls ~deliver_to:Gen.user ()
 
 (* --- warm = cold ------------------------------------------------------ *)
@@ -746,6 +746,304 @@ let test_batching_transparent () =
   Alcotest.(check (list string)) "same cache evolution" (snd one_by_one)
     (snd batched)
 
+(* --- multi-query sharing ---------------------------------------------- *)
+
+let par_jobs =
+  match Sys.getenv_opt "MPQ_JOBS" with
+  | Some s -> ( try max 1 (int_of_string (String.trim s)) with _ -> 4)
+  | None -> 4
+
+let arbitrary_batch_policy =
+  QCheck.make
+    ~print:(fun (qs, _) ->
+      String.concat "\n--- next query ---\n" (List.map Plan_printer.to_ascii qs))
+    QCheck.Gen.(pair (Gen.gen_batch ~overlap:0.8 6) Gen.gen_policy)
+
+(* The tentpole differential: a batch served with multi-query sharing
+   (plan DAG, batch grouping, sub-plan result memoization) must be
+   indistinguishable — statuses, cache keys, result bytes, final plan
+   cache — from the isolated baseline ([~sharing:false]) and from a
+   fresh cache-less service per query; and the whole sharing tier must
+   evolve identically at 1 and [MPQ_JOBS] domains, sub-plan cache
+   contents included. *)
+let prop_sharing_vs_isolated =
+  QCheck.Test.make ~count:8
+    ~name:
+      "sharing differential: batch = isolated baseline = fresh oracle, 1 vs N \
+       domains"
+    arbitrary_batch_policy
+    (fun (batch, policy) ->
+      let serve ?pool ?sharing () =
+        let service = gen_service ?pool ?sharing policy in
+        (Serve.Service.submit_batch service batch, service)
+      in
+      let rs, shared = serve () in
+      let ri, isolated = serve ~sharing:false () in
+      List.iteri
+        (fun i ((a : Serve.Service.response), (b : Serve.Service.response)) ->
+          if a.Serve.Service.status <> b.Serve.Service.status then
+            QCheck.Test.fail_reportf "query %d: status diverges from isolated" i;
+          if a.Serve.Service.key <> b.Serve.Service.key then
+            QCheck.Test.fail_reportf "query %d: key diverges from isolated" i;
+          if
+            not (outcome_equal a.Serve.Service.outcome b.Serve.Service.outcome)
+          then
+            QCheck.Test.fail_reportf "query %d: bytes diverge from isolated" i)
+        (List.combine rs ri);
+      if Serve.Service.cache_keys shared <> Serve.Service.cache_keys isolated
+      then QCheck.Test.fail_report "plan-cache evolution diverges from isolated";
+      if Serve.Service.subcache_keys isolated <> [] then
+        QCheck.Test.fail_report "isolated service stored sub-plan results";
+      (* every response equals a fresh, cache-less, sharing-free service *)
+      List.iteri
+        (fun i (q, (r : Serve.Service.response)) ->
+          let fresh = gen_service ~sharing:false policy in
+          let f = Serve.Service.submit fresh q in
+          if not (outcome_equal f.Serve.Service.outcome r.Serve.Service.outcome)
+          then
+            QCheck.Test.fail_reportf "query %d: bytes diverge from fresh oracle"
+              i)
+        (List.combine batch rs);
+      (* and the rounds are job-count independent, sub-plan tier included *)
+      let pool = Par.create ~name:"serve-sharing" par_jobs in
+      let rp, par =
+        Fun.protect ~finally:(fun () -> Par.shutdown pool) @@ fun () ->
+        serve ~pool ()
+      in
+      List.iteri
+        (fun i ((a : Serve.Service.response), (b : Serve.Service.response)) ->
+          if
+            a.Serve.Service.status <> b.Serve.Service.status
+            || a.Serve.Service.key <> b.Serve.Service.key
+            || not
+                 (outcome_equal a.Serve.Service.outcome b.Serve.Service.outcome)
+          then QCheck.Test.fail_reportf "query %d: parallel replay diverges" i)
+        (List.combine rs rp);
+      if Serve.Service.cache_keys shared <> Serve.Service.cache_keys par then
+        QCheck.Test.fail_report "parallel plan-cache state diverges";
+      if Serve.Service.subcache_keys shared <> Serve.Service.subcache_keys par
+      then QCheck.Test.fail_report "parallel sub-plan cache state diverges";
+      let s1 = Serve.Service.stats shared and sn = Serve.Service.stats par in
+      if
+        s1.Serve.Service.subplan_hits <> sn.Serve.Service.subplan_hits
+        || s1.Serve.Service.subplan_stores <> sn.Serve.Service.subplan_stores
+        || s1.Serve.Service.shared_execs <> sn.Serve.Service.shared_execs
+      then QCheck.Test.fail_report "sub-plan statistics diverge across job counts";
+      true)
+
+(* Shared sub-plan lifecycle over one structurally repeated core:
+
+   - cross-query reuse: a brand-new query shape (a plan-cache miss)
+     still hits the sub-plan result cached from earlier queries'
+     shared core, with bytes equal to a sharing-free fresh service at
+     1 and [MPQ_JOBS] domains;
+   - a grant-only policy delta keeps every sub-plan entry (rekeyed)
+     and the shared hits keep coming;
+   - a revocation the consumers depend on drops the shared entry once
+     for all of them, and replanned answers equal the fresh oracle. *)
+let test_shared_subplan_lifecycle () =
+  let core () =
+    Plan.join
+      (Predicate.conj
+         [ Predicate.Cmp_attr (Attr.make "a", Predicate.Eq, Attr.make "e") ])
+      (Plan.base Gen.rel1) (Plan.base Gen.rel2)
+  in
+  let q1 = Plan.order_by [ (Attr.make "b", Plan.Asc) ] (core ()) in
+  let q2 = Plan.limit 5 (core ()) in
+  let q3 = Plan.project (Attr.Set.of_names [ "a"; "b"; "f" ]) (core ()) in
+  let is_table (r : Serve.Service.response) =
+    match r.Serve.Service.outcome with
+    | Serve.Service.Table _ -> true
+    | _ -> false
+  in
+  let deps_of (r : Serve.Service.response) q =
+    let p = Option.get r.Serve.Service.planned in
+    Analysis.Deps.of_extended ~deliver_to:Gen.user ~original:q
+      ~extended:p.Planner.Optimizer.extended
+      ~clusters:p.Planner.Optimizer.clusters ()
+  in
+  let dep_hitting_revoke ~rand ~policy d1 d2 =
+    (* a revocation both cached consumers depend on; [None] when the
+       draw budget finds none (e.g. the optimizer assigned every node
+       to storing subjects, whose rules revoke_once spares) *)
+    let rec go tries =
+      if tries > 499 then None
+      else
+        let candidate = Gen.revoke_once policy rand in
+        match
+          Analysis.Delta.diff ~subjects:Gen.subjects ~old_policy:policy
+            ~new_policy:candidate ()
+        with
+        | `Delta d
+          when (not
+                  (Analysis.Fact.Set.is_empty
+                     (Analysis.Fact.Set.inter d.Analysis.Delta.removed d1)))
+               && not
+                    (Analysis.Fact.Set.is_empty
+                       (Analysis.Fact.Set.inter d.Analysis.Delta.removed d2))
+          ->
+            Some candidate
+        | _ -> go (tries + 1)
+    in
+    go 0
+  in
+  (* search a seeded policy that admits the scenario — all three
+     queries plannable, the shared core actually reused across
+     queries, and some revocation hits both consumers' dependency
+     sets; the fixed seed sequence keeps the pick deterministic *)
+  let rec find_policy seed =
+    if seed > 199 then Alcotest.fail "no generated policy admits the scenario"
+    else
+      let rand = Random.State.make [| 0xBEEF; seed |] in
+      let policy = Gen.gen_policy rand in
+      let service = gen_service policy in
+      let r1 = Serve.Service.submit service q1 in
+      let r2 = Serve.Service.submit service q2 in
+      let before = Serve.Service.stats service in
+      let r3 = Serve.Service.submit service q3 in
+      let after = Serve.Service.stats service in
+      if
+        List.for_all is_table [ r1; r2; r3 ]
+        && after.Serve.Service.subplan_hits > before.Serve.Service.subplan_hits
+        && dep_hitting_revoke
+             ~rand:(Random.State.make [| 0xD0; seed |])
+             ~policy (deps_of r1 q1) (deps_of r2 q2)
+           <> None
+      then (rand, policy, service, r1, r2, r3)
+      else find_policy (seed + 1)
+  in
+  let rand, policy, service, r1, r2, r3 = find_policy 0 in
+  Alcotest.(check bool) "cross-query reuse fired on a full-query miss" true
+    (r3.Serve.Service.status = Serve.Service.Miss);
+  Alcotest.(check bool) "the queries share plan-DAG nodes" true
+    ((Serve.Service.dag_stats service).Planner.Dag.shared_occurrences > 0);
+  (* reuse never shows in the bytes: a sharing-free fresh service
+     answers identically, serially and on a pool *)
+  let fresh_oracle ?pool q =
+    let fresh = gen_service ?pool ~sharing:false policy in
+    (Serve.Service.submit fresh q).Serve.Service.outcome
+  in
+  Alcotest.(check bool) "reused answer = fresh oracle (1 domain)" true
+    (outcome_equal r3.Serve.Service.outcome (fresh_oracle q3));
+  let pool = Par.create ~name:"serve-lifecycle" par_jobs in
+  Fun.protect ~finally:(fun () -> Par.shutdown pool) (fun () ->
+      Alcotest.(check bool)
+        (Printf.sprintf "reused answer = fresh oracle (%d domains)" par_jobs)
+        true
+        (outcome_equal r3.Serve.Service.outcome (fresh_oracle ~pool q3)));
+  (* --- grant-only delta: sub-plan entries survive, rekeyed --- *)
+  let rec find_grant tries p =
+    if tries > 99 then Alcotest.fail "no grant-only mutation found"
+    else
+      let candidate = Gen.grant_once p rand in
+      match
+        Analysis.Delta.diff ~subjects:Gen.subjects ~old_policy:p
+          ~new_policy:candidate ()
+      with
+      | `Delta d
+        when Analysis.Delta.grant_only d && not (Analysis.Delta.is_empty d) ->
+          candidate
+      | _ -> find_grant (tries + 1) p
+  in
+  let granted = find_grant 0 policy in
+  let before = Serve.Service.stats service in
+  Serve.Service.set_policy service granted;
+  let after = Serve.Service.stats service in
+  Alcotest.(check int) "grant-only delta drops no sub-plan entry"
+    before.Serve.Service.subplan_invalidated
+    after.Serve.Service.subplan_invalidated;
+  Alcotest.(check int) "sub-plan entries retained across the migration"
+    before.Serve.Service.subplan_entries after.Serve.Service.subplan_entries;
+  let r1' = Serve.Service.submit service q1 in
+  let hit = Serve.Service.stats service in
+  Alcotest.(check bool) "plan entry still hits after the grant" true
+    (r1'.Serve.Service.status = Serve.Service.Hit);
+  Alcotest.(check bool) "shared sub-plan hits keep coming after the grant" true
+    (hit.Serve.Service.subplan_hits > after.Serve.Service.subplan_hits);
+  Alcotest.(check bool) "grant leaves the cached bytes untouched" true
+    (outcome_equal r1.Serve.Service.outcome r1'.Serve.Service.outcome);
+  (* --- revocation the consumers depend on: dropped for all --- *)
+  let revoked =
+    match
+      dep_hitting_revoke ~rand ~policy:granted (deps_of r1 q1) (deps_of r2 q2)
+    with
+    | Some p -> p
+    | None -> Alcotest.fail "no dependency-hitting revocation found"
+  in
+  let pre_revoke = Serve.Service.stats service in
+  Serve.Service.set_policy service revoked;
+  let after = Serve.Service.stats service in
+  Alcotest.(check bool)
+    "dependent revocation drops sub-plan entries (once, for every consumer)"
+    true
+    (after.Serve.Service.subplan_invalidated
+     > pre_revoke.Serve.Service.subplan_invalidated);
+  Alcotest.(check bool) "resident sub-plan results shrank" true
+    (after.Serve.Service.subplan_entries
+     < pre_revoke.Serve.Service.subplan_entries);
+  let r1'' = Serve.Service.submit service q1 in
+  let r2'' = Serve.Service.submit service q2 in
+  Alcotest.(check bool) "both consumers replan" true
+    (r1''.Serve.Service.status = Serve.Service.Miss
+    && r2''.Serve.Service.status = Serve.Service.Miss);
+  let fresh_revoked q =
+    let fresh = gen_service ~sharing:false revoked in
+    (Serve.Service.submit fresh q).Serve.Service.outcome
+  in
+  Alcotest.(check bool) "replanned answers equal the fresh oracle" true
+    (outcome_equal r1''.Serve.Service.outcome (fresh_revoked q1)
+    && outcome_equal r2''.Serve.Service.outcome (fresh_revoked q2))
+
+(* Leakage gate: structurally equal subtrees under different
+   environments must never share bytes. Same environment, same
+   structure ⇒ identical sub-plan cache keys (sharing is deterministic
+   across service instances); any environment difference ⇒ disjoint
+   keys, including across policy epochs of one service. *)
+let test_no_cross_environment_sharing () =
+  let rec find seed =
+    if seed > 199 then Alcotest.fail "no seed admits the scenario"
+    else
+      let rand = Random.State.make [| 0xFACE; seed |] in
+      let q = Gen.gen_plan rand in
+      let pa = Gen.gen_policy rand in
+      let pb = Gen.revoke_once pa rand in
+      let sa = gen_service pa in
+      let sb = gen_service pb in
+      let ra = Serve.Service.submit sa q and rb = Serve.Service.submit sb q in
+      let planned (r : Serve.Service.response) =
+        match r.Serve.Service.outcome with
+        | Serve.Service.Table _ -> true
+        | _ -> false
+      in
+      if
+        planned ra && planned rb
+        && Serve.Service.environment sa <> Serve.Service.environment sb
+      then (q, pa, pb, sa, sb)
+      else find (seed + 1)
+  in
+  let q, pa, pb, sa, sb = find 0 in
+  let keys_a = Serve.Service.subcache_keys sa in
+  let keys_b = Serve.Service.subcache_keys sb in
+  Alcotest.(check bool) "sub-plan results were stored" true (keys_a <> []);
+  (* determinism: a twin service under the same environment builds the
+     exact same keys *)
+  let sa' = gen_service pa in
+  ignore (Serve.Service.submit sa' q);
+  Alcotest.(check (list string)) "same environment ⇒ identical keys" keys_a
+    (Serve.Service.subcache_keys sa');
+  (* different policy ⇒ different environment fingerprint ⇒ disjoint *)
+  Alcotest.(check bool) "different environment ⇒ disjoint keys" true
+    (List.for_all (fun k -> not (List.mem k keys_b)) keys_a);
+  (* epochs of one service: a policy change rotates the environment,
+     so pre-mutation keys are unreachable afterwards — even for
+     entries the migration retained (they are rekeyed) *)
+  Serve.Service.set_policy sa pb;
+  ignore (Serve.Service.submit sa q);
+  Alcotest.(check bool) "old-epoch keys unreachable after set_policy" true
+    (List.for_all
+       (fun k -> not (List.mem k keys_a))
+       (Serve.Service.subcache_keys sa))
+
 (* --- service stats ---------------------------------------------------- *)
 
 let test_stats_accounting () =
@@ -792,5 +1090,11 @@ let () =
           ("eviction determinism under small cache", `Slow,
            test_eviction_determinism);
           ("batching transparency", `Slow, test_batching_transparent) ] );
+      ( "sharing",
+        [ QCheck_alcotest.to_alcotest prop_sharing_vs_isolated;
+          ("shared sub-plan lifecycle: reuse, grants, revocation", `Slow,
+           test_shared_subplan_lifecycle);
+          ("no sharing across environments", `Quick,
+           test_no_cross_environment_sharing) ] );
       ( "stats",
         [ ("hit/miss accounting", `Quick, test_stats_accounting) ] ) ]
