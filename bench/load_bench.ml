@@ -72,18 +72,31 @@ let new_tally () =
   { served = 0; shed = 0; expired = 0; rejected = 0; parse_errors = 0;
     other = 0; unanswered = 0; lats = [] }
 
-let client_worker ~addr ~requests ~burst ~offset =
+let client_worker ?(tenant = Serve.Tenancy.default_id) ~addr ~requests ~burst
+    ~offset () =
   let t = new_tally () in
   let c = Serve.Client.connect ~timeout_s:60.0 addr in
   let sent = Hashtbl.create 16 in
   let n_sent = ref 0 in
+  (* a non-default tenant costs one directive line up front, which
+     shifts the server's line numbering for every data request *)
+  let line_base =
+    if tenant = Serve.Tenancy.default_id then 0
+    else begin
+      Serve.Client.send c ("\\tenant use " ^ tenant);
+      (match Serve.Client.recv c with
+      | Some r when r.Serve.Client.tag = "tenant" -> ()
+      | _ -> failwith ("client could not switch to tenant " ^ tenant));
+      1
+    end
+  in
   (try
      while !n_sent < requests do
        let b = min burst (requests - !n_sent) in
        for _ = 1 to b do
          let q = queries.((offset + !n_sent) mod Array.length queries) in
          incr n_sent;
-         Hashtbl.replace sent !n_sent (Unix.gettimeofday ());
+         Hashtbl.replace sent (line_base + !n_sent) (Unix.gettimeofday ());
          Serve.Client.send c q
        done;
        for _ = 1 to b do
@@ -127,6 +140,7 @@ let () =
   let burst = ref 4 in
   let deadline_ms = ref None in
   let jobs = ref 1 in
+  let shards = ref 4 in
   let ints s = List.map int_of_string (String.split_on_char ',' s) in
   let rec parse = function
     | [] -> ()
@@ -157,12 +171,15 @@ let () =
     | "--jobs" :: n :: rest ->
         jobs := int_of_string n;
         parse rest
+    | "--shards" :: n :: rest ->
+        shards := int_of_string n;
+        parse rest
     | arg :: _ ->
         Printf.eprintf
           "load_bench: unknown argument %s\n\
            usage: load_bench [--quick] [--clients L] [--backlogs L] \
            [--requests N] [--burst N] [--deadline-ms T] [--jobs N] \
-           [--policy FILE] [-o FILE]\n"
+           [--shards N] [--policy FILE] [-o FILE]\n"
           arg;
         exit 1
   in
@@ -195,7 +212,7 @@ let () =
       List.init n_clients (fun i ->
           Domain.spawn (fun () ->
               client_worker ~addr ~requests:!requests ~burst:!burst
-                ~offset:(i * 3)))
+                ~offset:(i * 3) ()))
     in
     let tallies = List.map Domain.join workers in
     let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
@@ -257,6 +274,169 @@ let () =
       (fun c -> List.map (fun b -> combo c b) !backlogs)
       !clients
   in
+  (* --- multi-tenant scenario ------------------------------------------ *)
+  (* Tenant "blue" runs the same policy minus one permission (provider
+     Y loses plaintext visibility of P on Ins), so the two tenants
+     genuinely plan differently over the same schemas. Correctness
+     gates first: every pool query submitted under each tenant of one
+     sharded two-tenant service must be byte-identical to a
+     single-tenant oracle service running that tenant's policy alone,
+     a warm second pass must hit inside each tenant's own key space,
+     and cross_tenant_hits must be 0 — here and after the socket load
+     below. Any violation fails the bench with exit 2. *)
+  let policy_a = env.Authz.Policy_dsl.policy in
+  let policy_b =
+    Authz.Authorization.make
+      ~schemas:(Authz.Authorization.schemas policy_a)
+      (List.map
+         (fun (r : Authz.Authorization.rule) ->
+           match r.Authz.Authorization.grantee with
+           | Authz.Authorization.To s
+             when r.Authz.Authorization.relation = "Ins"
+                  && Authz.Subject.equal s (Authz.Subject.provider "Y") ->
+               { r with
+                 Authz.Authorization.plain =
+                   Attr.Set.remove (Attr.make "P")
+                     r.Authz.Authorization.plain }
+           | _ -> r)
+         (Authz.Authorization.rules policy_a))
+  in
+  let make_multi () =
+    let s =
+      Serve.Service.create ?pool ~shards:!shards ~policy:policy_a
+        ~subjects:env.Authz.Policy_dsl.subjects ~tables ()
+    in
+    Serve.Service.add_tenant s ~id:"blue" ~policy:policy_b ();
+    s
+  in
+  let outcome_equal a b =
+    match (a, b) with
+    | Serve.Service.Table x, Serve.Service.Table y ->
+        List.equal Attr.equal (Engine.Table.attrs x) (Engine.Table.attrs y)
+        && List.equal
+             (fun (r1 : Value.t array) r2 -> r1 = r2)
+             (Engine.Table.rows x) (Engine.Table.rows y)
+    | Serve.Service.Rejected x, Serve.Service.Rejected y -> x = y
+    | _ -> false
+  in
+  let divergences = ref 0 in
+  let validation = make_multi () in
+  let oracle policy =
+    Serve.Service.create ~policy ~subjects:env.Authz.Policy_dsl.subjects
+      ~tables ()
+  in
+  let oa = oracle policy_a and ob = oracle policy_b in
+  Array.iter
+    (fun q ->
+      List.iter
+        (fun (tenant, oracle_service) ->
+          let m = Serve.Service.submit_sql ~tenant validation q in
+          let o = Serve.Service.submit_sql oracle_service q in
+          if
+            not
+              (outcome_equal m.Serve.Service.outcome o.Serve.Service.outcome)
+          then begin
+            incr divergences;
+            Printf.eprintf
+              "FAILURE: tenant %s diverges from its single-tenant oracle on \
+               %s\n"
+              tenant q
+          end)
+        [ (Serve.Tenancy.default_id, oa); ("blue", ob) ])
+    queries;
+  Array.iter
+    (fun q ->
+      List.iter
+        (fun tenant ->
+          let r = Serve.Service.submit_sql ~tenant validation q in
+          if r.Serve.Service.status <> Serve.Service.Hit then begin
+            incr divergences;
+            Printf.eprintf "FAILURE: tenant %s missed on warm replay of %s\n"
+              tenant q
+          end)
+        [ Serve.Tenancy.default_id; "blue" ])
+    queries;
+  let vstats = Serve.Service.stats validation in
+  if vstats.Serve.Service.cross_tenant_hits <> 0 || !divergences > 0 then
+    incr failures;
+  (* socket load: half the clients switch to "blue" before their first
+     request, the rest stay on the default tenant *)
+  let mt_clients = 4 and mt_backlog = 64 in
+  let mservice = make_multi () in
+  let mconfig =
+    { Serve.Server.default_config with
+      Serve.Server.backlog = mt_backlog; deadline_ms = !deadline_ms }
+  in
+  let mserver =
+    Serve.Server.create ~config:mconfig ~service:mservice (Serve.Server.Tcp 0)
+  in
+  let maddr = Serve.Server.bound_addr mserver in
+  let msrv = Domain.spawn (fun () -> Serve.Server.run mserver) in
+  let mt0 = Unix.gettimeofday () in
+  let mworkers =
+    List.init mt_clients (fun i ->
+        let tenant =
+          if i mod 2 = 1 then "blue" else Serve.Tenancy.default_id
+        in
+        Domain.spawn (fun () ->
+            client_worker ~tenant ~addr:maddr ~requests:!requests
+              ~burst:!burst ~offset:(i * 3) ()))
+  in
+  let mtallies = List.map Domain.join mworkers in
+  let mwall_ms = (Unix.gettimeofday () -. mt0) *. 1000.0 in
+  Serve.Server.stop mserver;
+  Domain.join msrv;
+  let msum f = List.fold_left (fun acc t -> acc + f t) 0 mtallies in
+  let manswered =
+    msum (fun t ->
+        t.served + t.shed + t.expired + t.rejected + t.parse_errors + t.other)
+  in
+  let munanswered = msum (fun t -> t.unanswered) in
+  let mlats = Array.of_list (List.concat_map (fun t -> t.lats) mtallies) in
+  Array.sort compare mlats;
+  let mstats = Serve.Service.stats mservice in
+  if munanswered > 0 then begin
+    incr failures;
+    Printf.eprintf
+      "FAILURE: %d multi-tenant requests got no structured response\n"
+      munanswered
+  end;
+  if mstats.Serve.Service.cross_tenant_hits <> 0 then begin
+    incr failures;
+    Printf.eprintf "FAILURE: %d cross-tenant hits under socket load\n"
+      mstats.Serve.Service.cross_tenant_hits
+  end;
+  Printf.printf
+    "multi-tenant: %d clients over %d tenants, %d shards: %6.0f qps, p95 \
+     %6.2f ms, %d cross-tenant hits, %d oracle divergences\n%!"
+    mt_clients mstats.Serve.Service.tenants mstats.Serve.Service.shards
+    (float_of_int manswered /. (mwall_ms /. 1000.0))
+    (percentile mlats 0.95)
+    mstats.Serve.Service.cross_tenant_hits !divergences;
+  let multi_tenant_json =
+    Json.Obj
+      [ ("clients", Json.Int mt_clients);
+        ("backlog", Json.Int mt_backlog);
+        ("requests", Json.Int (mt_clients * !requests));
+        ("answered", Json.Int manswered);
+        ("unanswered", Json.Int munanswered);
+        ("tenants", Json.Int mstats.Serve.Service.tenants);
+        ("shards", Json.Int mstats.Serve.Service.shards);
+        ( "cross_tenant_hits",
+          Json.Int mstats.Serve.Service.cross_tenant_hits );
+        ("oracle_divergences", Json.Int !divergences);
+        ("qps", Json.Float (float_of_int manswered /. (mwall_ms /. 1000.0)));
+        ("p50_ms", Json.Float (percentile mlats 0.50));
+        ("p95_ms", Json.Float (percentile mlats 0.95));
+        ("p99_ms", Json.Float (percentile mlats 0.99));
+        ("wall_ms", Json.Float mwall_ms);
+        ( "per_tenant",
+          Json.Obj
+            (List.map
+               (fun (id, st) -> (id, Serve.Tenancy.stats_json st))
+               (Serve.Service.tenant_stats mservice)) );
+        ("server", Serve.Server.stats_json (Serve.Server.stats mserver)) ]
+  in
   let doc =
     Json.Obj
       [ ("bench", Json.String "load");
@@ -268,7 +448,9 @@ let () =
           | Some t -> Json.Int t
           | None -> Json.Null );
         ("quick", Json.Bool !quick);
-        ("sweep", Json.List sweep) ]
+        ("shards", Json.Int !shards);
+        ("sweep", Json.List sweep);
+        ("multi_tenant", multi_tenant_json) ]
   in
   let oc = open_out !out in
   output_string oc (Json.to_string doc);

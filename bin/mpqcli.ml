@@ -796,8 +796,29 @@ let serve_cmd =
              ~doc:"Seed for the $(b,--netfaults) schedule: the same seed \
                    and spec reproduce the same per-session fault plan.")
   in
+  let shards_arg =
+    Arg.(value & opt int 1
+         & info [ "shards" ] ~docv:"N"
+             ~doc:"Split the plan and sub-plan caches into $(docv) \
+                   mutex-guarded shards so worker domains probe \
+                   concurrently. Capacity, recency and eviction stay \
+                   global: responses and final cache contents are \
+                   identical at any shard count.")
+  in
+  let tenants_arg =
+    Arg.(value & opt_all string []
+         & info [ "tenant" ] ~docv:"ID=FILE"
+             ~doc:"Register tenant $(b,ID) with the policy environment \
+                   loaded from $(b,FILE) (repeatable). Each tenant plans \
+                   under its own policy, subjects and recipient, and its \
+                   cache keys embed the tenant id, so tenants can never \
+                   observe each other's cached plans or sub-plan results. \
+                   Requests target a tenant with the $(b,\\tenant use ID) \
+                   directive (stdin mode and per socket session); the \
+                   unnamed environment is tenant $(b,default).")
+  in
   let run policy_path table_specs file cache batch listen backlog deadline_ms
-      netfaults fault_seed jobs obs =
+      netfaults fault_seed shards tenants jobs obs =
     guard @@ fun () ->
     with_obs obs @@ fun () ->
     Par.with_pool ~name:"serve" jobs @@ fun pool ->
@@ -805,9 +826,32 @@ let serve_cmd =
     let tables = load_tables env table_specs in
     let service =
       Serve.Service.create ?pool ~cache_capacity:cache ~max_batch:batch
-        ~policy:env.Authz.Policy_dsl.policy
+        ~shards ~policy:env.Authz.Policy_dsl.policy
         ~subjects:env.Authz.Policy_dsl.subjects ~tables ()
     in
+    (* tenant subject populations, for the \policy same-subjects check *)
+    let tenant_subjects = Hashtbl.create 4 in
+    Hashtbl.replace tenant_subjects Serve.Tenancy.default_id
+      env.Authz.Policy_dsl.subjects;
+    List.iter
+      (fun spec ->
+        match String.index_opt spec '=' with
+        | None ->
+            failwith
+              (Printf.sprintf
+                 "--tenant %s: expected ID=FILE (a policy file per tenant)"
+                 spec)
+        | Some i ->
+            let id = String.sub spec 0 i in
+            let path = String.sub spec (i + 1) (String.length spec - i - 1) in
+            if id = "" || path = "" then
+              failwith (Printf.sprintf "--tenant %s: expected ID=FILE" spec);
+            let tenv = load_policy (Some path) in
+            Serve.Service.add_tenant service ~id
+              ~policy:tenv.Authz.Policy_dsl.policy
+              ~subjects:tenv.Authz.Policy_dsl.subjects ();
+            Hashtbl.replace tenant_subjects id tenv.Authz.Policy_dsl.subjects)
+      tenants;
     match listen with
     | Some addr_spec ->
         (* socket mode: the event loop owns the service; SIGTERM/SIGINT
@@ -846,16 +890,17 @@ let serve_cmd =
     | None ->
     let ic = match file with Some p -> open_in p | None -> stdin in
     let line_no = ref 0 in
-    let subjects = ref env.Authz.Policy_dsl.subjects in
+    let tenant = ref Serve.Tenancy.default_id in
     let pending = ref [] in
-    (* newest first; (line, plan) *)
+    (* newest first; (line, request) — the request carries the tenant
+       that was current when the line was read *)
     let drain () =
       match List.rev !pending with
       | [] -> ()
       | batch ->
           pending := [];
           let responses =
-            Serve.Service.submit_batch service (List.map snd batch)
+            Serve.Service.submit_batch_requests service (List.map snd batch)
           in
           List.iter2
             (fun (n, _) (r : Serve.Service.response) ->
@@ -892,23 +937,41 @@ let serve_cmd =
           Printf.printf "%s\n%!"
             (Serve.Service.render_stats (Serve.Service.stats service))
       | [ "\\invalidate" ] -> Serve.Service.invalidate service
+      | [ "\\tenant" ] -> Printf.printf "-- tenant: %s\n%!" !tenant
+      | [ "\\tenant"; "list" ] ->
+          Printf.printf "-- tenants: %s\n%!"
+            (String.concat ", " (Serve.Service.tenant_ids service))
+      | [ "\\tenant"; "use"; id ] ->
+          if List.mem id (Serve.Service.tenant_ids service) then begin
+            tenant := id;
+            Printf.printf "-- tenant: %s\n%!" id
+          end
+          else
+            Printf.printf "-- [%d] rejected: unknown tenant %S\n%!" !line_no
+              id
       | [ "\\policy"; path ] -> (
           match Authz.Policy_dsl.load path with
           | e ->
-              (* an unchanged subject population keeps the incremental
-                 migration path; a swap forces the rotation fallback *)
+              (* applies to the current tenant. An unchanged subject
+                 population keeps the incremental migration path; a
+                 swap forces the rotation fallback *)
               let same_subjects =
                 List.sort compare e.Authz.Policy_dsl.subjects
-                = List.sort compare !subjects
+                = List.sort compare
+                    (Option.value ~default:[]
+                       (Hashtbl.find_opt tenant_subjects !tenant))
               in
               if same_subjects then
-                Serve.Service.set_policy service e.Authz.Policy_dsl.policy
+                Serve.Service.set_policy ~tenant:!tenant service
+                  e.Authz.Policy_dsl.policy
               else
                 Serve.Service.set_policy
-                  ~subjects:e.Authz.Policy_dsl.subjects service
-                  e.Authz.Policy_dsl.policy;
-              subjects := e.Authz.Policy_dsl.subjects;
-              Printf.printf "-- policy %s installed, cache %s\n%!" path
+                  ~subjects:e.Authz.Policy_dsl.subjects ~tenant:!tenant
+                  service e.Authz.Policy_dsl.policy;
+              Hashtbl.replace tenant_subjects !tenant
+                e.Authz.Policy_dsl.subjects;
+              Printf.printf "-- policy %s installed for %s, cache %s\n%!"
+                path !tenant
                 (if same_subjects then "migrated incrementally"
                  else "rotated (subjects changed)")
           | exception Authz.Policy_dsl.Syntax_error (l, msg) ->
@@ -919,7 +982,7 @@ let serve_cmd =
       | d :: _ ->
           Printf.printf
             "-- [%d] unknown directive %s (try \\stats, \\policy FILE, \
-             \\invalidate)\n%!"
+             \\invalidate, \\tenant [use ID|list])\n%!"
             !line_no d
       | [] -> ()
     in
@@ -939,8 +1002,11 @@ let serve_cmd =
          else begin
            (* report parse errors after the backlog so responses keep
               line order *)
-           (match Serve.Service.parse service line with
-           | plan -> pending := (!line_no, plan) :: !pending
+           (match Serve.Service.parse ~tenant:!tenant service line with
+           | plan ->
+               pending :=
+                 (!line_no, Serve.Service.request ~tenant:!tenant plan)
+                 :: !pending
            | exception Mpq_sql.Sql_lexer.Lex_error (msg, pos) ->
                drain ();
                Printf.printf "-- [%d] parse error at %d: %s\n" !line_no pos msg
@@ -977,11 +1043,13 @@ let serve_cmd =
           too.";
       `P "Blank lines and $(b,#) comments are skipped. Directives: \
           $(b,\\\\stats) prints cache statistics, \
-          $(b,\\\\policy FILE) installs a new policy — every cached plan \
-          keyed under the old policy becomes unreachable at once — and \
-          $(b,\\\\invalidate) drops the cache. Base relations are fixed at \
-          startup ($(b,--table)); a swapped policy must keep the relations \
-          it queries.";
+          $(b,\\\\policy FILE) installs a new policy for the current \
+          tenant — every cached plan keyed under its old policy becomes \
+          unreachable at once — $(b,\\\\invalidate) drops the cache, and \
+          $(b,\\\\tenant use ID) switches subsequent requests to a tenant \
+          registered with $(b,--tenant) ($(b,\\\\tenant list) enumerates \
+          them). Base relations are fixed at startup ($(b,--table)); a \
+          swapped policy must keep the relations it queries.";
       `P "Channel contract: standard output carries exactly the responses \
           to request lines — status comments, CSV tables, rejections, \
           parse errors and directive results, in request order. Standard \
@@ -1009,7 +1077,7 @@ let serve_cmd =
     Term.(
       const run $ policy_arg $ tables_arg $ file_arg $ cache_arg $ batch_arg
       $ listen_arg $ backlog_arg $ deadline_arg $ netfaults_arg
-      $ fault_seed_arg $ jobs_arg $ obs_args)
+      $ fault_seed_arg $ shards_arg $ tenants_arg $ jobs_arg $ obs_args)
 
 (* --- audit ----------------------------------------------------------- *)
 

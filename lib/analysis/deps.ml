@@ -121,3 +121,16 @@ let of_subplan ?deliver_to ?original ?derive_memo ~extended ~clusters
   collect ?deliver_to ?original ?derive_memo ~extended ~clusters
     ~keep:(fun p -> lo <= p && p < lo + len)
     ()
+
+(* The population a policy delta must be computed over includes every
+   subject a dependency set mentions: an [any] rule change can alter
+   the view of a subject the caller's configured population does not
+   list, and a cached verdict relying on that subject's facts would
+   then migrate unsoundly. The serve layer folds this over every cached
+   entry of the tenant whose policy is changing — other tenants'
+   entries are out of scope by construction, which is what makes
+   invalidation per-tenant. *)
+let subjects_of facts =
+  Fact.Set.fold
+    (fun f acc -> Subject.Set.add f.Fact.subject acc)
+    facts Subject.Set.empty

@@ -77,3 +77,11 @@ val of_subplan :
     verifier verdict {e about the subtree} — the invalidation protocol
     the sub-plan cache replays is the one the soundness property in
     [test/test_analysis.ml] checks for whole plans. *)
+
+val subjects_of : Fact.Set.t -> Subject.Set.t
+(** The subjects a dependency set mentions — the extra population a
+    {!Delta.diff} must cover so that a delta judged disjoint from the
+    set is disjoint for {e every} subject the cached verdict consulted
+    (an [any]-rule change can touch subjects outside the caller's
+    configured population). The serve layer folds this over the cached
+    entries of exactly the tenant whose policy is being swapped. *)

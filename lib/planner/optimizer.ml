@@ -50,11 +50,17 @@ let fingerprint assignment =
    environment half (policy, config, prices, network, recipient,
    latency bound) changes rarely and is cached by the service; the
    query half is recomputed per request. *)
-let environment_fingerprint ~policy ~subjects ?(config = Authz.Opreq.default)
-    ?(pricing = Pricing.make ()) ?(network = Network.make ()) ?deliver_to
-    ?max_latency () =
+let environment_fingerprint ?(tenant = "default") ~policy ~subjects
+    ?(config = Authz.Opreq.default) ?(pricing = Pricing.make ())
+    ?(network = Network.make ()) ?deliver_to ?max_latency () =
   let buf = Buffer.create 256 in
-  Fingerprint.field buf "mpq-env-v1";
+  Fingerprint.field buf "mpq-env-v2";
+  (* the tenant component is the multi-tenant leakage gate: two tenants
+     with byte-identical policies, subjects, prices and networks still
+     get disjoint environment fingerprints — and therefore disjoint
+     plan-cache and sub-plan-cache key spaces — because this field
+     differs. Isolation is a key-space property, not a lock property. *)
+  Fingerprint.field buf ("tenant:" ^ tenant);
   Fingerprint.field buf (Fingerprint.of_policy policy);
   Fingerprint.list_field buf Fingerprint.of_subject subjects;
   Fingerprint.field buf (Fingerprint.of_config config);

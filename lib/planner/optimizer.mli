@@ -40,6 +40,7 @@ val fingerprint : Authz.Subject.t Authz.Imap.t -> string
     collide by concatenation (see {!Fingerprint}). *)
 
 val environment_fingerprint :
+  ?tenant:string ->
   policy:Authz.Authorization.t ->
   subjects:Authz.Subject.t list ->
   ?config:Authz.Opreq.config ->
@@ -55,7 +56,13 @@ val environment_fingerprint :
     requirements, prices, bandwidths, the recipient or the latency
     bound yields a different string, which rotates every cache key
     built from it (explicit invalidation — stale entries become
-    unreachable). Defaults mirror {!plan}'s. *)
+    unreachable). Defaults mirror {!plan}'s.
+
+    [tenant] (default ["default"]) is folded in as its own field: the
+    serving layer's multi-tenant registry names each tenant's planning
+    environment, so structurally identical queries planned for
+    different tenants — even under byte-identical policies — occupy
+    disjoint key spaces in every cache keyed by this fingerprint. *)
 
 val cache_key_of : env:string -> string -> string
 (** [cache_key_of ~env qfp] is {!cache_key} for a query whose

@@ -55,6 +55,13 @@ let default_config =
     outq_highwater = 1 lsl 20; netfaults = Netfaults.none; fault_seed = 1337;
     drain_grace_s = 5.0 }
 
+type summary = {
+  sum_sid : int;
+  sum_tenant : string;
+  sum_requests : int;
+  sum_responses : int;
+}
+
 type stats = {
   sessions : int;
   sessions_refused : int;
@@ -69,6 +76,7 @@ type stats = {
   stalled : int;
   forced_disconnects : int;
   garbled : int;
+  closed : summary list;  (* per-session final counters, sorted by sid *)
 }
 
 type session = {
@@ -80,6 +88,7 @@ type session = {
   mutable out_off : int;  (* bytes of the queue head already written *)
   mutable out_bytes : int;
   mutable line_no : int;
+  mutable tenant : string;  (* the \tenant the session switched to *)
   mutable requests_seen : int;
   mutable responses_enqueued : int;
   mutable open_requests : int;  (* admitted or delayed, response pending *)
@@ -95,6 +104,9 @@ type waiting = {
   w_release : float;
   w_deadline : float option;
   w_text : string;
+  w_tenant : string;  (* captured when the line arrived: a later
+                         \tenant use must not retarget a delayed
+                         request *)
 }
 
 (* an admitted (parsed) request in the global backlog *)
@@ -103,6 +115,7 @@ type admitted = {
   a_line : int;
   a_deadline : float option;
   a_plan : Relalg.Plan.t;
+  a_tenant : string;
 }
 
 type t = {
@@ -128,6 +141,7 @@ type t = {
   mutable c_stalled : int;
   mutable c_forced : int;
   mutable c_garbled : int;
+  mutable c_closed : summary list;  (* accumulated in close order *)
 }
 
 let create ?(config = default_config) ~service addr =
@@ -160,7 +174,7 @@ let create ?(config = default_config) ~service addr =
     c_sessions = 0; c_sessions_refused = 0; c_requests = 0; c_accepted = 0;
     c_tables = 0; c_rejected = 0; c_shed = 0; c_expired = 0;
     c_parse_errors = 0; c_disconnects = 0; c_stalled = 0; c_forced = 0;
-    c_garbled = 0 }
+    c_garbled = 0; c_closed = [] }
 
 let bound_addr t = t.bound
 let stop t = Atomic.set t.stopping true
@@ -174,8 +188,20 @@ let one_line msg =
 
 (* --- output ----------------------------------------------------------- *)
 
+(* Per-session final counters, recorded exactly once, at the moment a
+   session's [dead] flag flips (both close paths guard on it). The
+   accumulation order is whatever order sessions happened to die in —
+   nondeterministic under drain — so [stats] sorts by sid before
+   anything prints. *)
+let record_summary t s =
+  t.c_closed <-
+    { sum_sid = s.sid; sum_tenant = s.tenant; sum_requests = s.requests_seen;
+      sum_responses = s.responses_enqueued }
+    :: t.c_closed
+
 let force_close t s =
   if not s.dead then begin
+    record_summary t s;
     s.dead <- true;
     s.eof <- true;
     s.closing <- true;
@@ -242,13 +268,13 @@ let admit t w =
          (Queue.length t.backlog))
   end
   else
-    match Service.parse t.service w.w_text with
+    match Service.parse ~tenant:w.w_tenant t.service w.w_text with
     | plan ->
         t.c_accepted <- t.c_accepted + 1;
         Obs.incr "server.accepted";
         Queue.push
           { a_s = s; a_line = w.w_line; a_deadline = w.w_deadline;
-            a_plan = plan }
+            a_plan = plan; a_tenant = w.w_tenant }
           t.backlog
     | exception Mpq_sql.Sql_lexer.Lex_error (msg, pos) ->
         t.c_parse_errors <- t.c_parse_errors + 1;
@@ -273,9 +299,12 @@ let mark_stalled t s =
 
 let handle_request t s n line (verdict : Netfaults.request_verdict) =
   if line.[0] = '\\' then
-    (* directives: \stats is the only one a shared socket can honour —
-       the mutating directives (\policy, \invalidate) would let one
-       session rewrite the environment under every other, exactly the
+    (* directives: \stats and \tenant are the only ones a shared
+       socket can honour — \tenant only retargets the session's own
+       future requests (tenants are registered at startup, so a wire
+       string can never create or mutate one), while the mutating
+       directives (\policy, \invalidate) would let one session
+       rewrite the environment under every other, exactly the
        cross-session interference the server promises away *)
     match
       List.filter (fun x -> x <> "") (String.split_on_char ' ' line)
@@ -284,6 +313,22 @@ let handle_request t s n line (verdict : Netfaults.request_verdict) =
         push_out t s
           (Printf.sprintf "-- [%d] stats: %s\n" n
              (one_line (Service.render_stats (Service.stats t.service))))
+    | [ "\\tenant" ] ->
+        push_out t s (Printf.sprintf "-- [%d] tenant: %s\n" n s.tenant)
+    | [ "\\tenant"; "list" ] ->
+        push_out t s
+          (Printf.sprintf "-- [%d] tenants: %s\n" n
+             (String.concat ", " (Service.tenant_ids t.service)))
+    | [ "\\tenant"; "use"; id ] ->
+        if List.mem id (Service.tenant_ids t.service) then begin
+          s.tenant <- id;
+          push_out t s (Printf.sprintf "-- [%d] tenant: %s\n" n id)
+        end
+        else begin
+          t.c_rejected <- t.c_rejected + 1;
+          push_out t s
+            (Printf.sprintf "-- [%d] rejected: unknown tenant %S\n" n id)
+        end
     | d :: _ ->
         t.c_rejected <- t.c_rejected + 1;
         push_out t s
@@ -304,7 +349,7 @@ let handle_request t s n line (verdict : Netfaults.request_verdict) =
     let w =
       { w_s = s; w_line = n;
         w_release = now +. (float_of_int verdict.Netfaults.delay_ms /. 1000.0);
-        w_deadline = deadline; w_text = line }
+        w_deadline = deadline; w_text = line; w_tenant = s.tenant }
     in
     if verdict.Netfaults.delay_ms > 0 then t.delayed <- w :: t.delayed
     else admit t w
@@ -364,7 +409,10 @@ let dispatch t =
     let n = min t.cfg.dispatch (Queue.length t.backlog) in
     let items = List.init n (fun _ -> Queue.pop t.backlog) in
     let reqs =
-      List.map (fun a -> Service.request ?deadline:a.a_deadline a.a_plan) items
+      List.map
+        (fun a ->
+          Service.request ?deadline:a.a_deadline ~tenant:a.a_tenant a.a_plan)
+        items
     in
     match Service.submit_batch_requests t.service reqs with
     | resps ->
@@ -470,7 +518,8 @@ let accept_session t =
           { sid; fd;
             nf = Netfaults.session ~seed:t.cfg.fault_seed t.cfg.netfaults sid;
             inbuf = Buffer.create 256; outq = Queue.create (); out_off = 0;
-            out_bytes = 0; line_no = 0; requests_seen = 0;
+            out_bytes = 0; line_no = 0; tenant = Tenancy.default_id;
+            requests_seen = 0;
             responses_enqueued = 0; open_requests = 0; eof = false;
             closing = false; dead = false }
         in
@@ -487,6 +536,7 @@ let sweep t =
       if not s.dead then begin
         if s.eof && s.open_requests = 0 then s.closing <- true;
         if s.closing && Queue.is_empty s.outq then begin
+          record_summary t s;
           s.dead <- true;
           (try Unix.close s.fd with Unix.Unix_error _ -> ())
         end
@@ -598,16 +648,32 @@ let stats t =
     rejected = t.c_rejected; shed = t.c_shed; expired = t.c_expired;
     parse_errors = t.c_parse_errors; disconnects = t.c_disconnects;
     stalled = t.c_stalled; forced_disconnects = t.c_forced;
-    garbled = t.c_garbled }
+    garbled = t.c_garbled;
+    closed =
+      (* close order depends on drain timing; sid order is the
+         deterministic presentation the CI grep relies on *)
+      List.sort (fun a b -> compare a.sum_sid b.sum_sid) t.c_closed }
 
 let render_stats (s : stats) =
-  Printf.sprintf
-    "%d sessions (%d refused), %d requests: %d accepted, %d tables, %d \
-     rejected, %d shed, %d expired, %d parse errors; %d disconnects, %d \
-     stalled, %d forced, %d garbled"
-    s.sessions s.sessions_refused s.requests s.accepted s.tables s.rejected
-    s.shed s.expired s.parse_errors s.disconnects s.stalled
-    s.forced_disconnects s.garbled
+  let head =
+    Printf.sprintf
+      "%d sessions (%d refused), %d requests: %d accepted, %d tables, %d \
+       rejected, %d shed, %d expired, %d parse errors; %d disconnects, %d \
+       stalled, %d forced, %d garbled"
+      s.sessions s.sessions_refused s.requests s.accepted s.tables s.rejected
+      s.shed s.expired s.parse_errors s.disconnects s.stalled
+      s.forced_disconnects s.garbled
+  in
+  match s.closed with
+  | [] -> head
+  | closed ->
+      head ^ "; per session: "
+      ^ String.concat ", "
+          (List.map
+             (fun c ->
+               Printf.sprintf "#%d[%s] %d req / %d resp" c.sum_sid
+                 c.sum_tenant c.sum_requests c.sum_responses)
+             closed)
 
 let stats_json (s : stats) =
   Relalg.Json.Obj
@@ -623,4 +689,14 @@ let stats_json (s : stats) =
       ("disconnects", Relalg.Json.Int s.disconnects);
       ("stalled", Relalg.Json.Int s.stalled);
       ("forced_disconnects", Relalg.Json.Int s.forced_disconnects);
-      ("garbled", Relalg.Json.Int s.garbled) ]
+      ("garbled", Relalg.Json.Int s.garbled);
+      ( "closed",
+        Relalg.Json.List
+          (List.map
+             (fun c ->
+               Relalg.Json.Obj
+                 [ ("sid", Relalg.Json.Int c.sum_sid);
+                   ("tenant", Relalg.Json.String c.sum_tenant);
+                   ("requests", Relalg.Json.Int c.sum_requests);
+                   ("responses", Relalg.Json.Int c.sum_responses) ])
+             s.closed) ) ]

@@ -11,6 +11,15 @@
     slow or faulted connection can corrupt neither another session's
     response stream nor the shared plan cache.
 
+    Sessions are tenant-scoped: each starts under
+    {!Tenancy.default_id} and may switch with [\tenant use <id>]
+    (plus [\tenant] / [\tenant list] to inspect); every subsequent
+    request is parsed and served under that tenant's policy
+    environment. Tenants are registered at startup
+    ({!Service.add_tenant}) — no wire input can create or mutate one —
+    and tenant isolation itself is the service's key-space guarantee,
+    not a server concern.
+
     The overload behaviour is engineered in, not bolted on:
 
     - {b admission control} — a bounded global backlog; a request
@@ -65,6 +74,14 @@ type config = {
 
 val default_config : config
 
+type summary = {
+  sum_sid : int;  (** session id, in accept order *)
+  sum_tenant : string;  (** the tenant the session last switched to *)
+  sum_requests : int;  (** request lines read from it *)
+  sum_responses : int;  (** responses enqueued to it *)
+}
+(** One closed session's final counters. *)
+
 type stats = {
   sessions : int;  (** sessions accepted *)
   sessions_refused : int;  (** refused at the [max_sessions] bound *)
@@ -79,6 +96,11 @@ type stats = {
   stalled : int;  (** chaos: inbound cut by [stall\@K] *)
   forced_disconnects : int;  (** chaos: outbound cut by [disconnect\@K] *)
   garbled : int;  (** chaos: request lines corrupted *)
+  closed : summary list;
+      (** final counters of every closed session, {e sorted by session
+          id}: sessions die in whatever order drain timing dictates, so
+          presenting them in close order would make the final stats
+          line nondeterministic across runs (and flake the CI grep) *)
 }
 
 type t

@@ -17,12 +17,17 @@ type verdict =
    rekeyed under a new environment fingerprint without the query;
    [env] the environment the verdict was computed under, so entries
    stranded by a non-policy rotation are never migrated into the
-   current epoch by a later policy delta. *)
+   current epoch by a later policy delta; [tenant] the id of the
+   tenant the verdict belongs to — redundant with the tenant component
+   inside [env] (keys of different tenants cannot collide), carried
+   explicitly so a hit can assert it and fail closed if the key-space
+   argument were ever broken. *)
 type cached = {
   verdict : verdict;
   deps : Analysis.Fact.Set.t;
   qfp : string;
   env : string;
+  tenant : string;
   exec_plan : Plan.t option;
       (* the hash-consed (DAG-interned) executable form of the
          extended plan, when sharing is on: structurally identical to
@@ -41,37 +46,34 @@ type cached = {
    environment fingerprint — so equal key implies equal bytes by
    construction. [sub_deps] is the subtree's authorization dependency
    set (Analysis.Deps.of_subplan), consulted by incremental policy
-   migration exactly like the plan cache's [deps]. *)
+   migration exactly like the plan cache's [deps]. [sub_tenant]
+   mirrors the plan cache's [tenant]: the worker-side lookup checks it
+   and refuses a foreign entry rather than serving it. *)
 type subentry = {
   table : Engine.Table.t;
   sub_deps : Analysis.Fact.Set.t;
   sub_env : string;
+  sub_tenant : string;
   base_key : string;  (* key minus the environment component *)
+  skey : string;  (* structural fingerprint: the shard key *)
 }
 
 type invalidation = Rotate | Incremental
 
 type t = {
-  mutable policy : Authz.Authorization.t;
-  mutable subjects : Authz.Subject.t list;
-  mutable config : Authz.Opreq.config;
-  mutable pricing : Planner.Pricing.t;
-  mutable network : Planner.Network.t;
-  mutable env : string;  (* environment fingerprint, cached *)
+  tenants : Tenancy.registry;
   invalidation : invalidation;
   base : Planner.Estimate.base_stats;
-  deliver_to : Authz.Subject.t option;
-  max_latency : float option;
   udfs : (string * Engine.Exec.udf) list;
   tables : (string * Engine.Table.t) list;
   seed : int64;
   pool : Par.pool option;
   max_batch : int;
   now : unit -> float;  (* deadline clock, injectable for tests *)
-  cache : cached Lru.t;
+  cache : cached Shard_lru.t;
   sharing : bool;
   dag : Planner.Dag.t;
-  subcache : subentry Lru.t;
+  subcache : subentry Shard_lru.t;
   derive_memo : Verify.Derive.memo;
   mutable queries : int;
   mutable rejections : int;
@@ -83,6 +85,7 @@ type t = {
   mutable subplan_stores : int;
   mutable subplan_invalidated : int;
   mutable shared_execs : int;
+  mutable cross_tenant_hits : int;
   mutable plan_ms_total : float;
   mutable exec_ms_total : float;
 }
@@ -98,55 +101,74 @@ type response = {
   outcome : outcome;
   status : status;
   key : string;
+  tenant : string;
   planned : Planner.Optimizer.result option;
   plan_ms : float;
   exec_ms : float;
 }
 
-type request = { query : Plan.t; deadline : float option }
+type request = { query : Plan.t; deadline : float option; tenant : string }
 
-let request ?deadline query = { query; deadline }
+let request ?deadline ?(tenant = Tenancy.default_id) query =
+  { query; deadline; tenant }
 
-let compute_env t =
-  Planner.Optimizer.environment_fingerprint ~policy:t.policy
-    ~subjects:t.subjects ~config:t.config ~pricing:t.pricing
-    ~network:t.network ?deliver_to:t.deliver_to ?max_latency:t.max_latency ()
-
-let create ?(cache_capacity = 128) ?(max_batch = 32) ?pool
-    ?(config = Authz.Opreq.default) ?(pricing = Planner.Pricing.make ())
-    ?(network = Planner.Network.make ()) ?(base = fun _ -> None) ?deliver_to
-    ?max_latency ?(udfs = []) ?(seed = 42L) ?(invalidation = Incremental)
-    ?(sharing = true) ?(subcache_capacity = 256) ?(now = Unix.gettimeofday)
+let create ?(cache_capacity = 128) ?(max_batch = 32) ?pool ?config ?pricing
+    ?network ?(base = fun _ -> None) ?deliver_to ?max_latency ?(udfs = [])
+    ?(seed = 42L) ?(invalidation = Incremental) ?(sharing = true)
+    ?(subcache_capacity = 256) ?(shards = 1) ?(now = Unix.gettimeofday)
     ~policy ~subjects ~tables () =
   if max_batch < 1 then
     invalid_arg (Printf.sprintf "Service.create: max_batch %d < 1" max_batch);
-  let deliver_to =
-    match deliver_to with
-    | Some _ as d -> d
-    | None ->
-        List.find_opt
-          (fun s -> s.Authz.Subject.role = Authz.Subject.User)
-          subjects
-  in
+  let tenants = Tenancy.registry () in
+  Tenancy.add tenants
+    (Tenancy.make ~id:Tenancy.default_id ?config ?pricing ?network
+       ?deliver_to ?max_latency ~policy ~subjects ());
   let dag = Planner.Dag.create () in
-  let t =
-    { policy; subjects; config; pricing; network; env = ""; invalidation;
-      base; deliver_to; max_latency; udfs; tables; seed; pool; max_batch;
-      now; cache = Lru.create ~capacity:cache_capacity; sharing; dag;
-      subcache = Lru.create ~capacity:subcache_capacity;
-      derive_memo = Verify.Derive.memo ~fp:(Planner.Dag.fingerprint dag) ();
-      queries = 0;
-      rejections = 0; expired = 0; invalidated = 0; reverified = 0;
-      retained = 0; subplan_hits = 0; subplan_stores = 0;
-      subplan_invalidated = 0; shared_execs = 0;
-      plan_ms_total = 0.0; exec_ms_total = 0.0 }
-  in
-  t.env <- compute_env t;
-  t
+  { tenants; invalidation; base; udfs; tables; seed; pool; max_batch; now;
+    cache = Shard_lru.create ~capacity:cache_capacity ~shards; sharing; dag;
+    subcache = Shard_lru.create ~capacity:subcache_capacity ~shards;
+    derive_memo = Verify.Derive.memo ~fp:(Planner.Dag.fingerprint dag) ();
+    queries = 0; rejections = 0; expired = 0; invalidated = 0;
+    reverified = 0; retained = 0; subplan_hits = 0; subplan_stores = 0;
+    subplan_invalidated = 0; shared_execs = 0; cross_tenant_hits = 0;
+    plan_ms_total = 0.0; exec_ms_total = 0.0 }
 
-let rotate t =
-  t.env <- compute_env t;
-  Obs.incr "serve.env_rotations"
+let tenant_exn t id =
+  match Tenancy.find t.tenants id with
+  | Some tn -> tn
+  | None -> invalid_arg (Printf.sprintf "Service: unknown tenant %S" id)
+
+let default_tenant t = tenant_exn t Tenancy.default_id
+
+let add_tenant t ~id ?policy ?subjects ?config ?pricing ?network ?deliver_to
+    ?max_latency () =
+  let d = default_tenant t in
+  let pick o f = match o with Some v -> v | None -> f d in
+  Tenancy.add t.tenants
+    (Tenancy.make ~id
+       ~config:(pick config (fun d -> d.Tenancy.config))
+       ~pricing:(pick pricing (fun d -> d.Tenancy.pricing))
+       ~network:(pick network (fun d -> d.Tenancy.network))
+       ?deliver_to:
+         (match deliver_to with
+         | Some _ as x -> x
+         | None -> d.Tenancy.deliver_to)
+       ?max_latency:
+         (match max_latency with
+         | Some _ as x -> x
+         | None -> d.Tenancy.max_latency)
+       ~policy:(pick policy (fun d -> d.Tenancy.policy))
+       ~subjects:(pick subjects (fun d -> d.Tenancy.subjects))
+       ());
+  Obs.incr "serve.tenants"
+
+let tenant_ids t = Tenancy.ids t.tenants
+
+let tenant_stats t =
+  let acc = ref [] in
+  Tenancy.iter (fun tn -> acc := (tn.Tenancy.id, Tenancy.stats tn) :: !acc)
+    t.tenants;
+  List.rev !acc
 
 (* ---- sub-plan cache keys ----
 
@@ -168,9 +190,11 @@ let rotate t =
      but the dependency facts stored for invalidation do;
    - environment: the leakage gate. Structurally equal subtrees
      planned under different policies, subject populations, recipients
-     or configs must never observe each other's results (the paper's
-     series-of-queries rule); the environment fingerprint separates
-     them even though their bytes would coincide. *)
+     or configs — or for different {e tenants}, whose ids are a field
+     of the environment fingerprint — must never observe each other's
+     results (the paper's series-of-queries rule); the environment
+     fingerprint separates them even though their bytes would
+     coincide. *)
 
 let kfield s = string_of_int (String.length s) ^ ":" ^ s
 let subcache_key ~env base = "mpq-subplan-v1|" ^ base ^ kfield env
@@ -206,9 +230,14 @@ let subjects_by_pos (extended : Authz.Extend.t) =
     extended.Authz.Extend.plan;
   arr
 
+(* Returns the base key (everything but the environment) plus the
+   subtree's structural fingerprint — the latter doubles as the shard
+   key: it is the one component rekeying never rewrites, so an entry's
+   shard is fixed for its lifetime. *)
 let base_key_of t ~clusters ~subjects ~pos n =
+  let fp = Planner.Dag.fingerprint t.dag n in
   let buf = Buffer.create 128 in
-  Buffer.add_string buf (kfield (Planner.Dag.fingerprint t.dag n));
+  Buffer.add_string buf (kfield fp);
   let crypto_free =
     match Planner.Dag.find t.dag n with
     | Some i -> i.Planner.Dag.crypto_free
@@ -230,7 +259,7 @@ let base_key_of t ~clusters ~subjects ~pos n =
   for p = pos to pos + sz - 1 do
     Buffer.add_string buf (kfield subjects.(p))
   done;
-  Buffer.contents buf
+  (Buffer.contents buf, fp)
 
 (* The positions at which an execution of [exec_plan] may consult or
    feed the sub-plan cache: the root (whole-result memoization — a
@@ -240,16 +269,17 @@ let base_key_of t ~clusters ~subjects ~pos n =
    where only the inner node is shared admits it as its own maximal
    node). Computed on the coordinator — DAG fingerprints and
    occurrence counts are not synchronized. *)
-let memo_positions t (r : Planner.Optimizer.result) exec_plan =
+let memo_positions t (tn : Tenancy.t) (r : Planner.Optimizer.result)
+    exec_plan =
   let subjects = subjects_by_pos r.Planner.Optimizer.extended in
   let clusters = r.Planner.Optimizer.clusters in
   let keys = Hashtbl.create 16 in
   let rec walk ~search pos n =
     let shared = Planner.Dag.occurrences t.dag n > 1 in
     if pos = 0 || (search && shared) then begin
-      let base = base_key_of t ~clusters ~subjects ~pos n in
+      let base, skey = base_key_of t ~clusters ~subjects ~pos n in
       Hashtbl.replace keys pos
-        (subcache_key ~env:t.env base, base, Plan.size n)
+        (subcache_key ~env:tn.Tenancy.env base, base, Plan.size n, skey)
     end;
     List.iter
       (fun (c, p) -> walk ~search:(not shared) p c)
@@ -259,24 +289,38 @@ let memo_positions t (r : Planner.Optimizer.result) exec_plan =
   keys
 
 type subcache_event =
-  | Sub_hit of { pos : int; key : string }
+  | Sub_hit of { pos : int; key : string; skey : string }
+  | Sub_foreign of { pos : int; key : string }
   | Sub_store of {
       pos : int;
       key : string;
       base : string;
       size : int;
+      skey : string;
       table : Engine.Table.t;
     }
 
-let event_pos = function Sub_hit e -> e.pos | Sub_store e -> e.pos
+let event_pos = function
+  | Sub_hit e -> e.pos
+  | Sub_foreign e -> e.pos
+  | Sub_store e -> e.pos
 
-(* Worker-domain-safe memo closures over a frozen subcache snapshot:
-   lookups are pure [Lru.peek]s, every observation is buffered under a
-   mutex, and the coordinator replays the buffer — sorted by position,
-   so sibling-parallel execution order cannot leak into the replay —
+(* Worker-domain-safe memo closures over the sharded subcache: lookups
+   are per-shard-locked [Shard_lru.peek]s (no recency, no global
+   state), every observation is buffered under a mutex, and the
+   coordinator replays the buffer — sorted by position, so
+   sibling-parallel execution order cannot leak into the replay —
    after the exec phase. The subcache therefore evolves identically at
-   any job count, like the plan cache. *)
-let make_memo t keys =
+   any job count and any shard count, like the plan cache.
+
+   The tenant check on a hit is the fail-closed armor over the
+   key-space isolation argument: the environment component inside the
+   key already makes a foreign entry unreachable, so the check can
+   only fire if key construction were broken — in which case the
+   result is refused, the event is counted (the bench and the
+   isolation property assert the counter stays 0), and the subtree is
+   recomputed. *)
+let make_memo t (tn : Tenancy.t) keys =
   let mutex = Mutex.create () in
   let events = ref [] in
   let record e =
@@ -289,18 +333,22 @@ let make_memo t keys =
         (fun ~pos _plan ->
           match Hashtbl.find_opt keys pos with
           | None -> None
-          | Some (key, _, _) -> (
-              match Lru.peek t.subcache key with
-              | Some (se : subentry) ->
-                  record (Sub_hit { pos; key });
+          | Some (key, _, _, skey) -> (
+              match Shard_lru.peek t.subcache ~skey key with
+              | Some (se : subentry)
+                when not (String.equal se.sub_tenant tn.Tenancy.id) ->
+                  record (Sub_foreign { pos; key });
+                  None
+              | Some se ->
+                  record (Sub_hit { pos; key; skey });
                   Some se.table
               | None -> None));
       store =
         (fun ~pos _plan table ->
           match Hashtbl.find_opt keys pos with
           | None -> ()
-          | Some (key, base, size) ->
-              record (Sub_store { pos; key; base; size; table }));
+          | Some (key, base, size, skey) ->
+              record (Sub_store { pos; key; base; size; skey; table }));
     }
   in
   (memo, events)
@@ -311,34 +359,39 @@ let make_memo t keys =
    position range) and insert. A key two same-round executions both
    computed is stored once — the bytes are identical by key
    construction. *)
-let replay_subcache t (r : Planner.Optimizer.result) events =
+let replay_subcache t (tn : Tenancy.t) (r : Planner.Optimizer.result) events =
   let evs =
     List.sort (fun a b -> compare (event_pos a) (event_pos b)) !events
   in
   List.iter
     (function
-      | Sub_hit { key; _ } ->
-          ignore (Lru.find t.subcache key);
+      | Sub_hit { key; skey; _ } ->
+          ignore (Shard_lru.find t.subcache ~skey key);
           t.subplan_hits <- t.subplan_hits + 1;
           Obs.incr "serve.subcache.hits"
-      | Sub_store { pos; key; base; size; table } ->
-          if not (Lru.mem t.subcache key) then begin
+      | Sub_foreign _ ->
+          t.cross_tenant_hits <- t.cross_tenant_hits + 1;
+          Obs.incr "serve.cross_tenant_hits"
+      | Sub_store { pos; key; base; size; skey; table } ->
+          if not (Shard_lru.mem t.subcache ~skey key) then begin
             let sub_deps =
-              Analysis.Deps.of_subplan ?deliver_to:t.deliver_to
+              Analysis.Deps.of_subplan ?deliver_to:tn.Tenancy.deliver_to
                 ~derive_memo:t.derive_memo
                 ~extended:r.Planner.Optimizer.extended
                 ~clusters:r.Planner.Optimizer.clusters ~range:(pos, size) ()
             in
             t.subplan_stores <- t.subplan_stores + 1;
             Obs.incr "serve.subcache.stores";
-            Lru.add t.subcache key
-              { table; sub_deps; sub_env = t.env; base_key = base }
+            Shard_lru.add t.subcache ~skey key
+              { table; sub_deps; sub_env = tn.Tenancy.env;
+                sub_tenant = tn.Tenancy.id; base_key = base; skey }
           end)
     evs
 
 (* Incremental invalidation (policy changes only): diff the old and new
-   policies as fact sets and migrate each same-epoch entry under the
-   protocol the dependency analysis justifies (see lib/analysis):
+   policies as fact sets and migrate each same-epoch entry {e of the
+   mutated tenant} under the protocol the dependency analysis
+   justifies (see lib/analysis):
 
    - a removed fact in the entry's dependency set may have been
      load-bearing for its verification: drop;
@@ -349,30 +402,36 @@ let replay_subcache t (r : Planner.Optimizer.result) events =
      any verdict: the entry is rekeyed under the new environment
      fingerprint, recency intact.
 
-   Denials carry no plan to compute dependencies from, so they use the
-   monotonicity argument alone: planner denials (no candidate, user
-   gate) cannot be fixed by revoking more, so they survive revoke-only
-   deltas and are dropped on any grant; verifier denials are dropped
-   on any view change (re-planning under the new policy may choose a
-   different extension entirely). *)
-let migrate t ~old_policy ~old_env =
+   Entries belonging to other tenants pass through untouched — their
+   environment fingerprints did not rotate, their keys stay reachable,
+   and their recency positions are preserved (the per-tenant
+   invalidation test asserts exactly this). Denials carry no plan to
+   compute dependencies from, so they use the monotonicity argument
+   alone: planner denials (no candidate, user gate) cannot be fixed by
+   revoking more, so they survive revoke-only deltas and are dropped
+   on any grant; verifier denials are dropped on any view change
+   (re-planning under the new policy may choose a different extension
+   entirely). *)
+let migrate t (tn : Tenancy.t) ~old_policy ~old_env =
+  let mine (c : cached) =
+    String.equal c.tenant tn.Tenancy.id && String.equal c.env old_env
+  in
   let dep_subjects = ref Authz.Subject.Set.empty in
   let _ =
-    Lru.remap t.cache (fun key c ->
-        Analysis.Fact.Set.iter
-          (fun f ->
-            dep_subjects :=
-              Authz.Subject.Set.add f.Analysis.Fact.subject !dep_subjects)
-          c.deps;
+    Shard_lru.remap t.cache (fun key c ->
+        if mine c then
+          dep_subjects :=
+            Authz.Subject.Set.union (Analysis.Deps.subjects_of c.deps)
+              !dep_subjects;
         Some (key, c))
   in
   let subjects =
-    t.subjects
+    tn.Tenancy.subjects
     @ Authz.Subject.Set.elements !dep_subjects
-    @ (match t.deliver_to with Some u -> [ u ] | None -> [])
+    @ (match tn.Tenancy.deliver_to with Some u -> [ u ] | None -> [])
   in
   match
-    Analysis.Delta.diff ~subjects ~old_policy ~new_policy:t.policy ()
+    Analysis.Delta.diff ~subjects ~old_policy ~new_policy:tn.Tenancy.policy ()
   with
   | `Incompatible ->
       (* schema change: old entries are not comparable fact-by-fact.
@@ -385,14 +444,14 @@ let migrate t ~old_policy ~old_env =
       let reverified = ref 0 and retained = ref 0 in
       let rekey c =
         Some
-          ( Planner.Optimizer.cache_key_of ~env:t.env c.qfp,
-            { c with env = t.env } )
+          ( Planner.Optimizer.cache_key_of ~env:tn.Tenancy.env c.qfp,
+            { c with env = tn.Tenancy.env } )
       in
       let dropped =
-        Lru.remap t.cache (fun key c ->
-            if not (String.equal c.env old_env) then
-              (* stranded by an earlier non-policy rotation: already
-                 unreachable, not ours to migrate *)
+        Shard_lru.remap t.cache (fun key c ->
+            if not (mine c) then
+              (* another tenant's entry, or one stranded by an earlier
+                 non-policy rotation: not ours to migrate *)
               Some (key, c)
             else
               let keep c =
@@ -418,7 +477,7 @@ let migrate t ~old_policy ~old_env =
                     incr reverified;
                     let diags =
                       Verify.Verifier.run
-                        { Verify.Verifier.policy = t.policy;
+                        { Verify.Verifier.policy = tn.Tenancy.policy;
                           config = r.Planner.Optimizer.config;
                           extended = r.Planner.Optimizer.extended;
                           clusters = r.Planner.Optimizer.clusters;
@@ -428,6 +487,7 @@ let migrate t ~old_policy ~old_env =
                   end)
       in
       t.invalidated <- t.invalidated + dropped;
+      tn.Tenancy.invalidated <- tn.Tenancy.invalidated + dropped;
       t.reverified <- t.reverified + !reverified;
       t.retained <- t.retained + !retained;
       Obs.incr ~by:dropped "serve.invalidation.dropped";
@@ -440,10 +500,16 @@ let migrate t ~old_policy ~old_env =
          A removed fact the subtree's certification consumed drops the
          entry for every consumer at once (shared nodes invalidate
          once, not per query); grants are monotone, so any other delta
-         rekeys the entry under the new environment, recency intact. *)
+         rekeys the entry under the new environment, recency intact.
+         Again scoped to the mutated tenant: another tenant's entries
+         keep their keys and recency. *)
       let sub_dropped =
-        Lru.remap t.subcache (fun key se ->
-            if not (String.equal se.sub_env old_env) then Some (key, se)
+        Shard_lru.remap t.subcache (fun key se ->
+            if
+              not
+                (String.equal se.sub_tenant tn.Tenancy.id
+                && String.equal se.sub_env old_env)
+            then Some (key, se)
             else if
               not
                 (Analysis.Fact.Set.is_empty
@@ -452,47 +518,54 @@ let migrate t ~old_policy ~old_env =
             then None
             else
               Some
-                ( subcache_key ~env:t.env se.base_key,
-                  { se with sub_env = t.env } ))
+                ( subcache_key ~env:tn.Tenancy.env se.base_key,
+                  { se with sub_env = tn.Tenancy.env } ))
       in
       t.subplan_invalidated <- t.subplan_invalidated + sub_dropped;
+      tn.Tenancy.invalidated <- tn.Tenancy.invalidated + sub_dropped;
       Obs.incr ~by:sub_dropped "serve.subcache.invalidated"
 
-let set_policy ?subjects t policy =
-  let old_policy = t.policy and old_env = t.env in
-  t.policy <- policy;
-  (match subjects with Some s -> t.subjects <- s | None -> ());
-  rotate t;
+let set_policy ?subjects ?(tenant = Tenancy.default_id) t policy =
+  let tn = tenant_exn t tenant in
+  let old_policy = tn.Tenancy.policy and old_env = tn.Tenancy.env in
+  tn.Tenancy.policy <- policy;
+  (match subjects with Some s -> tn.Tenancy.subjects <- s | None -> ());
+  Tenancy.rotate tn;
   match t.invalidation with
   | Rotate -> ()
   | Incremental ->
       (* a subject-population swap changes which views matter in ways
          the per-entry dependency sets cannot bound: fall back to the
          rotation the fingerprint change already performed *)
-      if subjects = None then migrate t ~old_policy ~old_env
+      if subjects = None then migrate t tn ~old_policy ~old_env
 
-let set_config t config =
-  t.config <- config;
-  rotate t
+let set_config ?(tenant = Tenancy.default_id) t config =
+  let tn = tenant_exn t tenant in
+  tn.Tenancy.config <- config;
+  Tenancy.rotate tn
 
-let set_pricing t pricing =
-  t.pricing <- pricing;
-  rotate t
+let set_pricing ?(tenant = Tenancy.default_id) t pricing =
+  let tn = tenant_exn t tenant in
+  tn.Tenancy.pricing <- pricing;
+  Tenancy.rotate tn
 
-let set_network t network =
-  t.network <- network;
-  rotate t
+let set_network ?(tenant = Tenancy.default_id) t network =
+  let tn = tenant_exn t tenant in
+  tn.Tenancy.network <- network;
+  Tenancy.rotate tn
 
 let invalidate t =
-  Lru.clear t.cache;
-  Lru.clear t.subcache;
+  Shard_lru.clear t.cache;
+  Shard_lru.clear t.subcache;
   Planner.Dag.clear t.dag;
   Verify.Derive.memo_clear t.derive_memo
 
-let environment t = t.env
+let environment ?(tenant = Tenancy.default_id) t =
+  (tenant_exn t tenant).Tenancy.env
 
-let parse t sql =
-  let catalog = Authz.Authorization.schemas t.policy in
+let parse ?(tenant = Tenancy.default_id) t sql =
+  let tn = tenant_exn t tenant in
+  let catalog = Authz.Authorization.schemas tn.Tenancy.policy in
   let plan = Mpq_sql.Sql_plan.parse_and_plan ~catalog sql in
   Planner.Join_order.reorder ~base:t.base (Planner.Rewrite.normalize plan)
 
@@ -503,23 +576,25 @@ let now_ms () = Unix.gettimeofday () *. 1000.0
    (the default), an explicit pass here when a caller has turned the
    global gate off — the cache's "verified entries only" contract must
    not depend on ambient flag state. *)
-let plan_once t ~qfp query =
+let plan_once t (tn : Tenancy.t) ~qfp query =
   Obs.with_span "serve.plan" @@ fun () ->
   let verified_by_planner = !Planner.Optimizer.self_check in
   let denied kind message =
     { verdict = Denied { message; kind }; deps = Analysis.Fact.Set.empty;
-      qfp; env = t.env; exec_plan = None }
+      qfp; env = tn.Tenancy.env; tenant = tn.Tenancy.id; exec_plan = None }
   in
   match
     let r =
-      Planner.Optimizer.plan ~policy:t.policy ~subjects:t.subjects
-        ~config:t.config ~pricing:t.pricing ~network:t.network ~base:t.base
-        ?deliver_to:t.deliver_to ?max_latency:t.max_latency query
+      Planner.Optimizer.plan ~policy:tn.Tenancy.policy
+        ~subjects:tn.Tenancy.subjects ~config:tn.Tenancy.config
+        ~pricing:tn.Tenancy.pricing ~network:tn.Tenancy.network ~base:t.base
+        ?deliver_to:tn.Tenancy.deliver_to ?max_latency:tn.Tenancy.max_latency
+        query
     in
     if not verified_by_planner then begin
       let diags =
         Verify.Verifier.run
-          { Verify.Verifier.policy = t.policy;
+          { Verify.Verifier.policy = tn.Tenancy.policy;
             config = r.Planner.Optimizer.config;
             extended = r.Planner.Optimizer.extended;
             clusters = r.Planner.Optimizer.clusters;
@@ -539,7 +614,7 @@ let plan_once t ~qfp query =
          derivation memo, the DAG store) and this function runs in the
          parallel plan phase *)
       { verdict = Planned r; deps = Analysis.Fact.Set.empty; qfp;
-        env = t.env; exec_plan = None }
+        env = tn.Tenancy.env; tenant = tn.Tenancy.id; exec_plan = None }
   | exception Planner.Optimizer.No_candidate msg -> denied No_candidate msg
   | exception Planner.Optimizer.User_not_authorized msg ->
       denied User_denied msg
@@ -556,13 +631,14 @@ let plan_once t ~qfp query =
    insertion: compute the dependency facts (sharing profile
    derivations through the service memo) and intern the extended plan
    into the DAG so its subtrees join the shared-node store. *)
-let finalize t query entry =
+let finalize t (tn : Tenancy.t) query entry =
   match entry.verdict with
   | Denied _ -> entry
   | Planned r ->
       let deps =
-        Analysis.Deps.of_extended ?deliver_to:t.deliver_to ~original:query
-          ~derive_memo:t.derive_memo ~extended:r.Planner.Optimizer.extended
+        Analysis.Deps.of_extended ?deliver_to:tn.Tenancy.deliver_to
+          ~original:query ~derive_memo:t.derive_memo
+          ~extended:r.Planner.Optimizer.extended
           ~clusters:r.Planner.Optimizer.clusters ()
       in
       let exec_plan =
@@ -593,37 +669,44 @@ let run_tasks t thunks =
 (* One admission-bounded round of the three-phase protocol. Requests
    whose deadline has already passed when the round starts are refused
    up front — no fingerprinting, no cache probe, no planning: a refusal
-   must never disturb the cache's observable evolution. *)
+   must never disturb the cache's observable evolution. A request
+   naming an unregistered tenant is likewise refused before the cache
+   is touched: tenant ids come off the wire, and an unknown id must
+   not be able to perturb anything observable. *)
 let serve_round t requests =
   Obs.with_span "serve.batch" @@ fun () ->
-  let before = Lru.stats t.cache in
+  let before = Shard_lru.stats t.cache in
   let admit_now = t.now () in
-  let expired_response () =
-    { outcome = Expired "at admission"; status = Miss;
-      key = ""; planned = None; plan_ms = 0.0; exec_ms = 0.0 }
-  in
-  (* phase 1 — probe: fingerprint every live request, pick the distinct
-     missing keys. Pure: no cache mutation, no recency refresh. *)
+  (* phase 1 — probe: resolve every request's tenant, fingerprint the
+     live ones, pick the distinct missing keys. Pure: no cache
+     mutation, no recency refresh. *)
   let keyed =
     List.map
-      (fun { query = q; deadline } ->
-        match deadline with
-        | Some d when admit_now > d -> `Expired
-        | _ ->
-            let t0 = now_ms () in
-            let qfp = Planner.Fingerprint.of_plan q in
-            let key = Planner.Optimizer.cache_key_of ~env:t.env qfp in
-            `Live (q, qfp, key, deadline, now_ms () -. t0))
+      (fun { query = q; deadline; tenant } ->
+        match Tenancy.find t.tenants tenant with
+        | None -> `Unknown tenant
+        | Some tn -> (
+            match deadline with
+            | Some d when admit_now > d -> `Expired tn
+            | _ ->
+                let t0 = now_ms () in
+                let qfp = Planner.Fingerprint.of_plan q in
+                let key =
+                  Planner.Optimizer.cache_key_of ~env:tn.Tenancy.env qfp
+                in
+                `Live (tn, q, qfp, key, deadline, now_ms () -. t0)))
       requests
   in
   let to_plan =
     List.rev
       (List.fold_left
          (fun acc -> function
-           | `Expired -> acc
-           | `Live (q, qfp, key, _, _) ->
-               if Lru.mem t.cache key || List.mem_assoc key acc then acc
-               else (key, (q, qfp)) :: acc)
+           | `Unknown _ | `Expired _ -> acc
+           | `Live (tn, q, qfp, key, _, _) ->
+               if Shard_lru.mem t.cache ~skey:qfp key
+                  || List.mem_assoc key acc
+               then acc
+               else (key, (tn, q, qfp)) :: acc)
          [] keyed)
   in
   (* phase 2 — plan each distinct missing key in parallel. Planning is
@@ -633,26 +716,42 @@ let serve_round t requests =
   let planned =
     run_tasks t
       (List.map
-         (fun (key, (q, qfp)) () ->
+         (fun (key, (tn, q, qfp)) () ->
            let t0 = now_ms () in
-           let entry = plan_once t ~qfp q in
+           let entry = plan_once t tn ~qfp q in
            (key, (entry, now_ms () -. t0)))
          to_plan)
   in
   (* phase 3 — replay the cache protocol sequentially in request
      order: the only phase that mutates the cache, so its evolution is
      independent of the job count. A key that repeats within the batch
-     misses once and hits from then on, exactly as in serial serving. *)
+     misses once and hits from then on, exactly as in serial serving.
+     A hit is additionally required to belong to the requesting tenant
+     — impossible to violate while keys embed the tenant id, counted
+     and refused (treated as a miss, replanned) if it ever happened. *)
   let resolved =
     List.map
       (function
-        | `Expired -> `Expired
-        | `Live (q, qfp, key, deadline, key_ms) -> (
+        | `Unknown tenant -> `Unknown tenant
+        | `Expired tn -> `Expired tn
+        | `Live (tn, q, qfp, key, deadline, key_ms) -> (
             let t0 = now_ms () in
-            match Lru.find t.cache key with
+            let hit =
+              match Shard_lru.find t.cache ~skey:qfp key with
+              | Some entry
+                when not (String.equal entry.tenant tn.Tenancy.id) ->
+                  t.cross_tenant_hits <- t.cross_tenant_hits + 1;
+                  Obs.incr "serve.cross_tenant_hits";
+                  None
+              | found -> found
+            in
+            match hit with
             | Some entry ->
-                `Resolved (key, entry, deadline, Hit, key_ms +. (now_ms () -. t0))
+                tn.Tenancy.hits <- tn.Tenancy.hits + 1;
+                `Resolved
+                  (tn, key, entry, deadline, Hit, key_ms +. (now_ms () -. t0))
             | None ->
+                tn.Tenancy.misses <- tn.Tenancy.misses + 1;
                 let entry, plan_ms =
                   match List.assoc_opt key planned with
                   | Some e -> e
@@ -662,16 +761,16 @@ let serve_round t requests =
                          the coordinator: a function of request order and
                          cache state only, so still job-count independent. *)
                       let p0 = now_ms () in
-                      let entry = plan_once t ~qfp q in
+                      let entry = plan_once t tn ~qfp q in
                       (entry, now_ms () -. p0)
                 in
                 (* dependency facts + DAG interning: coordinator-only
                    state, so it happens here rather than in the
                    parallel plan phase *)
-                let entry = finalize t q entry in
-                Lru.add t.cache key entry;
+                let entry = finalize t tn q entry in
+                Shard_lru.add t.cache ~skey:qfp key entry;
                 `Resolved
-                  (key, entry, deadline, Miss,
+                  (tn, key, entry, deadline, Miss,
                    key_ms +. (now_ms () -. t0) +. plan_ms)))
       keyed
   in
@@ -684,36 +783,40 @@ let serve_round t requests =
   (* classify executions on the coordinator: batch-level work sharing
      groups live planned requests by cache key, so each distinct entry
      executes once per round and later occurrences alias the
-     (immutable) result table. With sharing on, executions run the
-     DAG-interned plan under the sub-plan memo (frozen-snapshot
-     lookups, buffered stores). Classification order is request order,
-     so the representative choice — and with it every observable
-     effect — is job-count independent. *)
+     (immutable) result table — only ever within one tenant, because
+     keys of different tenants cannot be equal. With sharing on,
+     executions run the DAG-interned plan under the sub-plan memo
+     (frozen-snapshot lookups, buffered stores). Classification order
+     is request order, so the representative choice — and with it
+     every observable effect — is job-count independent. *)
   let rep_seen = Hashtbl.create 8 in
   let classified =
     List.map
       (function
-        | `Expired -> `Expired
-        | `Resolved (key, entry, deadline, status, plan_ms) -> (
+        | `Unknown tenant -> `Unknown tenant
+        | `Expired tn -> `Expired tn
+        | `Resolved (tn, key, entry, deadline, status, plan_ms) -> (
             match entry.verdict with
-            | Denied { message; _ } -> `Denied (key, message, status, plan_ms)
+            | Denied { message; _ } ->
+                `Denied (tn, key, message, status, plan_ms)
             | Planned r -> (
                 match deadline with
-                | Some d when exec_now > d -> `Late (key, r, status, plan_ms)
+                | Some d when exec_now > d ->
+                    `Late (tn, key, r, status, plan_ms)
                 | _ ->
                     if t.sharing && Hashtbl.mem rep_seen key then
-                      `Alias (key, r, status, plan_ms)
+                      `Alias (tn, key, r, status, plan_ms)
                     else begin
                       Hashtbl.replace rep_seen key ();
                       let memo =
                         match (t.sharing, entry.exec_plan) with
                         | true, Some ep ->
-                            let keys = memo_positions t r ep in
-                            let memo, events = make_memo t keys in
+                            let keys = memo_positions t tn r ep in
+                            let memo, events = make_memo t tn keys in
                             Some (ep, memo, events)
                         | _ -> None
                       in
-                      `Run (key, r, status, plan_ms, memo)
+                      `Run (tn, key, r, status, plan_ms, memo)
                     end)))
       resolved
   in
@@ -723,7 +826,7 @@ let serve_round t requests =
     run_tasks t
       (List.filter_map
          (function
-           | `Run (key, r, _, _, memo) ->
+           | `Run (_, key, r, _, _, memo) ->
                Some
                  (fun () ->
                    let t0 = now_ms () in
@@ -743,50 +846,78 @@ let serve_round t requests =
      subcache mutations, so its evolution matches any job count *)
   List.iter
     (function
-      | `Run (_, r, _, _, Some (_, _, events)) -> replay_subcache t r events
+      | `Run (tn, _, r, _, _, Some (_, _, events)) ->
+          replay_subcache t tn r events
       | _ -> ())
     classified;
-  (* assemble responses in request order *)
+  (* assemble responses in request order, each tagged with the tenant
+     it was served for (or the unknown id it named) *)
   let responses =
     List.map
       (function
-        | `Expired -> expired_response ()
-        | `Denied (key, message, status, plan_ms) ->
-            { outcome = Rejected message; status; key; planned = None;
-              plan_ms; exec_ms = 0.0 }
-        | `Late (key, r, status, plan_ms) ->
-            { outcome = Expired "between plan and exec"; status; key;
-              planned = Some r; plan_ms; exec_ms = 0.0 }
-        | `Run (key, r, status, plan_ms, _) ->
+        | `Unknown tenant ->
+            ( { outcome = Rejected (Printf.sprintf "unknown tenant %S" tenant);
+                status = Miss; key = ""; tenant; planned = None;
+                plan_ms = 0.0; exec_ms = 0.0 },
+              None )
+        | `Expired tn ->
+            ( { outcome = Expired "at admission"; status = Miss; key = "";
+                tenant = tn.Tenancy.id; planned = None; plan_ms = 0.0;
+                exec_ms = 0.0 },
+              Some tn )
+        | `Denied (tn, key, message, status, plan_ms) ->
+            ( { outcome = Rejected message; status; key;
+                tenant = tn.Tenancy.id; planned = None; plan_ms;
+                exec_ms = 0.0 },
+              Some tn )
+        | `Late (tn, key, r, status, plan_ms) ->
+            ( { outcome = Expired "between plan and exec"; status; key;
+                tenant = tn.Tenancy.id; planned = Some r; plan_ms;
+                exec_ms = 0.0 },
+              Some tn )
+        | `Run (tn, key, r, status, plan_ms, _) ->
             let table, exec_ms = List.assoc key executed in
-            { outcome = Table table; status; key; planned = Some r; plan_ms;
-              exec_ms }
-        | `Alias (key, r, status, plan_ms) ->
+            ( { outcome = Table table; status; key; tenant = tn.Tenancy.id;
+                planned = Some r; plan_ms; exec_ms },
+              Some tn )
+        | `Alias (tn, key, r, status, plan_ms) ->
             (* aliased onto the representative execution of the same
                key: same immutable table, no second execution *)
             t.shared_execs <- t.shared_execs + 1;
             Obs.incr "serve.exec.shared";
             let table, _ = List.assoc key executed in
-            { outcome = Table table; status; key; planned = Some r; plan_ms;
-              exec_ms = 0.0 })
+            ( { outcome = Table table; status; key; tenant = tn.Tenancy.id;
+                planned = Some r; plan_ms; exec_ms = 0.0 },
+              Some tn ))
       classified
   in
   (* accounting (coordinator only, deterministic) *)
-  let after = Lru.stats t.cache in
-  Obs.incr ~by:(after.Lru.hits - before.Lru.hits) "serve.cache.hits";
-  Obs.incr ~by:(after.Lru.misses - before.Lru.misses) "serve.cache.misses";
-  Obs.incr ~by:(after.Lru.evictions - before.Lru.evictions)
+  let after = Shard_lru.stats t.cache in
+  Obs.incr ~by:(after.Shard_lru.hits - before.Shard_lru.hits)
+    "serve.cache.hits";
+  Obs.incr ~by:(after.Shard_lru.misses - before.Shard_lru.misses)
+    "serve.cache.misses";
+  Obs.incr ~by:(after.Shard_lru.evictions - before.Shard_lru.evictions)
     "serve.cache.evictions";
   List.iter
-    (fun r ->
+    (fun ((r : response), (tn : Tenancy.t option)) ->
       t.queries <- t.queries + 1;
       Obs.incr "serve.queries";
+      (match tn with
+      | Some tn -> tn.Tenancy.queries <- tn.Tenancy.queries + 1
+      | None -> ());
       (match r.outcome with
       | Rejected _ ->
           t.rejections <- t.rejections + 1;
+          (match tn with
+          | Some tn -> tn.Tenancy.rejections <- tn.Tenancy.rejections + 1
+          | None -> ());
           Obs.incr "serve.rejections"
       | Expired _ ->
           t.expired <- t.expired + 1;
+          (match tn with
+          | Some tn -> tn.Tenancy.expired <- tn.Tenancy.expired + 1
+          | None -> ());
           Obs.incr "serve.expired"
       | Table _ -> ());
       t.plan_ms_total <- t.plan_ms_total +. r.plan_ms;
@@ -795,7 +926,7 @@ let serve_round t requests =
       Obs.record "serve.exec_ms" r.exec_ms;
       Obs.record "serve.query_ms" (r.plan_ms +. r.exec_ms))
     responses;
-  responses
+  List.map fst responses
 
 let rec admit t = function
   | [] -> []
@@ -810,15 +941,15 @@ let rec admit t = function
       served @ admit t rest
 
 let submit_batch_requests t requests = admit t requests
-let submit_batch t queries = admit t (List.map request queries)
+let submit_batch t queries = admit t (List.map (fun q -> request q) queries)
 
 let submit_request t req =
   match serve_round t [ req ] with
   | [ r ] -> r
   | _ -> assert false
 
-let submit t query = submit_request t (request query)
-let submit_sql t sql = submit t (parse t sql)
+let submit ?tenant t query = submit_request t (request ?tenant query)
+let submit_sql ?tenant t sql = submit ?tenant t (parse ?tenant t sql)
 
 type stats = {
   queries : int;
@@ -838,31 +969,39 @@ type stats = {
   subplan_invalidated : int;
   subplan_entries : int;
   shared_execs : int;
+  tenants : int;
+  shards : int;
+  cross_tenant_hits : int;
   plan_ms : float;
   exec_ms : float;
 }
 
 let stats t =
-  let c = Lru.stats t.cache in
+  let c = Shard_lru.stats t.cache in
   { queries = t.queries; rejections = t.rejections; expired = t.expired;
-    hits = c.Lru.hits;
-    misses = c.Lru.misses; insertions = c.Lru.insertions;
-    evictions = c.Lru.evictions; invalidated = t.invalidated;
+    hits = c.Shard_lru.hits;
+    misses = c.Shard_lru.misses; insertions = c.Shard_lru.insertions;
+    evictions = c.Shard_lru.evictions; invalidated = t.invalidated;
     reverified = t.reverified; retained = t.retained;
-    entries = Lru.length t.cache; capacity = Lru.capacity t.cache;
+    entries = Shard_lru.length t.cache;
+    capacity = Shard_lru.capacity t.cache;
     subplan_hits = t.subplan_hits; subplan_stores = t.subplan_stores;
     subplan_invalidated = t.subplan_invalidated;
-    subplan_entries = Lru.length t.subcache; shared_execs = t.shared_execs;
+    subplan_entries = Shard_lru.length t.subcache;
+    shared_execs = t.shared_execs; tenants = Tenancy.count t.tenants;
+    shards = Shard_lru.shards t.cache;
+    cross_tenant_hits = t.cross_tenant_hits;
     plan_ms = t.plan_ms_total; exec_ms = t.exec_ms_total }
 
 let hit_rate s =
   let looked = s.hits + s.misses in
   if looked = 0 then 0.0 else float_of_int s.hits /. float_of_int looked
 
-let cache_keys t = Lru.keys t.cache
-let subcache_keys t = Lru.keys t.subcache
+let cache_keys t = Shard_lru.keys t.cache
+let subcache_keys t = Shard_lru.keys t.subcache
 let dag_stats t = Planner.Dag.stats t.dag
 let derivations_shared t = Verify.Derive.memo_hits t.derive_memo
+let shard_probes t = Shard_lru.probes t.subcache
 
 let subplan_hit_rate s =
   let looked = s.subplan_hits + s.subplan_stores in
@@ -874,12 +1013,13 @@ let render_stats s =
     "%d queries (%d rejected, %d expired): %d hits, %d misses (%.1f%% hit \
      rate), %d/%d entries, %d evictions; %d invalidated, %d reverified, \
      %d retained; subplans %d hits / %d stores (%d entries, %d \
-     invalidated), %d shared execs; plan %.2f ms, exec %.2f ms"
+     invalidated), %d shared execs; %d tenants, %d shards, %d cross-tenant \
+     hits; plan %.2f ms, exec %.2f ms"
     s.queries s.rejections s.expired s.hits s.misses
     (100.0 *. hit_rate s)
     s.entries s.capacity s.evictions s.invalidated s.reverified s.retained
     s.subplan_hits s.subplan_stores s.subplan_entries s.subplan_invalidated
-    s.shared_execs s.plan_ms s.exec_ms
+    s.shared_execs s.tenants s.shards s.cross_tenant_hits s.plan_ms s.exec_ms
 
 let stats_json s =
   Json.Obj
@@ -902,5 +1042,8 @@ let stats_json s =
       ("subplan_invalidated", Json.Int s.subplan_invalidated);
       ("subplan_entries", Json.Int s.subplan_entries);
       ("shared_execs", Json.Int s.shared_execs);
+      ("tenants", Json.Int s.tenants);
+      ("shards", Json.Int s.shards);
+      ("cross_tenant_hits", Json.Int s.cross_tenant_hits);
       ("plan_ms", Json.Float s.plan_ms);
       ("exec_ms", Json.Float s.exec_ms) ]

@@ -116,6 +116,7 @@ val create :
   ?invalidation:invalidation ->
   ?sharing:bool ->
   ?subcache_capacity:int ->
+  ?shards:int ->
   ?now:(unit -> float) ->
   policy:Authz.Authorization.t ->
   subjects:Authz.Subject.t list ->
@@ -137,28 +138,79 @@ val create :
     [false] is the isolated baseline the differential tests compare
     against — responses are byte-identical either way.
     [subcache_capacity] bounds the sub-plan result tier (default 256
-    entries, LRU). *)
+    entries, LRU). [shards] (default 1) splits both caches' hashtables
+    into that many mutex-guarded shards (see {!Shard_lru}) so worker
+    domains can probe concurrently; capacity, recency and eviction
+    stay global, so responses and final cache-key sets are identical
+    at any shard count. The service starts with one registered tenant,
+    {!Tenancy.default_id}, built from [policy]/[subjects] and the
+    optional environment arguments; more are added with
+    {!add_tenant}. *)
+
+(** {2 Tenants}
+
+    Every request is served under a named tenant (default
+    {!Tenancy.default_id}): its policy, subjects, config, prices,
+    network, recipient and latency bound. The tenant id is a field of
+    the environment fingerprint, so tenants occupy disjoint key spaces
+    in the plan and sub-plan caches — isolation is a property of key
+    construction, not of locks, and [cross_tenant_hits] in {!stats}
+    counts the (structurally impossible) violations the fail-closed
+    runtime checks would refuse. *)
+
+val add_tenant :
+  t ->
+  id:string ->
+  ?policy:Authz.Authorization.t ->
+  ?subjects:Authz.Subject.t list ->
+  ?config:Authz.Opreq.config ->
+  ?pricing:Planner.Pricing.t ->
+  ?network:Planner.Network.t ->
+  ?deliver_to:Authz.Subject.t ->
+  ?max_latency:float ->
+  unit ->
+  unit
+(** Register a new tenant. Unsupplied components are copied from the
+    default tenant's current values. Raises [Invalid_argument] when
+    [id] is already registered. *)
+
+val tenant_ids : t -> string list
+(** Registered tenant ids, sorted. *)
+
+val tenant_stats : t -> (string * Tenancy.stats) list
+(** Per-tenant serving counters, in sorted id order. *)
 
 (** {2 Environment mutation — explicit invalidation} *)
 
-val set_policy : ?subjects:Authz.Subject.t list -> t -> Authz.Authorization.t -> unit
-(** Swap the policy (and optionally the subject population). Always
-    rotates the environment fingerprint; in [Incremental] mode (and
-    when [subjects] is not supplied) surviving entries are then
-    migrated to the new fingerprint per the dependency protocol above,
-    so unaffected plans keep hitting. *)
+val set_policy :
+  ?subjects:Authz.Subject.t list ->
+  ?tenant:string ->
+  t ->
+  Authz.Authorization.t ->
+  unit
+(** Swap the named tenant's policy (default tenant when unnamed, and
+    optionally its subject population). Always rotates that tenant's
+    environment fingerprint; in [Incremental] mode (and when
+    [subjects] is not supplied) the tenant's surviving entries are
+    then migrated to the new fingerprint per the dependency protocol
+    above, so its unaffected plans keep hitting. Entries of {e other}
+    tenants are untouched in every respect: their fingerprints did not
+    rotate, their keys stay resident, their recency is preserved
+    (asserted by the per-tenant invalidation test). Raises
+    [Invalid_argument] on an unknown tenant. *)
 
-val set_config : t -> Authz.Opreq.config -> unit
-val set_pricing : t -> Planner.Pricing.t -> unit
-val set_network : t -> Planner.Network.t -> unit
+val set_config : ?tenant:string -> t -> Authz.Opreq.config -> unit
+val set_pricing : ?tenant:string -> t -> Planner.Pricing.t -> unit
+val set_network : ?tenant:string -> t -> Planner.Network.t -> unit
 
 val invalidate : t -> unit
 (** Drop every cache entry (statistics survive). The [set_*] calls
     above make this unnecessary for correctness; it exists for
     explicit memory release. *)
 
-val environment : t -> string
-(** The current environment fingerprint (tests assert rotation). *)
+val environment : ?tenant:string -> t -> string
+(** The named tenant's current environment fingerprint (tests assert
+    rotation and cross-tenant distinctness). *)
 
 (** {2 Serving} *)
 
@@ -186,6 +238,9 @@ type response = {
   status : status;
   key : string;  (** the cache key the request resolved to ([""] when
                      refused at admission) *)
+  tenant : string;
+      (** the tenant the request was served under (echoed verbatim for
+          an unknown-tenant rejection) *)
   planned : Planner.Optimizer.result option;
       (** [None] on rejection or admission expiry *)
   plan_ms : float;
@@ -194,21 +249,24 @@ type response = {
   exec_ms : float;
 }
 
-type request = { query : Plan.t; deadline : float option }
+type request = { query : Plan.t; deadline : float option; tenant : string }
 (** A query plus an optional absolute deadline (seconds, on the
-    service's [now] clock — [Unix.gettimeofday] by default). *)
+    service's [now] clock — [Unix.gettimeofday] by default) and the
+    tenant to serve it under. A request naming an unregistered tenant
+    is refused ([Rejected]) before the cache is probed. *)
 
-val request : ?deadline:float -> Plan.t -> request
+val request : ?deadline:float -> ?tenant:string -> Plan.t -> request
 
-val parse : t -> string -> Plan.t
-(** SQL → plan against the policy's schemas, classically optimized
-    (normalization + join reordering) like the CLI front end. Raises
-    the [Mpq_sql] parse exceptions on malformed input. *)
+val parse : ?tenant:string -> t -> string -> Plan.t
+(** SQL → plan against the named tenant's policy schemas, classically
+    optimized (normalization + join reordering) like the CLI front
+    end. Raises the [Mpq_sql] parse exceptions on malformed input and
+    [Invalid_argument] on an unknown tenant. *)
 
-val submit : t -> Plan.t -> response
+val submit : ?tenant:string -> t -> Plan.t -> response
 (** Serve one query (a batch of one). *)
 
-val submit_sql : t -> string -> response
+val submit_sql : ?tenant:string -> t -> string -> response
 
 val submit_batch : t -> Plan.t list -> response list
 (** Serve a batch concurrently (see the protocol above). Responses
@@ -252,6 +310,13 @@ type stats = {
   subplan_entries : int;  (** resident sub-plan results *)
   shared_execs : int;
       (** responses aliased onto a same-key execution in their round *)
+  tenants : int;  (** registered tenants *)
+  shards : int;  (** cache shard count *)
+  cross_tenant_hits : int;
+      (** cache hits refused because the entry belonged to another
+          tenant — structurally impossible while keys embed the tenant
+          id, so anything but 0 means key construction is broken (the
+          bench and CI assert 0) *)
   plan_ms : float;  (** cumulative, across all queries *)
   exec_ms : float;
 }
@@ -277,6 +342,11 @@ val dag_stats : t -> Planner.Dag.stats
 val derivations_shared : t -> int
 (** Profile derivations answered from the service's fingerprint-keyed
     derivation memo. *)
+
+val shard_probes : t -> int array
+(** Per-shard worker-probe counts of the sub-plan cache
+    ({!Shard_lru.probes}) — the exec-phase traffic distribution over
+    shards. *)
 
 val render_stats : stats -> string
 (** One line: queries, hits/misses/rate, evictions, latencies. *)
